@@ -1,0 +1,29 @@
+"""Ablation — aggregation quality: footrule flow vs Borda vs exact Kemeny.
+
+On random weighted instances small enough for exhaustive search, compare
+the weighted-Kemeny objective achieved by the paper's min-cost-flow
+footrule aggregation, the local-search-refined variant, and Borda count,
+against the true optimum (ratio 1.0 = optimal; theory guarantees the
+footrule solution ≤ 2.0).
+"""
+
+from repro.experiments.ablations import run_aggregation_ablation
+
+
+def test_ablation_aggregation_quality(benchmark):
+    stats = benchmark.pedantic(
+        lambda: run_aggregation_ablation(instances=40, num_items=6, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"instances:                    {stats.instances}")
+    print(f"footrule-flow / optimum:      {stats.footrule_ratio:.4f}")
+    print(f"  + local search / optimum:   {stats.refined_ratio:.4f}")
+    print(f"borda / optimum:              {stats.borda_ratio:.4f}")
+    print(f"footrule exactly optimal on:  {stats.footrule_optimal_fraction:.0%}")
+    assert stats.footrule_ratio <= 2.0
+    assert stats.refined_ratio <= stats.footrule_ratio + 1e-9
+    benchmark.extra_info["footrule_ratio"] = stats.footrule_ratio
+    benchmark.extra_info["refined_ratio"] = stats.refined_ratio
+    benchmark.extra_info["borda_ratio"] = stats.borda_ratio

@@ -1,0 +1,26 @@
+"""Ablation — lazy-heap greedy vs the paper's naive O(N²) loop.
+
+Both produce byte-identical schedules; this bench shows the runtime gap
+growing with the number of instants.
+"""
+
+from repro.experiments.ablations import run_lazy_ablation
+
+
+def test_ablation_lazy_vs_naive(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_lazy_ablation(), rounds=1, iterations=1
+    )
+    print()
+    print(f"{'N instants':>10}  {'lazy (s)':>10}  {'naive (s)':>10}  {'speedup':>8}")
+    for point in points:
+        print(
+            f"{point.num_instants:>10}  {point.lazy_seconds:>10.4f}  "
+            f"{point.naive_seconds:>10.4f}  {point.speedup:>7.1f}x"
+        )
+    assert all(point.identical_schedules for point in points)
+    assert points[-1].speedup > 2.0
+    benchmark.extra_info["points"] = [
+        (point.num_instants, point.lazy_seconds, point.naive_seconds)
+        for point in points
+    ]

@@ -1,0 +1,30 @@
+"""Ablation — the price of online operation.
+
+The paper's scheduler is "online": each participant is scheduled the
+moment they scan, without revisiting earlier users' schedules. This
+bench measures how much coverage that sacrifices relative to the offline
+greedy that sees all participants up front.
+"""
+
+from repro.experiments.ablations import run_online_ablation
+
+
+def test_ablation_online_vs_offline(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_online_ablation(runs=3, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(f"{'users':>6}  {'online':>8}  {'offline':>8}  {'ratio':>6}")
+    for point in points:
+        print(
+            f"{point.users:>6}  {point.online_coverage:>8.4f}  "
+            f"{point.offline_coverage:>8.4f}  {point.ratio:>6.3f}"
+        )
+    # Online never beats offline materially, and the price stays small.
+    for point in points:
+        assert point.ratio <= 1.02
+        assert point.ratio >= 0.80
+    benchmark.extra_info["points"] = [
+        (point.users, point.online_coverage, point.offline_coverage)
+        for point in points
+    ]

@@ -1,0 +1,28 @@
+"""Ablation — coverage-kernel width σ.
+
+The paper uses a large σ for slowly changing features and a small σ for
+fast ones; this sweep quantifies how much coverage both schedulers can
+achieve as σ varies (smaller σ ⇒ each measurement covers less time ⇒
+lower achievable coverage at fixed budget).
+"""
+
+from repro.experiments.ablations import run_sigma_ablation
+
+
+def test_ablation_sigma_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_sigma_ablation(runs=3, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(f"{'sigma (s)':>10}  {'greedy':>8}  {'baseline':>9}")
+    for point in points:
+        print(
+            f"{point.sigma_s:>10.1f}  {point.greedy_coverage:>8.4f}  "
+            f"{point.baseline_coverage:>9.4f}"
+        )
+    coverages = [point.greedy_coverage for point in points]
+    assert coverages == sorted(coverages)  # wider kernel ⇒ more coverage
+    benchmark.extra_info["points"] = [
+        (point.sigma_s, point.greedy_coverage, point.baseline_coverage)
+        for point in points
+    ]

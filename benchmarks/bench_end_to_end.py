@@ -1,0 +1,30 @@
+"""End-to-end system benchmark.
+
+Times a full coffee-shop deployment — barcode scans, online scheduling,
+LuaLite script execution on every phone, binary uploads, server-side
+decoding, feature computation and personalizable ranking — and records
+protocol-level statistics.
+"""
+
+from repro.experiments.end_to_end import run_end_to_end
+
+
+def test_end_to_end_pipeline(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_end_to_end(seed=42, phones_per_shop=12, budget=30),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"messages sent:     {result.messages_sent}")
+    print(f"bytes sent:        {result.bytes_sent}")
+    print(f"bytes received:    {result.bytes_received}")
+    print(f"events processed:  {result.events_processed}")
+    print(f"blobs decoded:     {result.blobs_decoded}")
+    print(f"phone energy (mJ): {result.total_phone_energy_mj:.0f}")
+    for user, ranking in result.rankings.items():
+        print(f"{user}: {ranking}")
+    assert result.rankings["David"] == ["Starbucks", "B&N Cafe", "Tim Hortons"]
+    assert result.rankings["Emma"] == ["B&N Cafe", "Tim Hortons", "Starbucks"]
+    benchmark.extra_info["messages_sent"] = result.messages_sent
+    benchmark.extra_info["blobs_decoded"] = result.blobs_decoded

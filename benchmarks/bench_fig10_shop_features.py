@@ -1,0 +1,23 @@
+"""Fig. 10 — feature data for coffee shops.
+
+Regenerates the four feature series (temperature, brightness, background
+noise, Wi-Fi) over the three simulated Syracuse coffee shops.
+"""
+
+from repro.experiments.fig10_shop_features import (
+    EXPECTED_ORDERINGS,
+    format_fig10,
+    run_fig10,
+)
+
+
+def test_fig10_shop_features(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig10(seed=2014), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig10(result))
+    assert result.matches_expected()
+    benchmark.extra_info["features"] = result.features
+    benchmark.extra_info["expected_orderings"] = EXPECTED_ORDERINGS
+    benchmark.extra_info["matches_paper"] = result.matches_expected()

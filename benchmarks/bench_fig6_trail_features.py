@@ -1,0 +1,24 @@
+"""Fig. 6 — feature data for hiking trails.
+
+Regenerates the five feature series (temperature, humidity, roughness,
+curvature, altitude change) over the three simulated Syracuse trails and
+records them as extra info, while timing the full field-test simulation.
+"""
+
+from repro.experiments.fig6_trail_features import (
+    EXPECTED_ORDERINGS,
+    format_fig6,
+    run_fig6,
+)
+
+
+def test_fig6_trail_features(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6(seed=2014), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig6(result))
+    assert result.matches_expected()
+    benchmark.extra_info["features"] = result.features
+    benchmark.extra_info["expected_orderings"] = EXPECTED_ORDERINGS
+    benchmark.extra_info["matches_paper"] = result.matches_expected()

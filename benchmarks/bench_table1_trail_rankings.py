@@ -1,0 +1,24 @@
+"""Table I — rankings of hiking trails computed by SOR.
+
+Runs the trail field tests and the full personalizable ranking pipeline
+for Alice, Bob and Chris; asserts the paper's exact ranking rows.
+"""
+
+from repro.experiments.table1_trail_rankings import (
+    TABLE1_EXPECTED,
+    format_table1,
+    run_table1,
+)
+
+
+def test_table1_trail_rankings(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(seed=2014), rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(result))
+    assert result.matches_expected()
+    benchmark.extra_info["rankings"] = {
+        user: places for user, places in result.as_rows()
+    }
+    benchmark.extra_info["paper_expected"] = TABLE1_EXPECTED

@@ -1,0 +1,24 @@
+"""Table II — rankings of coffee shops computed by SOR.
+
+Runs the coffee-shop field tests and the ranking pipeline for David and
+Emma; asserts the paper's exact ranking rows.
+"""
+
+from repro.experiments.table2_shop_rankings import (
+    TABLE2_EXPECTED,
+    format_table2,
+    run_table2,
+)
+
+
+def test_table2_shop_rankings(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table2(seed=2014), rounds=1, iterations=1
+    )
+    print()
+    print(format_table2(result))
+    assert result.matches_expected()
+    benchmark.extra_info["rankings"] = {
+        user: places for user, places in result.as_rows()
+    }
+    benchmark.extra_info["paper_expected"] = TABLE2_EXPECTED

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-runs",
+        action="store",
+        type=int,
+        default=10,
+        help="Runs per sweep point for the Fig. 14 reproduction "
+        "(the paper uses 10; lower is faster).",
+    )

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Generate the full reproduction report with SVG figures.
+
+Runs every paper experiment and writes ``report.md`` plus one SVG per
+figure panel and CSV exports of the feature data into an output
+directory (default: ``./sor-report``).
+
+Run:  python examples/generate_report.py [output-dir] [sweep-runs]
+"""
+
+import sys
+
+from repro.experiments.report import write_report
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else "sor-report"
+    sweep_runs = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    print(f"Writing report to {output_dir}/ ({sweep_runs} runs per sweep point)...")
+    report = write_report(output_dir, sweep_runs=sweep_runs)
+    print(f"Done: {report}")
+    print("Artifacts:")
+    for path in sorted(report.parent.iterdir()):
+        print(f"  {path.name}")
+
+
+if __name__ == "__main__":
+    main()

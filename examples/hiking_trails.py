@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Reproduce the hiking-trail field test (paper Section V-A).
+
+Simulates 7 phones hiking each of the three Syracuse trails from
+11:00 to 14:00, extracts the five features of Fig. 6, prints them as
+bar charts, and computes Table I's personalized rankings for the three
+virtual hikers Alice, Bob and Chris (Fig. 7 profiles).
+
+Run:  python examples/hiking_trails.py
+"""
+
+from repro.experiments.fig6_trail_features import FEATURE_ORDER, run_fig6
+from repro.experiments.table1_trail_rankings import format_table1, run_table1
+from repro.server.visualization import bar_chart, feature_table, to_csv
+from repro.sim.scenarios import hiker_profiles
+
+
+def main() -> None:
+    print("Running simulated field tests on three hiking trails "
+          "(7 phones each, 11:00-14:00)...")
+    fig6 = run_fig6(seed=2014)
+
+    print("\n--- Fig. 6: feature data ---")
+    print(feature_table(fig6.features, FEATURE_ORDER))
+    for feature in FEATURE_ORDER:
+        values = {name: fig6.features[name][feature] for name in fig6.features}
+        print()
+        print(bar_chart(feature, values))
+
+    print("\n--- Hiker profiles (Fig. 7) ---")
+    for profile in hiker_profiles():
+        preferences = ", ".join(
+            f"{name}={profile.preference(name).preferred}/w{profile.weight(name)}"
+            for name in profile.feature_names
+            if profile.weight(name) > 0
+        )
+        print(f"{profile.name}: {preferences}")
+
+    print("\n--- Table I: personalized rankings ---")
+    table1 = run_table1(fig6=fig6)
+    print(format_table1(table1))
+
+    print("\n--- CSV export (Visualization module) ---")
+    print(to_csv(fig6.features, FEATURE_ORDER))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy shim so editable installs work on machines without `wheel`.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

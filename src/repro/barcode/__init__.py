@@ -1,0 +1,28 @@
+"""2D barcode substrate.
+
+In SOR, a 2D barcode deployed at the target place triggers participation:
+scanning it yields the place identity, location and application id, which
+the phone sends to the sensing server. This package implements a small
+QR-like symbology from scratch:
+
+* :mod:`repro.barcode.galois` — GF(256) arithmetic,
+* :mod:`repro.barcode.reed_solomon` — Reed–Solomon encode/decode with
+  error correction (Berlekamp–Massey + Chien search + linear solve),
+* :mod:`repro.barcode.matrix_code` — bit-matrix layout with timing
+  patterns, a length header and a checkerboard mask,
+* :mod:`repro.barcode.payload` — the place payload carried by the code.
+"""
+
+from repro.barcode.matrix_code import BitMatrix, decode_matrix, encode_matrix
+from repro.barcode.payload import PlacePayload, decode_place_barcode, encode_place_barcode
+from repro.barcode.reed_solomon import ReedSolomonCodec
+
+__all__ = [
+    "BitMatrix",
+    "PlacePayload",
+    "ReedSolomonCodec",
+    "decode_matrix",
+    "decode_place_barcode",
+    "encode_matrix",
+    "encode_place_barcode",
+]

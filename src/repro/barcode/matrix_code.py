@@ -1,0 +1,160 @@
+"""Bit-matrix layout for the SOR 2D code.
+
+The symbology is a simplified QR-like design:
+
+* row 0 and column 0 carry an alternating timing pattern (starting with a
+  dark module at the corner) used to verify orientation and module pitch,
+* the data region (everything with row ≥ 1 and column ≥ 1) carries, in
+  row-major order, a 16-bit big-endian byte count written three times
+  (decoded by per-bit majority vote, so the header tolerates damage just
+  as the RS-protected body does) followed by the Reed–Solomon codeword
+  bits, then alternating filler,
+* all data-region modules are XOR-masked with a checkerboard pattern so
+  degenerate payloads still produce a balanced symbol.
+
+Encoding picks the smallest square that fits the header plus codeword.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import BarcodeError
+from repro.barcode.reed_solomon import ReedSolomonCodec
+
+_HEADER_BITS = 16
+_HEADER_COPIES = 3
+_HEADER_REGION_BITS = _HEADER_BITS * _HEADER_COPIES
+
+
+@dataclass
+class BitMatrix:
+    """A square matrix of modules; ``True`` is a dark module."""
+
+    size: int
+    modules: list[list[bool]]
+
+    @classmethod
+    def empty(cls, size: int) -> "BitMatrix":
+        return cls(size=size, modules=[[False] * size for _ in range(size)])
+
+    def get(self, row: int, column: int) -> bool:
+        """Return the module at (row, column); True is dark."""
+        return self.modules[row][column]
+
+    def set(self, row: int, column: int, value: bool) -> None:
+        """Set the module at (row, column)."""
+        self.modules[row][column] = value
+
+    def flip(self, row: int, column: int) -> None:
+        """Invert one module (used to inject scan damage in tests)."""
+        self.modules[row][column] = not self.modules[row][column]
+
+    def copy(self) -> "BitMatrix":
+        """Return an independent deep copy of this matrix."""
+        return BitMatrix(size=self.size, modules=[list(row) for row in self.modules])
+
+    def to_text(self, dark: str = "##", light: str = "  ") -> str:
+        """Render as ASCII art, one module per ``dark``/``light`` cell."""
+        return "\n".join(
+            "".join(dark if module else light for module in row)
+            for row in self.modules
+        )
+
+
+def _bits_from_bytes(data: bytes) -> list[bool]:
+    bits: list[bool] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append(bool((byte >> shift) & 1))
+    return bits
+
+
+def _bytes_from_bits(bits: list[bool]) -> bytes:
+    if len(bits) % 8 != 0:
+        raise BarcodeError("bit stream length is not a multiple of 8")
+    out = bytearray()
+    for index in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[index : index + 8]:
+            byte = (byte << 1) | int(bit)
+        out.append(byte)
+    return bytes(out)
+
+
+def _data_cells(size: int) -> list[tuple[int, int]]:
+    """Row-major data-region coordinates (skipping the timing row/column)."""
+    return [(row, column) for row in range(1, size) for column in range(1, size)]
+
+
+def _mask(row: int, column: int) -> bool:
+    return (row + column) % 2 == 0
+
+
+def encode_matrix(payload: bytes, *, ecc_symbols: int = 10) -> BitMatrix:
+    """Encode ``payload`` into a bit matrix with RS parity."""
+    codec = ReedSolomonCodec(ecc_symbols)
+    codeword = codec.encode(payload)
+    if len(codeword) > 0xFFFF:
+        raise BarcodeError("payload too large for 16-bit header")
+    needed_bits = _HEADER_REGION_BITS + len(codeword) * 8
+    # Smallest n with (n-1)^2 >= needed_bits.
+    size = 1 + math.isqrt(needed_bits - 1) + 1 if needed_bits > 1 else 2
+    while (size - 1) * (size - 1) < needed_bits:
+        size += 1
+    matrix = BitMatrix.empty(size)
+    for index in range(size):
+        matrix.set(0, index, index % 2 == 0)
+        matrix.set(index, 0, index % 2 == 0)
+    header = [bool((len(codeword) >> shift) & 1) for shift in range(15, -1, -1)]
+    bits = header * _HEADER_COPIES + _bits_from_bytes(codeword)
+    cells = _data_cells(size)
+    for index, (row, column) in enumerate(cells):
+        bit = bits[index] if index < len(bits) else (index % 2 == 0)  # filler
+        matrix.set(row, column, bit ^ _mask(row, column))
+    return matrix
+
+
+def decode_matrix(matrix: BitMatrix, *, ecc_symbols: int = 10) -> bytes:
+    """Decode a bit matrix back to the payload, correcting scan damage.
+
+    The timing patterns are checked loosely (a majority must match) so a
+    few damaged timing modules do not make an otherwise correctable
+    symbol unreadable.
+    """
+    size = matrix.size
+    if size < 2:
+        raise BarcodeError("matrix too small to be a SOR code")
+    timing_expected = sum(
+        1
+        for index in range(size)
+        if matrix.get(0, index) == (index % 2 == 0)
+    ) + sum(
+        1
+        for index in range(1, size)
+        if matrix.get(index, 0) == (index % 2 == 0)
+    )
+    timing_total = 2 * size - 1
+    if timing_expected * 2 <= timing_total:
+        raise BarcodeError("timing pattern mismatch; not a SOR code or rotated")
+    cells = _data_cells(size)
+    raw_bits = [
+        matrix.get(row, column) ^ _mask(row, column) for row, column in cells
+    ]
+    if len(raw_bits) < _HEADER_REGION_BITS:
+        raise BarcodeError("matrix too small to hold a header")
+    codeword_length = 0
+    for position in range(_HEADER_BITS):
+        votes = sum(
+            int(raw_bits[copy * _HEADER_BITS + position])
+            for copy in range(_HEADER_COPIES)
+        )
+        bit = votes * 2 > _HEADER_COPIES
+        codeword_length = (codeword_length << 1) | int(bit)
+    total_bits = _HEADER_REGION_BITS + codeword_length * 8
+    if codeword_length == 0 or total_bits > len(raw_bits):
+        raise BarcodeError(f"implausible codeword length {codeword_length}")
+    codeword = _bytes_from_bits(raw_bits[_HEADER_REGION_BITS:total_bits])
+    codec = ReedSolomonCodec(ecc_symbols)
+    return codec.decode(codeword)

@@ -1,0 +1,76 @@
+"""The place payload carried by a SOR barcode.
+
+Scanning the barcode must tell the phone everything it needs to send a
+participation request: the place identity and location (for the server's
+truthfulness check), the application that defines the sensing procedure,
+and the sensing server to contact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import BarcodeError, CodecError
+from repro.net import codec
+from repro.barcode.matrix_code import BitMatrix, decode_matrix, encode_matrix
+
+
+@dataclass(frozen=True)
+class PlacePayload:
+    """Everything a scanned SOR barcode reveals about the target place."""
+
+    place_id: str
+    name: str
+    category: str
+    latitude: float
+    longitude: float
+    app_id: str
+    server_host: str
+
+    def to_bytes(self) -> bytes:
+        """Serialize the payload with the SOR binary codec."""
+        return codec.encode_value(
+            [
+                self.place_id,
+                self.name,
+                self.category,
+                float(self.latitude),
+                float(self.longitude),
+                self.app_id,
+                self.server_host,
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PlacePayload":
+        try:
+            fields = codec.decode_value(data)
+        except CodecError as exc:
+            raise BarcodeError(f"barcode payload is not decodable: {exc}") from exc
+        if not isinstance(fields, list) or len(fields) != 7:
+            raise BarcodeError("barcode payload has the wrong shape")
+        place_id, name, category, latitude, longitude, app_id, server_host = fields
+        if not all(
+            isinstance(value, str)
+            for value in (place_id, name, category, app_id, server_host)
+        ) or not all(isinstance(value, float) for value in (latitude, longitude)):
+            raise BarcodeError("barcode payload has the wrong field types")
+        return cls(
+            place_id=place_id,
+            name=name,
+            category=category,
+            latitude=latitude,
+            longitude=longitude,
+            app_id=app_id,
+            server_host=server_host,
+        )
+
+
+def encode_place_barcode(payload: PlacePayload, *, ecc_symbols: int = 10) -> BitMatrix:
+    """Render a place payload as a printable 2D code."""
+    return encode_matrix(payload.to_bytes(), ecc_symbols=ecc_symbols)
+
+
+def decode_place_barcode(matrix: BitMatrix, *, ecc_symbols: int = 10) -> PlacePayload:
+    """Scan a 2D code back into a place payload, correcting damage."""
+    return PlacePayload.from_bytes(decode_matrix(matrix, ecc_symbols=ecc_symbols))

@@ -1,0 +1,154 @@
+"""Reed–Solomon coding over GF(256).
+
+The codec appends ``ecc_symbols`` parity bytes and can correct up to
+``ecc_symbols // 2`` corrupted bytes anywhere in the codeword. Decoding
+uses syndromes, Berlekamp–Massey for the error-locator polynomial, a
+Chien-style root search for positions, and a GF(256) linear solve of the
+syndrome (Vandermonde) system for the error magnitudes — mathematically
+equivalent to Forney's algorithm but easier to audit.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import BarcodeError
+from repro.barcode import galois as gf
+
+
+class ReedSolomonCodec:
+    """An RS(n, n - ecc_symbols) codec with first consecutive root α⁰."""
+
+    def __init__(self, ecc_symbols: int) -> None:
+        if not 2 <= ecc_symbols <= 254:
+            raise BarcodeError(
+                f"ecc_symbols must be in [2, 254], got {ecc_symbols}"
+            )
+        self.ecc_symbols = ecc_symbols
+        self._generator = self._build_generator(ecc_symbols)
+
+    @staticmethod
+    def _build_generator(ecc_symbols: int) -> list[int]:
+        generator = [1]
+        for i in range(ecc_symbols):
+            generator = gf.poly_mul(generator, [1, gf.gf_pow(2, i)])
+        return generator
+
+    @property
+    def max_correctable(self) -> int:
+        """The number of byte errors the codec is guaranteed to correct."""
+        return self.ecc_symbols // 2
+
+    # ------------------------------------------------------------------
+    # encode
+    # ------------------------------------------------------------------
+    def encode(self, data: bytes) -> bytes:
+        """Return ``data`` with parity appended."""
+        if len(data) == 0:
+            raise BarcodeError("cannot encode empty data")
+        if len(data) + self.ecc_symbols > 255:
+            raise BarcodeError(
+                f"codeword too long: {len(data)} data + {self.ecc_symbols} parity > 255"
+            )
+        padded = list(data) + [0] * self.ecc_symbols
+        _, remainder = gf.poly_divmod(padded, self._generator)
+        return bytes(data) + bytes(remainder)
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def _syndromes(self, codeword: list[int]) -> list[int]:
+        return [
+            gf.poly_eval(codeword, gf.gf_pow(2, i)) for i in range(self.ecc_symbols)
+        ]
+
+    def _error_locator(self, syndromes: list[int]) -> list[int]:
+        """Berlekamp–Massey; returns the locator, lowest degree last."""
+        err_loc = [1]
+        old_loc = [1]
+        for i in range(self.ecc_symbols):
+            old_loc.append(0)
+            delta = syndromes[i]
+            for j in range(1, len(err_loc)):
+                delta ^= gf.gf_mul(err_loc[-(j + 1)], syndromes[i - j])
+            if delta != 0:
+                if len(old_loc) > len(err_loc):
+                    new_loc = gf.poly_scale(old_loc, delta)
+                    old_loc = gf.poly_scale(err_loc, gf.gf_inverse(delta))
+                    err_loc = new_loc
+                err_loc = gf.poly_add(err_loc, gf.poly_scale(old_loc, delta))
+        while err_loc and err_loc[0] == 0:
+            err_loc.pop(0)
+        error_count = len(err_loc) - 1
+        if error_count * 2 > self.ecc_symbols:
+            raise BarcodeError("too many errors to correct")
+        return err_loc
+
+    def _error_positions(self, err_loc: list[int], length: int) -> list[int]:
+        """Find codeword indices whose locations are roots of the locator."""
+        error_count = len(err_loc) - 1
+        positions = []
+        for i in range(length):
+            # Coefficient position counted from the end of the codeword.
+            coefficient_position = length - 1 - i
+            x_inverse = gf.gf_pow(2, -coefficient_position)
+            if gf.poly_eval(err_loc, x_inverse) == 0:
+                positions.append(i)
+        if len(positions) != error_count:
+            raise BarcodeError(
+                f"locator degree {error_count} but found {len(positions)} roots"
+            )
+        return positions
+
+    def _error_magnitudes(
+        self, syndromes: list[int], locations: list[int]
+    ) -> list[int]:
+        """Solve S_j = Σ_i Y_i · X_i^j for the magnitudes Y_i."""
+        error_count = len(locations)
+        # Build the Vandermonde system from the first `error_count` syndromes.
+        matrix = [
+            [gf.gf_pow(x, row) for x in locations] + [syndromes[row]]
+            for row in range(error_count)
+        ]
+        # Gaussian elimination over GF(256).
+        for col in range(error_count):
+            pivot_row = next(
+                (row for row in range(col, error_count) if matrix[row][col] != 0),
+                None,
+            )
+            if pivot_row is None:
+                raise BarcodeError("singular syndrome system; cannot correct")
+            matrix[col], matrix[pivot_row] = matrix[pivot_row], matrix[col]
+            pivot_inverse = gf.gf_inverse(matrix[col][col])
+            matrix[col] = [gf.gf_mul(value, pivot_inverse) for value in matrix[col]]
+            for row in range(error_count):
+                if row != col and matrix[row][col] != 0:
+                    factor = matrix[row][col]
+                    matrix[row] = [
+                        value ^ gf.gf_mul(factor, matrix[col][index])
+                        for index, value in enumerate(matrix[row])
+                    ]
+        return [matrix[row][error_count] for row in range(error_count)]
+
+    def decode(self, codeword: bytes) -> bytes:
+        """Correct up to ``max_correctable`` byte errors and strip parity.
+
+        Raises :class:`BarcodeError` when the codeword is unrecoverable.
+        """
+        if len(codeword) <= self.ecc_symbols:
+            raise BarcodeError("codeword shorter than parity length")
+        if len(codeword) > 255:
+            raise BarcodeError("codeword longer than 255 bytes")
+        received = list(codeword)
+        syndromes = self._syndromes(received)
+        if any(syndromes):
+            err_loc = self._error_locator(syndromes)
+            positions = self._error_positions(err_loc, len(received))
+            # X_i are the field locations α^(coefficient position).
+            locations = [
+                gf.gf_pow(2, len(received) - 1 - position) for position in positions
+            ]
+            magnitudes = self._error_magnitudes(syndromes, locations)
+            for position, magnitude in zip(positions, magnitudes):
+                received[position] ^= magnitude
+            if any(self._syndromes(received)):
+                raise BarcodeError("correction failed; residual syndromes non-zero")
+        return bytes(received[: -self.ecc_symbols])

@@ -1,0 +1,105 @@
+"""Command-line interface: reproduce any paper artefact from the shell.
+
+Usage::
+
+    python -m repro table1            # Table I rankings
+    python -m repro fig14a --runs 10  # Fig. 14(a) sweep
+    python -m repro all               # everything, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments.fig6_trail_features import format_fig6, run_fig6
+from repro.experiments.fig10_shop_features import format_fig10, run_fig10
+from repro.experiments.fig14_scheduling import (
+    format_sweep,
+    run_fig14a,
+    run_fig14b,
+)
+from repro.experiments.table1_trail_rankings import format_table1, run_table1
+from repro.experiments.table2_shop_rankings import format_table2, run_table2
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    return format_fig6(run_fig6(seed=args.seed))
+
+
+def _cmd_fig10(args: argparse.Namespace) -> str:
+    return format_fig10(run_fig10(seed=args.seed))
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    return format_table1(run_table1(seed=args.seed))
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    return format_table2(run_table2(seed=args.seed))
+
+
+def _cmd_fig14a(args: argparse.Namespace) -> str:
+    return format_sweep(
+        run_fig14a(runs=args.runs, seed=args.seed),
+        f"Fig. 14(a) — coverage vs users ({args.runs} runs/point)",
+    )
+
+
+def _cmd_fig14b(args: argparse.Namespace) -> str:
+    return format_sweep(
+        run_fig14b(runs=args.runs, seed=args.seed),
+        f"Fig. 14(b) — coverage vs budget ({args.runs} runs/point)",
+    )
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig6": _cmd_fig6,
+    "table1": _cmd_table1,
+    "fig10": _cmd_fig10,
+    "table2": _cmd_table2,
+    "fig14a": _cmd_fig14a,
+    "fig14b": _cmd_fig14b,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the SOR paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artefact",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2014, help="root random seed (default 2014)"
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=10,
+        help="runs per sweep point for fig14a/fig14b (paper: 10)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.artefact == "all":
+        names = ["fig6", "table1", "fig10", "table2", "fig14a", "fig14b"]
+    else:
+        names = [args.artefact]
+    for name in names:
+        if len(names) > 1:
+            print(f"\n{'=' * 20} {name} {'=' * 20}")
+        # Scheduling figures use seed 0 by convention unless overridden.
+        if name.startswith("fig14") and args.seed == 2014:
+            args_for = argparse.Namespace(**{**vars(args), "seed": 0})
+        else:
+            args_for = args
+        print(_COMMANDS[name](args_for))
+    return 0

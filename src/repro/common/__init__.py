@@ -1,0 +1,53 @@
+"""Shared foundations used by every SOR subsystem.
+
+This package contains the pieces that the rest of the reproduction is
+built on: the exception hierarchy, simulated clocks, deterministic random
+number management and small validation helpers.
+"""
+
+from repro.common.clock import Clock, ManualClock, SystemClock
+from repro.common.errors import (
+    BarcodeError,
+    CodecError,
+    ConfigurationError,
+    DatabaseError,
+    ParticipationError,
+    ReproError,
+    SchedulingError,
+    ScriptError,
+    SensorError,
+    TransportError,
+    ValidationError,
+)
+from repro.common.rng import RngRegistry, derive_seed
+from repro.common.validation import (
+    require,
+    require_in_range,
+    require_non_empty,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "BarcodeError",
+    "Clock",
+    "CodecError",
+    "ConfigurationError",
+    "DatabaseError",
+    "ManualClock",
+    "ParticipationError",
+    "ReproError",
+    "RngRegistry",
+    "SchedulingError",
+    "ScriptError",
+    "SensorError",
+    "SystemClock",
+    "TransportError",
+    "ValidationError",
+    "derive_seed",
+    "require",
+    "require_in_range",
+    "require_non_empty",
+    "require_positive",
+    "require_type",
+]

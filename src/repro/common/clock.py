@@ -1,0 +1,62 @@
+"""Clock abstractions.
+
+The whole reproduction runs against an injected :class:`Clock` so the
+discrete-event simulator can drive phones, servers and transports from a
+single virtual timeline, while unit tests can freeze or step time
+manually.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.common.errors import ValidationError
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can report the current time in seconds."""
+
+    def now(self) -> float:
+        """Return the current time in (fractional) seconds."""
+        ...
+
+
+class SystemClock:
+    """Wall-clock time; used only by interactive examples."""
+
+    def now(self) -> float:
+        """Monotonic wall-clock seconds."""
+        return time.monotonic()
+
+
+class ManualClock:
+    """A clock that only moves when told to.
+
+    Used by unit tests and as the time source of the discrete-event
+    simulation engine, which advances it to each event's timestamp.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The current manual time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValidationError(f"cannot move time backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def set(self, timestamp: float) -> float:
+        """Jump directly to ``timestamp`` (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValidationError(
+                f"cannot move time backwards ({timestamp} < {self._now})"
+            )
+        self._now = float(timestamp)
+        return self._now

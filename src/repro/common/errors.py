@@ -1,0 +1,77 @@
+"""Exception hierarchy for the SOR reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at a subsystem boundary while still
+being able to distinguish failure modes when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad range, wrong type, empty input)."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured inconsistently (e.g. duplicate provider)."""
+
+
+class DatabaseError(ReproError):
+    """Raised by the mini relational database substrate."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding a binary message body fails."""
+
+
+class TransportError(ReproError):
+    """Raised by the simulated network transport (drops, unknown endpoints)."""
+
+
+class BarcodeError(ReproError):
+    """Raised when a 2D barcode cannot be encoded or decoded."""
+
+
+class ScriptError(ReproError):
+    """Base class for LuaLite scripting errors."""
+
+
+class ScriptSyntaxError(ScriptError):
+    """The script failed to lex or parse."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ScriptRuntimeError(ScriptError):
+    """The script failed during interpretation."""
+
+
+class ScriptSecurityError(ScriptError):
+    """The script attempted to call a function outside the whitelist."""
+
+
+class SensorError(ReproError):
+    """Raised by sensor providers (unknown sensor, acquisition timeout)."""
+
+
+class SensorTimeoutError(SensorError):
+    """Data acquisition did not complete before its deadline."""
+
+
+class SchedulingError(ReproError):
+    """Raised by the sensing scheduler (infeasible request, bad period)."""
+
+
+class RankingError(ReproError):
+    """Raised by the personalizable ranking pipeline."""
+
+
+class ParticipationError(ReproError):
+    """Raised by the participation manager (location check failed, etc.)."""

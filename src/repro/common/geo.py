@@ -1,0 +1,55 @@
+"""Small geodesy helpers shared by sensing, features and participation.
+
+Distances here are short (places, trails), so an equirectangular local
+projection around a reference latitude is accurate to well under a
+metre — plenty for the participation manager's "is the user actually at
+the target place" check and for curvature estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class LatLon:
+    """A WGS-84 coordinate pair in degrees."""
+
+    latitude: float
+    longitude: float
+
+
+def haversine_m(first: LatLon, second: LatLon) -> float:
+    """Great-circle distance in metres."""
+    lat1 = math.radians(first.latitude)
+    lat2 = math.radians(second.latitude)
+    dlat = lat2 - lat1
+    dlon = math.radians(second.longitude - first.longitude)
+    a = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def project_local_m(point: LatLon, origin: LatLon) -> tuple[float, float]:
+    """Project ``point`` to local (x=east, y=north) metres around ``origin``."""
+    x = (
+        math.radians(point.longitude - origin.longitude)
+        * EARTH_RADIUS_M
+        * math.cos(math.radians(origin.latitude))
+    )
+    y = math.radians(point.latitude - origin.latitude) * EARTH_RADIUS_M
+    return x, y
+
+
+def offset_latlon(origin: LatLon, east_m: float, north_m: float) -> LatLon:
+    """Inverse of :func:`project_local_m`: move by metres from ``origin``."""
+    latitude = origin.latitude + math.degrees(north_m / EARTH_RADIUS_M)
+    longitude = origin.longitude + math.degrees(
+        east_m / (EARTH_RADIUS_M * math.cos(math.radians(origin.latitude)))
+    )
+    return LatLon(latitude=latitude, longitude=longitude)

@@ -1,0 +1,50 @@
+"""Deterministic randomness management.
+
+Field-test and scheduling simulations must be exactly reproducible, so
+every stochastic component draws from a named stream derived from a
+single root seed. Two runs with the same root seed produce identical
+traces regardless of the order in which components are constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *names: str | int) -> int:
+    """Derive a child seed from ``root_seed`` and a path of stream names.
+
+    The derivation hashes the root seed together with the names, so child
+    streams are statistically independent and stable across runs and
+    platforms.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(root_seed)).encode("utf-8"))
+    for name in names:
+        hasher.update(b"/")
+        hasher.update(str(name).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big")
+
+
+class RngRegistry:
+    """Hands out independent, reproducible random generators by name.
+
+    >>> registry = RngRegistry(root_seed=7)
+    >>> a = registry.generator("sensors", "gps")
+    >>> b = registry.generator("sensors", "gps")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+
+    def seed_for(self, *names: str | int) -> int:
+        """Return the derived seed for a named stream."""
+        return derive_seed(self.root_seed, *names)
+
+    def generator(self, *names: str | int) -> np.random.Generator:
+        """Return a fresh :class:`numpy.random.Generator` for a named stream."""
+        return np.random.default_rng(self.seed_for(*names))

@@ -1,0 +1,9 @@
+"""The paper's algorithmic contributions.
+
+* :mod:`repro.core.scheduling` — the online sensing-coverage scheduling
+  algorithm (Section III),
+* :mod:`repro.core.ranking` — the personalizable ranking algorithm
+  (Section IV),
+* :mod:`repro.core.features` — feature extraction from raw sensor data
+  (Section IV-A and the field-test feature definitions of Section V).
+"""

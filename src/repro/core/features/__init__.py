@@ -1,0 +1,41 @@
+"""Feature extraction from raw sensor data (paper Section IV-A and V).
+
+Raw data arrive as 3-tuples ``(t, Δt, d)`` — a timestamp, a short
+sampling window of a few seconds, and the set of readings taken within
+it ("SOR takes multiple (instead of one) readings within [t, t+Δt] to
+ensure high sensing quality"). Feature values are statistics over those
+bursts; the paper's field tests define:
+
+* temperature / humidity / brightness / noise / Wi-Fi — the mean of all
+  readings,
+* roughness of road surface — the mean over bursts of the standard
+  deviation of accelerometer readings within each burst,
+* altitude change — the standard deviation over bursts of each burst's
+  mean altitude,
+* curvature — estimated from GPS locations (we use mean discrete Menger
+  curvature over sliding point triples; the paper's method [17] is not
+  reproducible from its citation).
+"""
+
+from repro.core.features.extractors import (
+    AltitudeChangeExtractor,
+    CurvatureExtractor,
+    FeatureExtractor,
+    MeanExtractor,
+    RoughnessExtractor,
+)
+from repro.core.features.pipeline import FeaturePipeline, FeatureSpec, build_feature_matrix
+from repro.core.features.types import GpsFix, ReadingBurst
+
+__all__ = [
+    "AltitudeChangeExtractor",
+    "CurvatureExtractor",
+    "FeatureExtractor",
+    "FeaturePipeline",
+    "FeatureSpec",
+    "GpsFix",
+    "MeanExtractor",
+    "ReadingBurst",
+    "RoughnessExtractor",
+    "build_feature_matrix",
+]

@@ -1,0 +1,112 @@
+"""Feature pipeline: raw bursts per sensor → feature vector → H matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.core.features.extractors import FeatureExtractor
+from repro.core.features.types import ReadingBurst
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One humanly understandable feature and how to compute it.
+
+    ``sensor_type`` names which sensor's bursts feed the extractor
+    (e.g. ``"temperature"``, ``"accelerometer"``, ``"gps"``).
+    """
+
+    name: str
+    sensor_type: str
+    extractor: FeatureExtractor
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.sensor_type:
+            raise ValidationError("feature name and sensor type are required")
+
+
+class FeaturePipeline:
+    """Computes every configured feature for a place's collected data."""
+
+    def __init__(self, specs: Sequence[FeatureSpec]) -> None:
+        if not specs:
+            raise ValidationError("pipeline needs at least one feature spec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValidationError("duplicate feature names in pipeline")
+        self.specs = list(specs)
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [spec.name for spec in self.specs]
+
+    @property
+    def required_sensors(self) -> set[str]:
+        return {spec.sensor_type for spec in self.specs}
+
+    def compute(
+        self, bursts_by_sensor: Mapping[str, Sequence[ReadingBurst]]
+    ) -> dict[str, float]:
+        """Feature name → value for one place's raw data.
+
+        Raises :class:`ValidationError` when any feature's sensor has no
+        data; use :meth:`compute_available` to tolerate gaps.
+        """
+        values: dict[str, float] = {}
+        for spec in self.specs:
+            bursts = bursts_by_sensor.get(spec.sensor_type)
+            if not bursts:
+                raise ValidationError(
+                    f"no {spec.sensor_type!r} data available for feature "
+                    f"{spec.name!r}"
+                )
+            values[spec.name] = spec.extractor.extract(bursts)
+        return values
+
+    def compute_available(
+        self, bursts_by_sensor: Mapping[str, Sequence[ReadingBurst]]
+    ) -> tuple[dict[str, float], list[str]]:
+        """Compute every feature whose sensor has data.
+
+        Returns ``(values, missing_feature_names)``. Gaps happen in real
+        deployments — every participant may have denied a sensor, or a
+        sensor may have timed out on every phone — and must not prevent
+        ranking on the features that do exist.
+        """
+        values: dict[str, float] = {}
+        missing: list[str] = []
+        for spec in self.specs:
+            bursts = bursts_by_sensor.get(spec.sensor_type)
+            if not bursts:
+                missing.append(spec.name)
+            else:
+                values[spec.name] = spec.extractor.extract(bursts)
+        return values, missing
+
+
+def build_feature_matrix(
+    feature_values: Mapping[Hashable, Mapping[str, float]],
+    feature_names: Sequence[str],
+) -> tuple[np.ndarray, list[Hashable]]:
+    """Assemble the paper's H matrix (N places × M features).
+
+    ``feature_values`` maps place id → {feature name → value}. Returns
+    the matrix and the place order (insertion order of the mapping).
+    """
+    if not feature_values:
+        raise ValidationError("need at least one place")
+    place_ids = list(feature_values)
+    matrix = np.empty((len(place_ids), len(feature_names)))
+    for row, place_id in enumerate(place_ids):
+        values = feature_values[place_id]
+        for column, feature in enumerate(feature_names):
+            if feature not in values:
+                raise ValidationError(
+                    f"place {place_id!r} is missing feature {feature!r}"
+                )
+            matrix[row, column] = float(values[feature])
+    return matrix, place_ids

@@ -1,0 +1,52 @@
+"""Raw-data containers for feature extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class GpsFix:
+    """One GPS sample: position plus altitude."""
+
+    latitude: float
+    longitude: float
+    altitude_m: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReadingBurst:
+    """The paper's ``(t, Δt, d)`` 3-tuple.
+
+    ``values`` holds the readings taken within ``[t, t + Δt]``. Scalar
+    sensors store floats; the accelerometer stores (x, y, z) tuples; GPS
+    stores :class:`GpsFix` objects. ``source`` identifies the phone that
+    took the burst — trajectory features (curvature) must not mix fixes
+    from different walkers.
+    """
+
+    timestamp: float
+    duration_s: float
+    values: tuple
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValidationError("burst duration must be non-negative")
+        if len(self.values) == 0:
+            raise ValidationError("burst must contain at least one reading")
+
+    @staticmethod
+    def of(
+        timestamp: float, duration_s: float, values: Sequence, source: str = ""
+    ) -> "ReadingBurst":
+        """Convenience constructor accepting any sequence."""
+        return ReadingBurst(
+            timestamp=timestamp,
+            duration_s=duration_s,
+            values=tuple(values),
+            source=source,
+        )

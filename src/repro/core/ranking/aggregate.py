@@ -1,0 +1,186 @@
+"""Step 3 of Algorithm 2: rank aggregation.
+
+The footrule-optimal aggregation is a min-cost perfect matching between
+places and ranks: assigning place i to final rank r costs
+``Σ_j w_j · |π(i, R_j) − r|`` (the paper's edge cost on its auxiliary
+flow graph). We build exactly that graph — virtual source → places →
+ranks → virtual sink, all capacities 1 — and solve it with our
+min-cost-flow solver. The result minimizes the weighted footrule
+distance κ_f and therefore 2-approximates the weighted Kemeny optimum.
+
+Also here: exhaustive weighted-Kemeny search (reference for tests),
+Borda count (a cheap baseline for the ablation bench), and an
+adjacent-swap local search that can only improve the Kemeny objective
+of any starting ranking.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.common.errors import RankingError
+from repro.core.ranking.distances import (
+    weighted_footrule_distance,
+    weighted_kemeny_distance,
+)
+from repro.core.ranking.mincostflow import MinCostFlow
+from repro.core.ranking.types import Ranking
+
+
+def _check_inputs(collection: Sequence[Ranking], weights: Sequence[float]) -> None:
+    if not collection:
+        raise RankingError("need at least one individual ranking")
+    if len(collection) != len(weights):
+        raise RankingError(
+            f"{len(collection)} rankings but {len(weights)} weights"
+        )
+    if any(weight < 0 for weight in weights):
+        raise RankingError("weights must be non-negative")
+    first = collection[0]
+    for other in collection[1:]:
+        first.require_same_items(other)
+
+
+def footrule_cost_matrix(
+    collection: Sequence[Ranking], weights: Sequence[float]
+) -> tuple[np.ndarray, tuple[Hashable, ...]]:
+    """Cost[i][r] = Σ_j w_j · |π(item_i, R_j) − (r+1)| and the item order."""
+    _check_inputs(collection, weights)
+    items = collection[0].items
+    count = len(items)
+    cost = np.zeros((count, count))
+    for item_index, item in enumerate(items):
+        positions = np.array(
+            [ranking.position(item) for ranking in collection], dtype=float
+        )
+        weight_vector = np.asarray(weights, dtype=float)
+        for rank_index in range(count):
+            cost[item_index, rank_index] = float(
+                np.dot(weight_vector, np.abs(positions - (rank_index + 1)))
+            )
+    return cost, items
+
+
+def aggregate_footrule(
+    collection: Sequence[Ranking], weights: Sequence[float]
+) -> Ranking:
+    """The footrule-optimal aggregated ranking via min-cost flow.
+
+    Ties between equally good assignments resolve deterministically
+    (the flow augments ranks in item order over a fixed graph).
+    """
+    cost, items = footrule_cost_matrix(collection, weights)
+    count = len(items)
+    # Node layout: 0 = source, 1..N = places, N+1..2N = ranks, 2N+1 = sink.
+    network = MinCostFlow(2 * count + 2)
+    source, sink = 0, 2 * count + 1
+    edge_ids: dict[tuple[int, int], int] = {}
+    for item_index in range(count):
+        network.add_edge(source, 1 + item_index, 1, 0.0)
+    for item_index in range(count):
+        for rank_index in range(count):
+            edge_ids[(item_index, rank_index)] = network.add_edge(
+                1 + item_index,
+                1 + count + rank_index,
+                1,
+                float(cost[item_index, rank_index]),
+            )
+    for rank_index in range(count):
+        network.add_edge(1 + count + rank_index, sink, 1, 0.0)
+    network.solve(source, sink, count)
+    slots: list[Hashable | None] = [None] * count
+    for (item_index, rank_index), edge_id in edge_ids.items():
+        if network.flow_on(edge_id) > 0:
+            slots[rank_index] = items[item_index]
+    if any(slot is None for slot in slots):
+        raise RankingError("flow did not produce a perfect matching")
+    return Ranking(slots)  # type: ignore[arg-type]
+
+
+def brute_force_kemeny(
+    collection: Sequence[Ranking], weights: Sequence[float], *, max_items: int = 8
+) -> Ranking:
+    """Exact weighted-Kemeny-optimal ranking by exhaustive permutation.
+
+    Only for small item sets; used as the ground truth in tests and the
+    aggregation-quality ablation.
+    """
+    _check_inputs(collection, weights)
+    items = collection[0].items
+    if len(items) > max_items:
+        raise RankingError(
+            f"brute force limited to {max_items} items, got {len(items)}"
+        )
+    best_ranking: Ranking | None = None
+    best_value = float("inf")
+    for permutation in itertools.permutations(items):
+        candidate = Ranking(permutation)
+        value = weighted_kemeny_distance(candidate, collection, weights)
+        if value < best_value - 1e-12:
+            best_value = value
+            best_ranking = candidate
+    assert best_ranking is not None
+    return best_ranking
+
+
+def borda_count(collection: Sequence[Ranking], weights: Sequence[float]) -> Ranking:
+    """Weighted Borda count: order by weighted mean position.
+
+    A popular cheap aggregation heuristic; included as the baseline the
+    ablation bench compares the flow-based aggregation against.
+    """
+    _check_inputs(collection, weights)
+    items = collection[0].items
+    scores = {
+        item: sum(
+            weight * ranking.position(item)
+            for ranking, weight in zip(collection, weights)
+        )
+        for item in items
+    }
+    # Stable: ties keep the item order of the first individual ranking.
+    ordered = sorted(items, key=lambda item: scores[item])
+    return Ranking(ordered)
+
+
+def refine_by_adjacent_swaps(
+    start: Ranking, collection: Sequence[Ranking], weights: Sequence[float]
+) -> Ranking:
+    """Local search: swap adjacent items while κ_K strictly improves.
+
+    Starting from the footrule solution this can only lower the weighted
+    Kemeny distance, tightening the 2-approximation in practice (this is
+    the classic "local Kemenization" post-processing step).
+    """
+    _check_inputs(collection, weights)
+    start.require_same_items(collection[0])
+    current = list(start.items)
+    current_value = weighted_kemeny_distance(Ranking(current), collection, weights)
+    improved = True
+    while improved:
+        improved = False
+        for index in range(len(current) - 1):
+            candidate = list(current)
+            candidate[index], candidate[index + 1] = (
+                candidate[index + 1],
+                candidate[index],
+            )
+            value = weighted_kemeny_distance(Ranking(candidate), collection, weights)
+            if value < current_value - 1e-12:
+                current = candidate
+                current_value = value
+                improved = True
+    return Ranking(current)
+
+
+def aggregation_quality(
+    ranking: Ranking, collection: Sequence[Ranking], weights: Sequence[float]
+) -> dict[str, float]:
+    """Both objective values of a candidate aggregation (for reports)."""
+    return {
+        "weighted_kemeny": weighted_kemeny_distance(ranking, collection, weights),
+        "weighted_footrule": weighted_footrule_distance(ranking, collection, weights),
+    }

@@ -1,0 +1,69 @@
+"""Hybrid subjective + objective ranking.
+
+The paper's stated goal is "not to replace the current
+ranking/recommendation systems that are based on subjective user ratings
+but to enhance them … to provide more comprehensive and objective
+rankings" (Section I). This module implements that integration: a
+subjective source (e.g. Yelp-style star averages) becomes one more
+individual ranking in the weighted footrule aggregation, alongside the
+per-feature objective rankings.
+
+Subjective ratings arrive as ``place_id → mean stars``; ties and missing
+places are handled explicitly. The user controls the blend with a single
+``subjective_weight`` on the same 0–5 scale as feature weights.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.common.errors import RankingError
+from repro.core.ranking.aggregate import aggregate_footrule
+from repro.core.ranking.types import Ranking
+
+
+def subjective_ranking(
+    ratings: Mapping[Hashable, float], place_ids: Sequence[Hashable]
+) -> Ranking:
+    """Order places by descending subjective rating.
+
+    Every place being ranked must have a rating (a recommendation system
+    without a rating for a place cannot rank it); ties keep the order of
+    ``place_ids`` so results are deterministic.
+    """
+    missing = [place for place in place_ids if place not in ratings]
+    if missing:
+        raise RankingError(f"missing subjective ratings for {missing}")
+    ordered = sorted(
+        place_ids, key=lambda place: (-float(ratings[place]), place_ids.index(place))
+    )
+    return Ranking(ordered)
+
+
+def aggregate_hybrid(
+    objective_rankings: Sequence[Ranking],
+    objective_weights: Sequence[float],
+    ratings: Mapping[Hashable, float],
+    *,
+    subjective_weight: int = 3,
+) -> Ranking:
+    """Blend objective individual rankings with a subjective source.
+
+    ``subjective_weight`` uses the paper's 0–5 emphasis scale; 0 reduces
+    to the purely objective aggregation, large values let the subjective
+    consensus dominate.
+    """
+    if not objective_rankings:
+        raise RankingError("need at least one objective ranking")
+    if not isinstance(subjective_weight, int) or not 0 <= subjective_weight <= 5:
+        raise RankingError(
+            f"subjective_weight must be an integer in [0, 5], "
+            f"got {subjective_weight!r}"
+        )
+    place_ids = list(objective_rankings[0].items)
+    collection = list(objective_rankings)
+    weights = list(objective_weights)
+    if subjective_weight > 0:
+        collection.append(subjective_ranking(ratings, place_ids))
+        weights.append(subjective_weight)
+    return aggregate_footrule(collection, weights)

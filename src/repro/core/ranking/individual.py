@@ -1,0 +1,59 @@
+"""Steps 1–2 of Algorithm 2: Γ matrix and per-feature rankings."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.common.errors import RankingError
+from repro.core.ranking.preferences import PreferenceProfile
+from repro.core.ranking.types import Ranking
+
+
+def preference_distance_matrix(
+    feature_matrix: np.ndarray,
+    feature_names: Sequence[str],
+    profile: PreferenceProfile,
+) -> np.ndarray:
+    """Step 1: ``γ_ij = |h_ij − u_j|`` with sentinels resolved per column.
+
+    ``feature_matrix`` is N places × M features.
+    """
+    matrix = np.asarray(feature_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise RankingError("feature matrix must be 2-dimensional")
+    if matrix.shape[1] != len(feature_names):
+        raise RankingError(
+            f"feature matrix has {matrix.shape[1]} columns but "
+            f"{len(feature_names)} feature names given"
+        )
+    gamma = np.empty_like(matrix)
+    for column, feature in enumerate(feature_names):
+        values = matrix[:, column]
+        preferred = profile.preference(feature).resolve(
+            float(values.min()), float(values.max())
+        )
+        gamma[:, column] = np.abs(values - preferred)
+    return gamma
+
+
+def individual_rankings(
+    gamma: np.ndarray,
+    place_ids: Sequence[Hashable],
+) -> list[Ranking]:
+    """Step 2: sort places per feature by ascending preference distance.
+
+    Ties are broken by place order (stable sort), so results are
+    deterministic for identical inputs.
+    """
+    matrix = np.asarray(gamma, dtype=float)
+    if matrix.shape[0] != len(place_ids):
+        raise RankingError(
+            f"gamma has {matrix.shape[0]} rows but {len(place_ids)} place ids"
+        )
+    rankings = []
+    for column in range(matrix.shape[1]):
+        order = np.argsort(matrix[:, column], kind="stable")
+        rankings.append(Ranking(place_ids[index] for index in order))
+    return rankings

@@ -1,0 +1,63 @@
+"""The Ranking type: an ordered list of distinct items."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.common.errors import RankingError
+
+
+class Ranking:
+    """An ordering of items, best first.
+
+    The paper's index function ``π(i, R)`` is :meth:`position` and is
+    **1-based** (rank 1 is the top item), matching Section IV-B.
+    """
+
+    def __init__(self, items: Iterable[Hashable]) -> None:
+        self._items = tuple(items)
+        if len(set(self._items)) != len(self._items):
+            raise RankingError("ranking contains duplicate items")
+        if not self._items:
+            raise RankingError("ranking must contain at least one item")
+        self._positions = {
+            item: position for position, item in enumerate(self._items, start=1)
+        }
+
+    @property
+    def items(self) -> tuple[Hashable, ...]:
+        return self._items
+
+    def position(self, item: Hashable) -> int:
+        """π(item, self): 1-based rank of ``item``."""
+        try:
+            return self._positions[item]
+        except KeyError:
+            raise RankingError(f"item {item!r} is not in this ranking") from None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Hashable:
+        return self._items[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ranking) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ranking({list(self._items)!r})"
+
+    def same_items(self, other: "Ranking") -> bool:
+        """Whether both rankings order the same item set."""
+        return set(self._items) == set(other.items)
+
+    def require_same_items(self, other: "Ranking") -> None:
+        """Raise RankingError unless both rankings share one item set."""
+        if not self.same_items(other):
+            raise RankingError("rankings are over different item sets")

@@ -1,0 +1,303 @@
+"""The greedy scheduler (paper Algorithm 1) and a brute-force reference.
+
+Algorithm 1: repeatedly add the time instant with the maximum incremental
+coverage, as long as some user with remaining budget can take it; stop
+when no user can be scheduled further. Because the objective is monotone
+submodular and the constraint a (partition) matroid, greedy achieves at
+least half the optimum [paper ref 10].
+
+Two execution strategies produce **identical** schedules:
+
+* ``lazy=False`` — the paper's O(N²) loop: recompute every instant's
+  gain each iteration and take the argmax,
+* ``lazy=True`` (default) — lazy evaluation: keep stale gains in a
+  max-heap and only re-evaluate the top; valid because marginal gains
+  only decrease as the solution grows (submodularity). Both variants
+  compute gains with the same code path and break exact ties toward the
+  lower instant index, so their outputs match bitwise.
+
+User assignment: when an instant is selected, it is given to the
+feasible user (window contains the instant, budget remaining, instant
+not already assigned to them) with the most remaining budget, breaking
+ties toward earlier arrival then user order. This spreads load across
+users — the paper's fairness goal ("prevent certain mobile users from
+being abused").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import numpy as np
+
+from repro.common.errors import SchedulingError
+from repro.core.scheduling.matroid import BudgetPartitionMatroid
+from repro.core.scheduling.objective import CoverageObjective, coverage_of_instants
+from repro.core.scheduling.problem import Schedule, SchedulingProblem
+
+
+class GreedyScheduler:
+    """Greedy maximization of coverage over the budget partition matroid.
+
+    ``min_gain`` stops the loop once the best marginal coverage falls
+    below it: scheduling a measurement that adds (numerically) nothing
+    would only burn a phone's budget and battery. Set it to 0 to run the
+    matroid to a basis like the paper's literal while-condition.
+    """
+
+    def __init__(self, *, lazy: bool = True, min_gain: float = 1e-12) -> None:
+        self.lazy = lazy
+        self.min_gain = min_gain
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve(self, problem: SchedulingProblem) -> Schedule:
+        """Compute a schedule for every user of ``problem``."""
+        objective = CoverageObjective(problem.period, problem.kernel)
+        remaining = [user.budget for user in problem.users]
+        # available[j] = number of users that could still take instant j.
+        available = np.zeros(problem.period.num_instants, dtype=np.int64)
+        for user_index in range(len(problem.users)):
+            if remaining[user_index] > 0:
+                lo, hi = problem.user_window(user_index)
+                available[lo:hi] += 1
+        assigned: dict[int, set[int]] = {
+            user_index: set() for user_index in range(len(problem.users))
+        }
+        if self.lazy:
+            self._run_lazy(problem, objective, remaining, available, assigned)
+        else:
+            self._run_naive(problem, objective, remaining, available, assigned)
+        schedule = Schedule(
+            problem=problem,
+            assignments={
+                problem.users[user_index].user_id: sorted(instants)
+                for user_index, instants in assigned.items()
+            },
+            objective_value=objective.value(),
+        )
+        schedule.validate()
+        return schedule
+
+    def matroid_for(self, problem: SchedulingProblem) -> BudgetPartitionMatroid:
+        """The partition matroid over (user, instant) pairs for ``problem``."""
+        return BudgetPartitionMatroid(
+            capacities={
+                user_index: user.budget
+                for user_index, user in enumerate(problem.users)
+            },
+            part_of=lambda element: element[0],
+        )
+
+    # ------------------------------------------------------------------
+    # user selection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pick_user(
+        problem: SchedulingProblem,
+        instant_index: int,
+        remaining: list[int],
+        assigned: dict[int, set[int]],
+    ) -> int | None:
+        """The feasible user with the most remaining budget, or None."""
+        best: int | None = None
+        for user_index, user in enumerate(problem.users):
+            if remaining[user_index] <= 0:
+                continue
+            if not problem.user_can_sense_at(user_index, instant_index):
+                continue
+            if instant_index in assigned[user_index]:
+                continue
+            if best is None:
+                best = user_index
+                continue
+            current_key = (
+                -remaining[user_index],
+                problem.users[user_index].arrival,
+                user_index,
+            )
+            best_key = (-remaining[best], problem.users[best].arrival, best)
+            if current_key < best_key:
+                best = user_index
+        return best
+
+    def _commit(
+        self,
+        problem: SchedulingProblem,
+        objective: CoverageObjective,
+        instant_index: int,
+        user_index: int,
+        remaining: list[int],
+        available: np.ndarray,
+        assigned: dict[int, set[int]],
+    ) -> None:
+        objective.add(instant_index)
+        assigned[user_index].add(instant_index)
+        remaining[user_index] -= 1
+        if remaining[user_index] == 0:
+            lo, hi = problem.user_window(user_index)
+            available[lo:hi] -= 1
+
+    # ------------------------------------------------------------------
+    # naive (paper-literal) loop
+    # ------------------------------------------------------------------
+    def _run_naive(
+        self,
+        problem: SchedulingProblem,
+        objective: CoverageObjective,
+        remaining: list[int],
+        available: np.ndarray,
+        assigned: dict[int, set[int]],
+    ) -> None:
+        while True:
+            gains = objective.gains_all()
+            feasible_mask = available > 0
+            if not feasible_mask.any():
+                return
+            masked = np.where(feasible_mask, gains, -np.inf)
+            # Walk candidates best-first until one has a user that can
+            # actually take it (a user may already hold the top instant).
+            order = np.argsort(-masked, kind="stable")
+            committed = False
+            for candidate in order:
+                if not feasible_mask[candidate]:
+                    break  # -inf region reached; nothing feasible left
+                if masked[candidate] < self.min_gain:
+                    return
+                user_index = self._pick_user(
+                    problem, int(candidate), remaining, assigned
+                )
+                if user_index is not None:
+                    self._commit(
+                        problem,
+                        objective,
+                        int(candidate),
+                        user_index,
+                        remaining,
+                        available,
+                        assigned,
+                    )
+                    committed = True
+                    break
+            if not committed:
+                return
+
+    # ------------------------------------------------------------------
+    # lazy-heap loop
+    # ------------------------------------------------------------------
+    def _run_lazy(
+        self,
+        problem: SchedulingProblem,
+        objective: CoverageObjective,
+        remaining: list[int],
+        available: np.ndarray,
+        assigned: dict[int, set[int]],
+    ) -> None:
+        num_instants = problem.period.num_instants
+        gains = objective.gains_all()
+        # Heap entries: (-gain, instant). Stale entries are re-evaluated
+        # on pop; submodularity guarantees true gains never exceed stale
+        # ones, so the first up-to-date top is the argmax. Tie-break on
+        # instant index matches np.argmax in the naive loop.
+        heap: list[tuple[float, int]] = [
+            (-gains[instant], instant)
+            for instant in range(num_instants)
+            if available[instant] > 0
+        ]
+        heapq.heapify(heap)
+        budget_left = sum(remaining)
+        while budget_left > 0 and heap:
+            negative_gain, instant_index = heapq.heappop(heap)
+            if available[instant_index] <= 0:
+                continue
+            current_gain = objective.gain(instant_index)
+            if heap:
+                next_key, next_index = heap[0]
+                if -current_gain > next_key:
+                    # Stale and no longer the best — push back and retry.
+                    # Submodularity guarantees fresh gains never exceed
+                    # stale keys, so the first up-to-date top is the max.
+                    heapq.heappush(heap, (-current_gain, instant_index))
+                    continue
+                if -current_gain == next_key and next_index < instant_index:
+                    # Exact tie: defer to the lower index, matching the
+                    # naive variant's stable argsort tie-break.
+                    heapq.heappush(heap, (-current_gain, instant_index))
+                    continue
+            if current_gain < self.min_gain:
+                return
+            user_index = self._pick_user(problem, instant_index, remaining, assigned)
+            if user_index is None:
+                # Someone covers this instant but every holder already has
+                # it; it cannot be scheduled again, drop it permanently
+                # (pooled gain of a chosen instant is 0 anyway).
+                continue
+            self._commit(
+                problem, objective, instant_index, user_index, remaining, available, assigned
+            )
+            budget_left -= 1
+
+
+def brute_force_optimal(problem: SchedulingProblem) -> tuple[float, Schedule]:
+    """Exact optimum by exhaustive search (tiny instances only).
+
+    Enumerates pooled instant sets together with a feasibility check via
+    b-matching (greedy works here because the constraint is a partition
+    matroid per user over disjoint slots — we verify assignability with
+    Hall-style bipartite matching).
+    """
+    num_instants = problem.period.num_instants
+    total_budget = problem.total_budget()
+    if num_instants > 16:
+        raise SchedulingError("brute force limited to at most 16 instants")
+
+    def assignable(instants: tuple[int, ...]) -> bool:
+        # Bipartite matching instants → users (each user up to budget).
+        # Small sizes: simple augmenting-path matching on expanded slots.
+        slots: list[int] = []  # slot -> user index
+        for user_index, user in enumerate(problem.users):
+            slots.extend([user_index] * user.budget)
+        slot_of: list[int | None] = [None] * len(slots)
+
+        def augment(instant: int, seen: set[int]) -> bool:
+            for slot_index, slot_user in enumerate(slots):
+                if slot_index in seen:
+                    continue
+                if not problem.user_can_sense_at(slot_user, instant):
+                    continue
+                seen.add(slot_index)
+                if slot_of[slot_index] is None or augment(slot_of[slot_index], seen):
+                    slot_of[slot_index] = instant
+                    return True
+            return False
+
+        return all(augment(instant, set()) for instant in instants)
+
+    best_value = -1.0
+    best_set: tuple[int, ...] = ()
+    all_instants = range(num_instants)
+    for size in range(0, min(total_budget, num_instants) + 1):
+        for candidate in itertools.combinations(all_instants, size):
+            if not assignable(candidate):
+                continue
+            value = coverage_of_instants(problem.period, problem.kernel, set(candidate))
+            if value > best_value + 1e-12:
+                best_value = value
+                best_set = candidate
+    # Rebuild one witness assignment for the best set.
+    schedule = Schedule(problem=problem, objective_value=best_value)
+    remaining = [user.budget for user in problem.users]
+    assignments: dict[str, list[int]] = {user.user_id: [] for user in problem.users}
+    for instant in best_set:
+        for user_index, user in enumerate(problem.users):
+            if remaining[user_index] > 0 and problem.user_can_sense_at(
+                user_index, instant
+            ):
+                assignments[user.user_id].append(instant)
+                remaining[user_index] -= 1
+                break
+    schedule.assignments = {
+        user_id: sorted(instants) for user_id, instants in assignments.items()
+    }
+    return best_value, schedule

@@ -1,0 +1,79 @@
+"""Matroids for the scheduling constraint (paper Theorem 1).
+
+The feasible schedules — at most ``N^B_k`` (user k, instant) pairs per
+user — form a **partition matroid**: the ground set is partitioned by
+user and each part has a capacity. The paper observes that the
+independence oracle runs in constant time "by maintaining a counter for
+each mobile user"; :meth:`BudgetPartitionMatroid.can_extend` is exactly
+that counter check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Hashable, Iterable
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.common.errors import ValidationError
+
+
+@runtime_checkable
+class Matroid(Protocol):
+    """The independence-system interface greedy needs."""
+
+    def is_independent(self, subset: Collection[Hashable]) -> bool:
+        """Whether ``subset`` is independent (feasible)."""
+        ...
+
+
+class BudgetPartitionMatroid:
+    """Partition matroid: ground elements map to parts with capacities.
+
+    ``part_of`` maps an element to its part key (here: the user index);
+    ``capacities`` gives each part's budget. Elements mapping to unknown
+    parts are not in the ground set and make any containing set
+    dependent.
+    """
+
+    def __init__(
+        self,
+        capacities: dict[Hashable, int],
+        part_of: Callable[[Hashable], Hashable],
+    ) -> None:
+        for part, capacity in capacities.items():
+            if capacity < 0:
+                raise ValidationError(f"capacity of part {part!r} is negative")
+        self.capacities = dict(capacities)
+        self.part_of = part_of
+
+    def is_independent(self, subset: Collection[Hashable]) -> bool:
+        """Full check: every part within capacity, no duplicates."""
+        elements = list(subset)
+        if len(set(elements)) != len(elements):
+            return False
+        counts: dict[Hashable, int] = {}
+        for element in elements:
+            part = self.part_of(element)
+            if part not in self.capacities:
+                return False
+            counts[part] = counts.get(part, 0) + 1
+            if counts[part] > self.capacities[part]:
+                return False
+        return True
+
+    def counters_for(self, subset: Iterable[Hashable]) -> dict[Hashable, int]:
+        """Per-part usage counters for an independent set."""
+        counts: dict[Hashable, int] = {part: 0 for part in self.capacities}
+        for element in subset:
+            counts[self.part_of(element)] += 1
+        return counts
+
+    def can_extend(self, counters: dict[Hashable, int], element: Hashable) -> bool:
+        """O(1) oracle: can ``element`` join a set with these counters?"""
+        part = self.part_of(element)
+        if part not in self.capacities:
+            return False
+        return counters.get(part, 0) < self.capacities[part]
+
+    def rank_upper_bound(self) -> int:
+        """The matroid rank is at most the sum of capacities."""
+        return sum(self.capacities.values())

@@ -1,0 +1,95 @@
+"""The database object: named tables plus snapshot transactions."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.common.errors import DatabaseError
+from repro.db.schema import Schema
+from repro.db.table import Table
+
+
+class Transaction:
+    """A snapshot transaction over the whole database.
+
+    Used as a context manager::
+
+        with db.transaction():
+            db.table("users").insert({...})
+            db.table("tasks").insert({...})
+
+    If the block raises, every table is restored to its pre-transaction
+    state. Transactions do not nest (the sensing server never needs it,
+    and PostgreSQL's savepoints are out of scope).
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._snapshots: dict[str, dict[str, Any]] | None = None
+
+    def __enter__(self) -> "Transaction":
+        if self._database._active_transaction is not None:
+            raise DatabaseError("transactions do not nest")
+        self._snapshots = {
+            name: table.snapshot() for name, table in self._database._tables.items()
+        }
+        self._database._active_transaction = self
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        assert self._snapshots is not None
+        self._database._active_transaction = None
+        if exc_type is not None:
+            for name, snapshot in self._snapshots.items():
+                self._database._tables[name].restore(snapshot)
+            # Tables created during the failed transaction are dropped.
+            created = set(self._database._tables) - set(self._snapshots)
+            for name in created:
+                del self._database._tables[name]
+        self._snapshots = None
+        return False  # never swallow the exception
+
+
+class Database:
+    """A collection of named tables with DDL and transactions."""
+
+    def __init__(self, name: str = "sor") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._active_transaction: Transaction | None = None
+
+    def create_table(self, schema: Schema) -> Table:
+        """Create a table from ``schema``; errors if the name is taken."""
+        if schema.name in self._tables:
+            raise DatabaseError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop the table named ``name``; errors if it does not exist."""
+        if name not in self._tables:
+            raise DatabaseError(f"no such table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Return the table named ``name``; errors if it does not exist."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise DatabaseError(f"no such table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table named ``name`` exists."""
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """Sorted names of all tables."""
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def transaction(self) -> Transaction:
+        """Begin a snapshot transaction (use as a context manager)."""
+        return Transaction(self)

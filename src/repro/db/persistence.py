@@ -1,0 +1,135 @@
+"""Dump and restore a database to/from JSON.
+
+The sensing server's state (users, applications, tasks, raw blobs,
+readings, feature data) survives restarts in the real system because
+PostgreSQL is durable; this module gives the in-memory stand-in the same
+property: :func:`dump_database` serializes schemas, rows, auto-increment
+counters and index definitions to a JSON-compatible dict (blobs are
+base64-encoded), and :func:`load_database` reconstructs an identical
+database.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import DatabaseError
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType, Schema
+
+_FORMAT_VERSION = 1
+
+
+def _encode_cell(column: Column, value: Any) -> Any:
+    if value is None:
+        return None
+    if column.type is ColumnType.BLOB:
+        return base64.b64encode(value).decode("ascii")
+    return value
+
+
+def _decode_cell(column: Column, value: Any) -> Any:
+    if value is None:
+        return None
+    if column.type is ColumnType.BLOB:
+        return base64.b64decode(value.encode("ascii"))
+    return value
+
+
+def _schema_to_dict(schema: Schema) -> dict[str, Any]:
+    return {
+        "name": schema.name,
+        "primary_key": schema.primary_key,
+        "unique": list(schema.unique),
+        "columns": [
+            {
+                "name": column.name,
+                "type": column.type.value,
+                "nullable": column.nullable,
+                "default": column.default,
+                "auto_increment": column.auto_increment,
+            }
+            for column in schema.columns
+        ],
+    }
+
+
+def _schema_from_dict(data: dict[str, Any]) -> Schema:
+    return Schema(
+        name=data["name"],
+        primary_key=data["primary_key"],
+        unique=tuple(data.get("unique", [])),
+        columns=tuple(
+            Column(
+                name=column["name"],
+                type=ColumnType(column["type"]),
+                nullable=column["nullable"],
+                default=column.get("default"),
+                auto_increment=column.get("auto_increment", False),
+            )
+            for column in data["columns"]
+        ),
+    )
+
+
+def dump_database(database: Database) -> dict[str, Any]:
+    """Serialize a database to a JSON-compatible dictionary."""
+    tables = []
+    for name in database.table_names():
+        table = database.table(name)
+        snapshot = table.snapshot()
+        columns = table.schema.columns
+        rows = [
+            {
+                column.name: _encode_cell(column, row[column.name])
+                for column in columns
+            }
+            for row in snapshot["rows"].values()
+        ]
+        tables.append(
+            {
+                "schema": _schema_to_dict(table.schema),
+                "rows": rows,
+                "auto_counter": snapshot["auto_counter"],
+                "indexes": list(snapshot["indexed"]),
+            }
+        )
+    return {"format": _FORMAT_VERSION, "name": database.name, "tables": tables}
+
+
+def load_database(data: dict[str, Any]) -> Database:
+    """Reconstruct a database from :func:`dump_database` output."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise DatabaseError(f"unsupported dump format {data.get('format')!r}")
+    database = Database(name=data.get("name", "restored"))
+    for table_data in data["tables"]:
+        schema = _schema_from_dict(table_data["schema"])
+        table = database.create_table(schema)
+        for row in table_data["rows"]:
+            decoded = {
+                column.name: _decode_cell(column, row.get(column.name))
+                for column in schema.columns
+            }
+            table.insert(decoded)
+        # Restore the counter even past the highest inserted key.
+        table._auto_counter = max(table._auto_counter, table_data["auto_counter"])
+        for column_name in table_data["indexes"]:
+            table.create_index(column_name)
+    return database
+
+
+def save_database(database: Database, path: str | Path) -> None:
+    """Write a database dump to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(dump_database(database)), encoding="utf-8")
+
+
+def open_database(path: str | Path) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DatabaseError(f"cannot open database dump {path}: {exc}") from exc
+    return load_database(data)

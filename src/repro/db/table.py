@@ -1,0 +1,228 @@
+"""A single table: row storage, key constraints and secondary indexes."""
+
+from __future__ import annotations
+
+import copy
+from collections import defaultdict
+from typing import Any, Iterable, Iterator
+
+from repro.common.errors import DatabaseError
+from repro.db.predicates import Predicate
+from repro.db.schema import Schema
+
+
+class Table:
+    """Rows keyed by primary key, with hash indexes on selected columns.
+
+    Rows are plain dictionaries. ``select`` returns deep copies so callers
+    can never corrupt stored state by mutating results; ``insert`` copies
+    on the way in for the same reason.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._rows: dict[Any, dict[str, Any]] = {}
+        self._indexes: dict[str, dict[Any, set[Any]]] = {}
+        self._unique_values: dict[str, dict[Any, Any]] = {
+            column: {} for column in schema.unique
+        }
+        self._auto_counter = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.select())
+
+    @property
+    def indexed_columns(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        """Create a hash index on ``column`` (idempotent)."""
+        self.schema.column(column)  # validates existence
+        if column in self._indexes:
+            return
+        index: dict[Any, set[Any]] = defaultdict(set)
+        for pk, row in self._rows.items():
+            index[row[column]].add(pk)
+        self._indexes[column] = index
+
+    def _index_add(self, row: dict[str, Any]) -> None:
+        pk = row[self.schema.primary_key]
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], set()).add(pk)
+
+    def _index_remove(self, row: dict[str, Any]) -> None:
+        pk = row[self.schema.primary_key]
+        for column, index in self._indexes.items():
+            bucket = index.get(row[column])
+            if bucket is not None:
+                bucket.discard(pk)
+                if not bucket:
+                    del index[row[column]]
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, row: dict[str, Any]) -> Any:
+        """Insert a row; returns the primary key (assigned if auto)."""
+        normalized = self.schema.normalize_row(dict(row))
+        pk_name = self.schema.primary_key
+        pk_column = self.schema.column(pk_name)
+        if normalized[pk_name] is None:
+            if not pk_column.auto_increment:
+                raise DatabaseError(
+                    f"primary key {pk_name!r} missing on insert into {self.name!r}"
+                )
+            self._auto_counter += 1
+            normalized[pk_name] = self._auto_counter
+        elif pk_column.auto_increment:
+            self._auto_counter = max(self._auto_counter, normalized[pk_name])
+        pk = normalized[pk_name]
+        if pk in self._rows:
+            raise DatabaseError(
+                f"duplicate primary key {pk!r} in table {self.name!r}"
+            )
+        for column, seen in self._unique_values.items():
+            value = normalized[column]
+            if value is not None and value in seen:
+                raise DatabaseError(
+                    f"unique constraint violated on {self.name}.{column} = {value!r}"
+                )
+        stored = copy.deepcopy(normalized)
+        self._rows[pk] = stored
+        self._index_add(stored)
+        for column, seen in self._unique_values.items():
+            if stored[column] is not None:
+                seen[stored[column]] = pk
+        return pk
+
+    def insert_many(self, rows: Iterable[dict[str, Any]]) -> list[Any]:
+        """Insert several rows; returns their primary keys."""
+        return [self.insert(row) for row in rows]
+
+    def update(self, where: Predicate, changes: dict[str, Any]) -> int:
+        """Update matching rows in place; returns the number updated."""
+        if self.schema.primary_key in changes:
+            raise DatabaseError("updating the primary key is not supported")
+        for column in changes:
+            self.schema.column(column)
+        updated = 0
+        for pk in [r[self.schema.primary_key] for r in self._match(where)]:
+            old = self._rows[pk]
+            candidate = dict(old)
+            candidate.update(changes)
+            normalized = self.schema.normalize_row(candidate)
+            for column, seen in self._unique_values.items():
+                value = normalized[column]
+                if value is not None and seen.get(value, pk) != pk:
+                    raise DatabaseError(
+                        f"unique constraint violated on {self.name}.{column} = {value!r}"
+                    )
+            self._index_remove(old)
+            for column, seen in self._unique_values.items():
+                if old[column] is not None:
+                    seen.pop(old[column], None)
+            stored = copy.deepcopy(normalized)
+            self._rows[pk] = stored
+            self._index_add(stored)
+            for column, seen in self._unique_values.items():
+                if stored[column] is not None:
+                    seen[stored[column]] = pk
+            updated += 1
+        return updated
+
+    def delete(self, where: Predicate) -> int:
+        """Delete matching rows; returns the number deleted."""
+        victims = [row[self.schema.primary_key] for row in self._match(where)]
+        for pk in victims:
+            row = self._rows.pop(pk)
+            self._index_remove(row)
+            for column, seen in self._unique_values.items():
+                if row[column] is not None:
+                    seen.pop(row[column], None)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _match(self, where: Predicate | None) -> list[dict[str, Any]]:
+        """Return references to matching stored rows (internal use)."""
+        if where is None:
+            return list(self._rows.values())
+        if where.index_hint is not None:
+            column, value = where.index_hint
+            if column == self.schema.primary_key:
+                row = self._rows.get(value)
+                candidates: list[dict[str, Any]] = [row] if row is not None else []
+                return [row for row in candidates if where(row)]
+            if column in self._indexes:
+                pks = self._indexes[column].get(value, set())
+                return [row for pk in pks if where(row := self._rows[pk])]
+        return [row for row in self._rows.values() if where(row)]
+
+    def select(
+        self,
+        where: Predicate | None = None,
+        *,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Return deep copies of matching rows."""
+        rows = self._match(where)
+        if order_by is not None:
+            self.schema.column(order_by)
+            # NULLs sort last regardless of direction, like PostgreSQL's
+            # default for ascending order.
+            rows.sort(
+                key=lambda row: (row[order_by] is None, row[order_by]),
+            )
+            if descending:
+                non_null = [row for row in rows if row[order_by] is not None]
+                null = [row for row in rows if row[order_by] is None]
+                rows = list(reversed(non_null)) + null
+        if limit is not None:
+            rows = rows[: max(0, limit)]
+        return copy.deepcopy(rows)
+
+    def get(self, pk: Any) -> dict[str, Any] | None:
+        """Return a copy of the row with primary key ``pk``, or ``None``."""
+        row = self._rows.get(pk)
+        return copy.deepcopy(row) if row is not None else None
+
+    def count(self, where: Predicate | None = None) -> int:
+        """Count matching rows without copying them."""
+        return len(self._match(where))
+
+    # ------------------------------------------------------------------
+    # snapshots (used by transactions)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Capture full table state for transaction rollback."""
+        return {
+            "rows": copy.deepcopy(self._rows),
+            "auto_counter": self._auto_counter,
+            "indexed": tuple(self._indexes),
+            "unique": copy.deepcopy(self._unique_values),
+        }
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self._rows = copy.deepcopy(snapshot["rows"])
+        self._auto_counter = snapshot["auto_counter"]
+        self._unique_values = copy.deepcopy(snapshot["unique"])
+        self._indexes = {}
+        for column in snapshot["indexed"]:
+            self.create_index(column)

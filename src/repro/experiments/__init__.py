@@ -1,0 +1,36 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes a ``run_*`` function returning a structured result
+plus a ``format_*`` helper that prints the same rows/series the paper
+reports. The benchmarks under ``benchmarks/`` call these functions;
+EXPERIMENTS.md records paper-vs-measured for each.
+
+=================  ====================================================
+paper artefact     module
+=================  ====================================================
+Fig. 6             :mod:`repro.experiments.fig6_trail_features`
+Fig. 7 + Table I   :mod:`repro.experiments.table1_trail_rankings`
+Fig. 10            :mod:`repro.experiments.fig10_shop_features`
+Fig. 11 + Table II :mod:`repro.experiments.table2_shop_rankings`
+Fig. 14(a)/(b)     :mod:`repro.experiments.fig14_scheduling`
+(ablations, ours)  :mod:`repro.experiments.ablations`
+(end-to-end, ours) :mod:`repro.experiments.end_to_end`
+=================  ====================================================
+"""
+
+from repro.experiments.fig6_trail_features import run_fig6
+from repro.experiments.fig10_shop_features import run_fig10
+from repro.experiments.fig14_scheduling import run_fig14a, run_fig14b
+from repro.experiments.table1_trail_rankings import TABLE1_EXPECTED, run_table1
+from repro.experiments.table2_shop_rankings import TABLE2_EXPECTED, run_table2
+
+__all__ = [
+    "TABLE1_EXPECTED",
+    "TABLE2_EXPECTED",
+    "run_fig6",
+    "run_fig10",
+    "run_fig14a",
+    "run_fig14b",
+    "run_table1",
+    "run_table2",
+]

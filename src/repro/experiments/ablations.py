@@ -1,0 +1,438 @@
+"""Ablation studies for design choices DESIGN.md calls out.
+
+Not in the paper — these quantify the impact of the choices the paper
+leaves implicit:
+
+* ``run_sigma_ablation`` — how the coverage-kernel width changes both
+  algorithms' coverage (a small σ models fast-changing features;
+  schedules must spread much more),
+* ``run_lazy_ablation`` — lazy-heap greedy vs the paper's O(N²) loop:
+  identical schedules, very different runtimes,
+* ``run_aggregation_ablation`` — footrule-flow aggregation vs Borda
+  count vs the exact (NP-hard) Kemeny optimum on random instances, plus
+  the local-search refinement,
+* ``run_online_ablation`` — the price of online operation: the server's
+  arrival-order incremental greedy (each user scheduled the moment they
+  scan, over their remaining window, without revisiting earlier users)
+  vs the offline greedy that sees all participants up front.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ranking import (
+    Ranking,
+    aggregate_footrule,
+    borda_count,
+    brute_force_kemeny,
+    refine_by_adjacent_swaps,
+    weighted_kemeny_distance,
+)
+from repro.core.scheduling import (
+    GaussianKernel,
+    GreedyScheduler,
+    PeriodicBaselineScheduler,
+    SchedulingPeriod,
+    SchedulingProblem,
+)
+from repro.sim.arrivals import uniform_arrivals
+
+PERIOD_S = 10_800.0
+
+
+# ----------------------------------------------------------------------
+# kernel width
+# ----------------------------------------------------------------------
+@dataclass
+class SigmaPoint:
+    sigma_s: float
+    greedy_coverage: float
+    baseline_coverage: float
+
+
+def run_sigma_ablation(
+    *,
+    sigmas: tuple[float, ...] = (2.0, 5.0, 10.0, 30.0, 60.0),
+    users: int = 40,
+    budget: int = 17,
+    runs: int = 5,
+    seed: int = 0,
+) -> list[SigmaPoint]:
+    """Sweep the Gaussian kernel width for both schedulers."""
+    period = SchedulingPeriod(0.0, PERIOD_S, 1080)
+    points = []
+    for sigma in sigmas:
+        greedy_values, baseline_values = [], []
+        for run in range(runs):
+            rng = np.random.default_rng(seed + run)
+            problem = SchedulingProblem(
+                period,
+                uniform_arrivals(users, PERIOD_S, budget, rng),
+                GaussianKernel(sigma=sigma),
+            )
+            greedy_values.append(GreedyScheduler().solve(problem).average_coverage)
+            baseline_values.append(
+                PeriodicBaselineScheduler().solve(problem).average_coverage
+            )
+        points.append(
+            SigmaPoint(
+                sigma_s=sigma,
+                greedy_coverage=float(np.mean(greedy_values)),
+                baseline_coverage=float(np.mean(baseline_values)),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# lazy vs naive greedy
+# ----------------------------------------------------------------------
+@dataclass
+class LazyPoint:
+    num_instants: int
+    lazy_seconds: float
+    naive_seconds: float
+    identical_schedules: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.naive_seconds / self.lazy_seconds if self.lazy_seconds else 0.0
+
+
+def run_lazy_ablation(
+    *,
+    instant_counts: tuple[int, ...] = (180, 360, 720, 1080),
+    users: int = 30,
+    budget: int = 17,
+    seed: int = 0,
+) -> list[LazyPoint]:
+    """Time both greedy variants; assert they agree."""
+    points = []
+    for num_instants in instant_counts:
+        rng = np.random.default_rng(seed)
+        period = SchedulingPeriod(0.0, PERIOD_S, num_instants)
+        problem = SchedulingProblem(
+            period,
+            uniform_arrivals(users, PERIOD_S, budget, rng),
+            GaussianKernel(sigma=10.0),
+        )
+        start = time.perf_counter()
+        lazy = GreedyScheduler(lazy=True).solve(problem)
+        lazy_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        naive = GreedyScheduler(lazy=False).solve(problem)
+        naive_seconds = time.perf_counter() - start
+        points.append(
+            LazyPoint(
+                num_instants=num_instants,
+                lazy_seconds=lazy_seconds,
+                naive_seconds=naive_seconds,
+                identical_schedules=lazy.assignments == naive.assignments,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# multi-kernel (per-feature σ) scheduling
+# ----------------------------------------------------------------------
+@dataclass
+class MultiKernelPoint:
+    """Per-feature coverage achieved by each scheduling strategy."""
+
+    strategy: str
+    slow_feature_coverage: float  # wide kernel (e.g. temperature)
+    fast_feature_coverage: float  # narrow kernel (e.g. acceleration)
+    blended_value: float
+
+
+def run_multikernel_ablation(
+    *,
+    users: int = 20,
+    budget: int = 17,
+    runs: int = 5,
+    slow_sigma: float = 60.0,
+    fast_sigma: float = 5.0,
+    seed: int = 0,
+) -> list[MultiKernelPoint]:
+    """Schedule for one kernel vs the blend; report per-feature coverage.
+
+    The paper assigns different σ per feature class but schedules with a
+    single kernel; this quantifies what that costs when one application
+    senses both a slow feature (wide σ) and a fast one (narrow σ) in the
+    same bursts.
+    """
+    from repro.core.scheduling.multikernel import (
+        FeatureKernel,
+        MultiKernelGreedyScheduler,
+        MultiKernelObjective,
+    )
+
+    period = SchedulingPeriod(0.0, PERIOD_S, 1080)
+    features = [
+        FeatureKernel("slow", GaussianKernel(slow_sigma), weight=1.0),
+        FeatureKernel("fast", GaussianKernel(fast_sigma), weight=1.0),
+    ]
+    strategies = {
+        "single slow kernel": GreedyScheduler(),
+        "single fast kernel": GreedyScheduler(),
+        "blended kernels": MultiKernelGreedyScheduler(features),
+    }
+    accumulators = {
+        name: {"slow": [], "fast": [], "value": []} for name in strategies
+    }
+    for run in range(runs):
+        rng = np.random.default_rng(seed + run)
+        arrivals = uniform_arrivals(users, PERIOD_S, budget, rng)
+        for name in strategies:
+            if name == "single slow kernel":
+                problem = SchedulingProblem(
+                    period, arrivals, GaussianKernel(slow_sigma)
+                )
+                schedule = GreedyScheduler().solve(problem)
+            elif name == "single fast kernel":
+                problem = SchedulingProblem(
+                    period, arrivals, GaussianKernel(fast_sigma)
+                )
+                schedule = GreedyScheduler().solve(problem)
+            else:
+                problem = SchedulingProblem(
+                    period, arrivals, GaussianKernel(slow_sigma)
+                )
+                schedule = MultiKernelGreedyScheduler(features).solve(problem)
+            evaluation = MultiKernelObjective(period, features)
+            for instant in schedule.pooled_instants:
+                evaluation.add(instant)
+            coverage = evaluation.per_feature_coverage()
+            accumulators[name]["slow"].append(coverage["slow"])
+            accumulators[name]["fast"].append(coverage["fast"])
+            accumulators[name]["value"].append(evaluation.value())
+    return [
+        MultiKernelPoint(
+            strategy=name,
+            slow_feature_coverage=float(np.mean(data["slow"])),
+            fast_feature_coverage=float(np.mean(data["fast"])),
+            blended_value=float(np.mean(data["value"])),
+        )
+        for name, data in accumulators.items()
+    ]
+
+
+# ----------------------------------------------------------------------
+# spam resistance of the aggregation
+# ----------------------------------------------------------------------
+@dataclass
+class SpamPoint:
+    """How far one spam ranking drags each aggregator from the honest
+    consensus (Kemeny distance; 0 = unaffected)."""
+
+    spam_weight: int
+    footrule_drift: float
+    borda_drift: float
+
+
+def run_spam_resistance_ablation(
+    *,
+    num_items: int = 7,
+    honest_rankings: int = 5,
+    swaps_per_honest: int = 3,
+    spam_weights: tuple[int, ...] = (0, 1, 2, 3, 4, 5),
+    instances: int = 20,
+    seed: int = 0,
+) -> list[SpamPoint]:
+    """Quantify the paper's reason for choosing the Kemeny distance.
+
+    The honest inputs are noisy copies of one true ranking (a few random
+    adjacent swaps each, weight 1); the spammer submits the *reversed*
+    true ranking with growing weight. We measure the Kemeny distance of
+    each aggregate from the true ranking, averaged over instances: a
+    median-like aggregator (footrule/Kemeny family) should resist the
+    outlier far better than the mean-like Borda count.
+    """
+    from repro.core.ranking.distances import kemeny_distance
+
+    rng = np.random.default_rng(seed)
+    items = [f"item-{index}" for index in range(num_items)]
+    drifts: dict[int, list[list[float]]] = {w: [] for w in spam_weights}
+    for _ in range(instances):
+        truth = Ranking(rng.permutation(items).tolist())
+        honest = []
+        for _ in range(honest_rankings):
+            order = list(truth.items)
+            for _ in range(swaps_per_honest):
+                position = int(rng.integers(0, num_items - 1))
+                order[position], order[position + 1] = (
+                    order[position + 1],
+                    order[position],
+                )
+            honest.append(Ranking(order))
+        spam = Ranking(reversed(truth.items))
+        for weight in spam_weights:
+            collection = honest + ([spam] if weight > 0 else [])
+            weights = [1] * honest_rankings + ([weight] if weight > 0 else [])
+            flow = aggregate_footrule(collection, weights)
+            borda = borda_count(collection, weights)
+            drifts[weight].append(
+                [
+                    float(kemeny_distance(flow, truth)),
+                    float(kemeny_distance(borda, truth)),
+                ]
+            )
+    return [
+        SpamPoint(
+            spam_weight=weight,
+            footrule_drift=float(np.mean([pair[0] for pair in drifts[weight]])),
+            borda_drift=float(np.mean([pair[1] for pair in drifts[weight]])),
+        )
+        for weight in spam_weights
+    ]
+
+
+# ----------------------------------------------------------------------
+# online vs offline greedy
+# ----------------------------------------------------------------------
+@dataclass
+class OnlinePoint:
+    users: int
+    online_coverage: float
+    offline_coverage: float
+
+    @property
+    def ratio(self) -> float:
+        """Online / offline coverage (1.0 = no price paid)."""
+        if self.offline_coverage == 0:
+            return 1.0
+        return self.online_coverage / self.offline_coverage
+
+
+def _online_coverage(problem: SchedulingProblem) -> float:
+    """Simulate the server's arrival-order incremental scheduling.
+
+    Users are processed in arrival order; each spends their budget
+    greedily over [arrival, departure] given everything already
+    committed — exactly what
+    :class:`repro.server.scheduler_service.SensingSchedulerService` does
+    per PARTICIPATE request.
+    """
+    from repro.core.scheduling.objective import CoverageObjective
+
+    objective = CoverageObjective(problem.period, problem.kernel)
+    order = sorted(range(len(problem.users)), key=lambda i: problem.users[i].arrival)
+    for user_index in order:
+        lo, hi = problem.user_window(user_index)
+        if hi <= lo:
+            continue
+        taken: set[int] = set()
+        for _ in range(problem.users[user_index].budget):
+            gains = objective.gains_fast()[lo:hi]
+            for instant in taken:
+                gains[instant - lo] = -np.inf
+            best = int(np.argmax(gains))
+            if gains[best] <= 1e-12:
+                break
+            objective.add(lo + best)
+            taken.add(lo + best)
+    return objective.average_coverage()
+
+
+def run_online_ablation(
+    *,
+    user_counts: tuple[int, ...] = (10, 20, 30, 40, 50),
+    budget: int = 17,
+    runs: int = 5,
+    seed: int = 0,
+) -> list[OnlinePoint]:
+    """Compare arrival-order online scheduling with offline greedy."""
+    period = SchedulingPeriod(0.0, PERIOD_S, 1080)
+    kernel = GaussianKernel(sigma=10.0)
+    points = []
+    for users in user_counts:
+        online_values, offline_values = [], []
+        for run in range(runs):
+            rng = np.random.default_rng(seed + run)
+            problem = SchedulingProblem(
+                period, uniform_arrivals(users, PERIOD_S, budget, rng), kernel
+            )
+            online_values.append(_online_coverage(problem))
+            offline_values.append(
+                GreedyScheduler().solve(problem).average_coverage
+            )
+        points.append(
+            OnlinePoint(
+                users=users,
+                online_coverage=float(np.mean(online_values)),
+                offline_coverage=float(np.mean(offline_values)),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# aggregation quality
+# ----------------------------------------------------------------------
+@dataclass
+class AggregationStats:
+    """Mean weighted-Kemeny ratios vs the exact optimum (1.0 = optimal)."""
+
+    instances: int = 0
+    footrule_ratio: float = 0.0
+    refined_ratio: float = 0.0
+    borda_ratio: float = 0.0
+    footrule_optimal_fraction: float = 0.0
+    per_instance: list[dict] = field(default_factory=list)
+
+
+def run_aggregation_ablation(
+    *,
+    instances: int = 40,
+    num_items: int = 6,
+    num_rankings: int = 4,
+    seed: int = 0,
+) -> AggregationStats:
+    """Compare aggregation heuristics against the exact Kemeny optimum."""
+    rng = np.random.default_rng(seed)
+    items = [f"item-{index}" for index in range(num_items)]
+    footrule_ratios, refined_ratios, borda_ratios = [], [], []
+    optimal_hits = 0
+    stats = AggregationStats()
+    for _ in range(instances):
+        collection = [
+            Ranking(rng.permutation(items).tolist()) for _ in range(num_rankings)
+        ]
+        weights = [int(value) for value in rng.integers(1, 6, size=num_rankings)]
+        optimum = brute_force_kemeny(collection, weights)
+        optimum_value = weighted_kemeny_distance(optimum, collection, weights)
+        flow = aggregate_footrule(collection, weights)
+        refined = refine_by_adjacent_swaps(flow, collection, weights)
+        borda = borda_count(collection, weights)
+
+        def ratio(candidate: Ranking) -> float:
+            value = weighted_kemeny_distance(candidate, collection, weights)
+            if optimum_value == 0:
+                return 1.0 if value == 0 else float("inf")
+            return value / optimum_value
+
+        footrule_ratio = ratio(flow)
+        footrule_ratios.append(footrule_ratio)
+        refined_ratios.append(ratio(refined))
+        borda_ratios.append(ratio(borda))
+        if footrule_ratio <= 1.0 + 1e-12:
+            optimal_hits += 1
+        stats.per_instance.append(
+            {
+                "optimum": optimum_value,
+                "footrule": weighted_kemeny_distance(flow, collection, weights),
+                "refined": weighted_kemeny_distance(refined, collection, weights),
+                "borda": weighted_kemeny_distance(borda, collection, weights),
+            }
+        )
+    stats.instances = instances
+    stats.footrule_ratio = float(np.mean(footrule_ratios))
+    stats.refined_ratio = float(np.mean(refined_ratios))
+    stats.borda_ratio = float(np.mean(borda_ratios))
+    stats.footrule_optimal_fraction = optimal_hits / instances
+    return stats

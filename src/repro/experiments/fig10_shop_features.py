@@ -1,0 +1,76 @@
+"""Figure 10: feature data for the three coffee shops.
+
+Four features (temperature, brightness, background noise, Wi-Fi signal
+strength) over Tim Hortons, B&N Cafe and Starbucks, from a simulated
+field test with 12 phones per shop.
+
+Shape to hold (paper ground truths, Figs. 12/13): Starbucks is crowded,
+noisy and dark; Tim Hortons is colder than B&N but the brightest; B&N is
+quiet, bright and warm with the best Wi-Fi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.server.visualization import bar_chart, feature_table
+from repro.sim.fieldtest import FieldTestConfig, FieldTestResult, run_field_test
+from repro.sim.scenarios import (
+    SHOP_PHONES,
+    shop_feature_pipeline,
+    syracuse_coffee_shops,
+)
+
+FEATURE_ORDER = ["temperature", "brightness", "noise", "wifi"]
+
+EXPECTED_ORDERINGS = {
+    "temperature": ["Tim Hortons", "B&N Cafe", "Starbucks"],
+    "brightness": ["Starbucks", "B&N Cafe", "Tim Hortons"],
+    "noise": ["B&N Cafe", "Tim Hortons", "Starbucks"],
+    "wifi": ["Starbucks", "Tim Hortons", "B&N Cafe"],
+}
+
+
+@dataclass
+class Fig10Result:
+    features: dict[str, dict[str, float]]
+    raw: dict[str, FieldTestResult]
+
+    def ordering(self, feature: str) -> list[str]:
+        """Place names sorted ascending by ``feature``."""
+        return sorted(self.features, key=lambda name: self.features[name][feature])
+
+    def matches_expected(self) -> bool:
+        """Whether every feature ordering matches the paper's ground truth."""
+        return all(
+            self.ordering(feature) == expected
+            for feature, expected in EXPECTED_ORDERINGS.items()
+        )
+
+
+def run_fig10(
+    *, seed: int = 2014, budget: int = 40, phones: int = SHOP_PHONES
+) -> Fig10Result:
+    """Run the coffee-shop field tests and collect Fig. 10's data."""
+    rng = np.random.default_rng(seed)
+    pipeline = shop_feature_pipeline()
+    config = FieldTestConfig(phones=phones, budget=budget)
+    features: dict[str, dict[str, float]] = {}
+    raw: dict[str, FieldTestResult] = {}
+    for place in syracuse_coffee_shops(rng):
+        result = run_field_test(place, pipeline, config, rng)
+        features[place.name] = result.features
+        raw[place.name] = result
+    return Fig10Result(features=features, raw=raw)
+
+
+def format_fig10(result: Fig10Result) -> str:
+    """Render Fig. 10 as text bar charts plus the feature table."""
+    sections = [feature_table(result.features, FEATURE_ORDER), ""]
+    for feature in FEATURE_ORDER:
+        values = {name: result.features[name][feature] for name in result.features}
+        sections.append(bar_chart(f"Fig. 10 — {feature}", values))
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,82 @@
+"""Figure 6: feature data for the three hiking trails.
+
+The paper's Fig. 6 shows five bar charts (temperature, humidity,
+roughness, curvature, altitude change) over Green Lake Trail, Long Trail
+and Cliff Trail. The reproduction runs the simulated field test
+(7 phones per trail, 11:00–14:00) and reports the same five features.
+
+Shape to hold (from the paper's ground truths, Figs. 8/9): Green Lake is
+the most humid, coolest, flattest and smoothest; Cliff is the roughest,
+twistiest and has the largest altitude change; Long sits between on
+difficulty and is the driest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.server.visualization import bar_chart, feature_table
+from repro.sim.fieldtest import FieldTestConfig, FieldTestResult, run_field_test
+from repro.sim.scenarios import (
+    TRAIL_PHONES,
+    syracuse_trails,
+    trail_feature_pipeline,
+)
+
+FEATURE_ORDER = ["temperature", "humidity", "roughness", "curvature", "altitude_change"]
+
+# The orderings Fig. 6 must show (ascending place order per feature).
+EXPECTED_ORDERINGS = {
+    "temperature": ["Green Lake Trail", "Cliff Trail", "Long Trail"],
+    "humidity": ["Long Trail", "Cliff Trail", "Green Lake Trail"],
+    "roughness": ["Green Lake Trail", "Long Trail", "Cliff Trail"],
+    "curvature": ["Green Lake Trail", "Long Trail", "Cliff Trail"],
+    "altitude_change": ["Green Lake Trail", "Long Trail", "Cliff Trail"],
+}
+
+
+@dataclass
+class Fig6Result:
+    """Feature data per trail plus the field-test diagnostics."""
+
+    features: dict[str, dict[str, float]]  # place name → feature → value
+    raw: dict[str, FieldTestResult]
+
+    def ordering(self, feature: str) -> list[str]:
+        """Place names sorted ascending by ``feature``."""
+        return sorted(self.features, key=lambda name: self.features[name][feature])
+
+    def matches_expected(self) -> bool:
+        """Whether every feature ordering matches the paper's ground truth."""
+        return all(
+            self.ordering(feature) == expected
+            for feature, expected in EXPECTED_ORDERINGS.items()
+        )
+
+
+def run_fig6(
+    *, seed: int = 2014, budget: int = 40, phones: int = TRAIL_PHONES
+) -> Fig6Result:
+    """Run the hiking-trail field tests and collect Fig. 6's data."""
+    rng = np.random.default_rng(seed)
+    pipeline = trail_feature_pipeline()
+    config = FieldTestConfig(phones=phones, budget=budget)
+    features: dict[str, dict[str, float]] = {}
+    raw: dict[str, FieldTestResult] = {}
+    for place in syracuse_trails(rng):
+        result = run_field_test(place, pipeline, config, rng)
+        features[place.name] = result.features
+        raw[place.name] = result
+    return Fig6Result(features=features, raw=raw)
+
+
+def format_fig6(result: Fig6Result) -> str:
+    """Render the figure as text: one bar chart per feature, plus H."""
+    sections = [feature_table(result.features, FEATURE_ORDER), ""]
+    for feature in FEATURE_ORDER:
+        values = {name: result.features[name][feature] for name in result.features}
+        sections.append(bar_chart(f"Fig. 6 — {feature}", values))
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,144 @@
+"""Generate a full reproduction report: markdown + SVG figures.
+
+``write_report(output_dir)`` runs every experiment and writes:
+
+* ``report.md`` — all tables with pass/fail marks,
+* ``fig6_<feature>.svg`` ×5, ``fig10_<feature>.svg`` ×4 — the field-test
+  feature bar charts,
+* ``fig14a.svg`` / ``fig14b.svg`` — the scheduling sweep line charts,
+* ``features_trails.csv`` / ``features_shops.csv`` — raw feature data.
+
+Used by ``examples/generate_report.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.fig6_trail_features import (
+    FEATURE_ORDER as TRAIL_FEATURES,
+    run_fig6,
+)
+from repro.experiments.fig10_shop_features import (
+    FEATURE_ORDER as SHOP_FEATURES,
+    run_fig10,
+)
+from repro.experiments.fig14_scheduling import run_fig14a, run_fig14b
+from repro.experiments.table1_trail_rankings import (
+    TABLE1_EXPECTED,
+    run_table1,
+)
+from repro.experiments.table2_shop_rankings import (
+    TABLE2_EXPECTED,
+    run_table2,
+)
+from repro.server.svg_charts import bar_chart_svg, line_chart_svg
+from repro.server.visualization import to_csv
+
+
+def _ranking_table(expected: dict, rankings: dict) -> list[str]:
+    lines = [
+        "| user | paper | measured | match |",
+        "|---|---|---|---|",
+    ]
+    for user, paper_order in expected.items():
+        measured = list(rankings[user].items)
+        mark = "✅" if measured == paper_order else "❌"
+        lines.append(
+            f"| {user} | {', '.join(paper_order)} | {', '.join(measured)} | {mark} |"
+        )
+    return lines
+
+
+def write_report(
+    output_dir: str | Path, *, seed: int = 2014, sweep_runs: int = 10
+) -> Path:
+    """Run all experiments and write the report; returns report.md path."""
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    sections: list[str] = ["# SOR reproduction report", ""]
+
+    # Field tests -------------------------------------------------------
+    fig6 = run_fig6(seed=seed)
+    sections.append("## Fig. 6 — hiking-trail feature data")
+    sections.append("")
+    for feature in TRAIL_FEATURES:
+        values = {name: fig6.features[name][feature] for name in fig6.features}
+        svg_path = output / f"fig6_{feature}.svg"
+        svg_path.write_text(
+            bar_chart_svg(f"Fig. 6 — {feature}", values), encoding="utf-8"
+        )
+        sections.append(f"![{feature}]({svg_path.name})")
+    sections.append("")
+    sections.append(
+        f"orderings match paper ground truth: "
+        f"{'✅' if fig6.matches_expected() else '❌'}"
+    )
+    (output / "features_trails.csv").write_text(
+        to_csv(fig6.features, TRAIL_FEATURES), encoding="utf-8"
+    )
+
+    table1 = run_table1(fig6=fig6)
+    sections.append("")
+    sections.append("## Table I — trail rankings")
+    sections.append("")
+    sections.extend(_ranking_table(TABLE1_EXPECTED, table1.rankings))
+
+    fig10 = run_fig10(seed=seed)
+    sections.append("")
+    sections.append("## Fig. 10 — coffee-shop feature data")
+    sections.append("")
+    for feature in SHOP_FEATURES:
+        values = {name: fig10.features[name][feature] for name in fig10.features}
+        svg_path = output / f"fig10_{feature}.svg"
+        svg_path.write_text(
+            bar_chart_svg(f"Fig. 10 — {feature}", values), encoding="utf-8"
+        )
+        sections.append(f"![{feature}]({svg_path.name})")
+    sections.append("")
+    sections.append(
+        f"orderings match paper ground truth: "
+        f"{'✅' if fig10.matches_expected() else '❌'}"
+    )
+    (output / "features_shops.csv").write_text(
+        to_csv(fig10.features, SHOP_FEATURES), encoding="utf-8"
+    )
+
+    table2 = run_table2(fig10=fig10)
+    sections.append("")
+    sections.append("## Table II — coffee-shop rankings")
+    sections.append("")
+    sections.extend(_ranking_table(TABLE2_EXPECTED, table2.rankings))
+
+    # Scheduling sweeps -------------------------------------------------
+    for name, runner, x_label in (
+        ("fig14a", run_fig14a, "number of mobile users"),
+        ("fig14b", run_fig14b, "budget"),
+    ):
+        sweep = runner(runs=sweep_runs, seed=0)
+        svg_path = output / f"{name}.svg"
+        svg_path.write_text(
+            line_chart_svg(
+                f"Fig. 14 — average coverage vs {x_label}",
+                {
+                    "greedy": sweep.greedy_series(),
+                    "baseline": sweep.baseline_series(),
+                },
+                x_label=x_label,
+                y_label="average coverage probability",
+            ),
+            encoding="utf-8",
+        )
+        sections.append("")
+        sections.append(f"## Fig. 14 — coverage vs {x_label}")
+        sections.append("")
+        sections.append(f"![{name}]({svg_path.name})")
+        sections.append("")
+        sections.append(
+            f"mean improvement of greedy over baseline: "
+            f"**{sweep.mean_improvement:.0%}** (paper: 65% overall)"
+        )
+
+    report_path = output / "report.md"
+    report_path.write_text("\n".join(sections) + "\n", encoding="utf-8")
+    return report_path

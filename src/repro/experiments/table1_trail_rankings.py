@@ -1,0 +1,92 @@
+"""Table I: rankings of hiking trails computed by SOR.
+
+Three virtual hikers (Fig. 7 profiles) rank the three trails from the
+Fig. 6 feature data. The paper's Table I:
+
+========  ============  ============  ================
+User      No. 1         No. 2         No. 3
+========  ============  ============  ================
+Alice     Cliff Trail   Long Trail    Green Lake Trail
+Bob       Long Trail    Cliff Trail   Green Lake Trail
+Chris     Green Lake    Long Trail    Cliff Trail
+========  ============  ============  ================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.features import build_feature_matrix
+from repro.core.ranking import (
+    PreferenceProfile,
+    Ranking,
+    aggregate_footrule,
+    individual_rankings,
+    preference_distance_matrix,
+)
+from repro.experiments.fig6_trail_features import Fig6Result, run_fig6
+from repro.sim.scenarios import hiker_profiles, trail_feature_pipeline
+
+TABLE1_EXPECTED = {
+    "Alice": ["Cliff Trail", "Long Trail", "Green Lake Trail"],
+    "Bob": ["Long Trail", "Cliff Trail", "Green Lake Trail"],
+    "Chris": ["Green Lake Trail", "Long Trail", "Cliff Trail"],
+}
+
+
+@dataclass
+class Table1Result:
+    rankings: dict[str, Ranking]  # profile name → ranking of place names
+    fig6: Fig6Result
+
+    def as_rows(self) -> list[tuple[str, list[str]]]:
+        """Table rows as (user, ranked place names)."""
+        return [(name, list(ranking.items)) for name, ranking in self.rankings.items()]
+
+    def matches_expected(self) -> bool:
+        """Whether every user's row equals the paper's Table I."""
+        return all(
+            list(self.rankings[user].items) == expected
+            for user, expected in TABLE1_EXPECTED.items()
+        )
+
+
+def rank_with_profile(
+    features: dict[str, dict[str, float]],
+    feature_names: list[str],
+    profile: PreferenceProfile,
+) -> Ranking:
+    """The full Algorithm 2 pipeline on a feature-value mapping."""
+    active = [name for name in feature_names if profile.weight(name) > 0]
+    matrix, place_ids = build_feature_matrix(features, active)
+    gamma = preference_distance_matrix(matrix, active, profile)
+    individual = individual_rankings(gamma, place_ids)
+    weights = [profile.weight(name) for name in active]
+    return aggregate_footrule(individual, weights)
+
+
+def run_table1(
+    *, seed: int = 2014, fig6: Fig6Result | None = None
+) -> Table1Result:
+    """Compute Table I (reusing Fig. 6 data when supplied)."""
+    result = fig6 if fig6 is not None else run_fig6(seed=seed)
+    feature_names = trail_feature_pipeline().feature_names
+    rankings = {
+        profile.name: rank_with_profile(result.features, feature_names, profile)
+        for profile in hiker_profiles()
+    }
+    return Table1Result(rankings=rankings, fig6=result)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table I as aligned text with a match verdict."""
+    lines = [
+        "Table I — rankings of hiking trails computed by SOR",
+        f"{'User':<8}{'No. 1':<20}{'No. 2':<20}{'No. 3':<20}",
+    ]
+    for user, places in result.as_rows():
+        lines.append(f"{user:<8}" + "".join(f"{place:<20}" for place in places))
+    lines.append(
+        f"matches paper: {'YES' if result.matches_expected() else 'NO'}"
+    )
+    return "\n".join(lines)

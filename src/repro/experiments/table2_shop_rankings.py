@@ -1,0 +1,70 @@
+"""Table II: rankings of coffee shops computed by SOR.
+
+Two virtual customers (Fig. 11 profiles) rank the three shops from the
+Fig. 10 feature data. The paper's Table II:
+
+========  ==========  ============  ============
+User      No. 1       No. 2         No. 3
+========  ==========  ============  ============
+David     Starbucks   B&N Cafe      Tim Hortons
+Emma      B&N Cafe    Tim Hortons   Starbucks
+========  ==========  ============  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ranking import Ranking
+from repro.experiments.fig10_shop_features import Fig10Result, run_fig10
+from repro.experiments.table1_trail_rankings import rank_with_profile
+from repro.sim.scenarios import customer_profiles, shop_feature_pipeline
+
+TABLE2_EXPECTED = {
+    "David": ["Starbucks", "B&N Cafe", "Tim Hortons"],
+    "Emma": ["B&N Cafe", "Tim Hortons", "Starbucks"],
+}
+
+
+@dataclass
+class Table2Result:
+    rankings: dict[str, Ranking]
+    fig10: Fig10Result
+
+    def as_rows(self) -> list[tuple[str, list[str]]]:
+        """Table rows as (user, ranked place names)."""
+        return [(name, list(ranking.items)) for name, ranking in self.rankings.items()]
+
+    def matches_expected(self) -> bool:
+        """Whether every user's row equals the paper's Table II."""
+        return all(
+            list(self.rankings[user].items) == expected
+            for user, expected in TABLE2_EXPECTED.items()
+        )
+
+
+def run_table2(
+    *, seed: int = 2014, fig10: Fig10Result | None = None
+) -> Table2Result:
+    """Compute Table II (reusing Fig. 10 data when supplied)."""
+    result = fig10 if fig10 is not None else run_fig10(seed=seed)
+    feature_names = shop_feature_pipeline().feature_names
+    rankings = {
+        profile.name: rank_with_profile(result.features, feature_names, profile)
+        for profile in customer_profiles()
+    }
+    return Table2Result(rankings=rankings, fig10=result)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render Table II as aligned text with a match verdict."""
+    lines = [
+        "Table II — rankings of coffee shops computed by SOR",
+        f"{'User':<8}{'No. 1':<16}{'No. 2':<16}{'No. 3':<16}",
+    ]
+    for user, places in result.as_rows():
+        lines.append(f"{user:<8}" + "".join(f"{place:<16}" for place in places))
+    lines.append(
+        f"matches paper: {'YES' if result.matches_expected() else 'NO'}"
+    )
+    return "\n".join(lines)

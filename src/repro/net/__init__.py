@@ -1,0 +1,39 @@
+"""Networking substrate.
+
+SOR's frontend and server talk HTTP, with all SOR-specific information
+encoded as an opaque binary message body (Section II-A: "All SOR-specific
+information is encoded as binary data and stored in the message body of
+an HTTP message"). This package provides:
+
+* :mod:`repro.net.codec` — the type-tagged binary encoding used for
+  message bodies (varints, IEEE doubles, length-prefixed strings, nested
+  lists and dictionaries),
+* :mod:`repro.net.messages` — the SOR message envelope and message types,
+* :mod:`repro.net.http` — minimal HTTP request/response objects and the
+  endpoint protocol,
+* :mod:`repro.net.transport` — a simulated network with latency and loss,
+* :mod:`repro.net.gcm` — a Google-Cloud-Messaging-like push channel the
+  server uses to re-ping phones it has lost track of.
+"""
+
+from repro.net.codec import decode_body, decode_value, encode_body, encode_value
+from repro.net.gcm import CloudMessenger
+from repro.net.http import HttpEndpoint, HttpRequest, HttpResponse
+from repro.net.messages import Envelope, MessageType
+from repro.net.transport import Network, NetworkConditions, NetworkStats
+
+__all__ = [
+    "CloudMessenger",
+    "Envelope",
+    "HttpEndpoint",
+    "HttpRequest",
+    "HttpResponse",
+    "MessageType",
+    "Network",
+    "NetworkConditions",
+    "NetworkStats",
+    "decode_body",
+    "decode_value",
+    "encode_body",
+    "encode_value",
+]

@@ -1,0 +1,51 @@
+"""A Google-Cloud-Messaging-like push channel.
+
+The paper's message handler "can communicate with a Google server. This
+is useful when a sensing server loses track of a particular mobile
+phone, it can ask the mobile device to ping it via a Google Cloud
+Messaging server." This module reproduces that role: devices register a
+token and a wake-up callback; the server pushes a small payload by
+token, which invokes the callback out of band of the normal HTTP path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.errors import TransportError
+
+WakeCallback = Callable[[dict[str, Any]], None]
+
+
+class CloudMessenger:
+    """Token-addressed push delivery to registered devices."""
+
+    def __init__(self) -> None:
+        self._devices: dict[str, WakeCallback] = {}
+        self.pushes_delivered = 0
+        self.pushes_failed = 0
+
+    def register_device(self, token: str, callback: WakeCallback) -> None:
+        """Register (or re-register) a device's wake-up callback."""
+        self._devices[token] = callback
+
+    def unregister_device(self, token: str) -> None:
+        """Remove a device registration; unknown tokens are ignored."""
+        self._devices.pop(token, None)
+
+    def is_registered(self, token: str) -> bool:
+        """Whether a device is registered under ``token``."""
+        return token in self._devices
+
+    def push(self, token: str, payload: dict[str, Any]) -> None:
+        """Deliver ``payload`` to the device registered under ``token``.
+
+        Raises :class:`TransportError` if the token is unknown — the
+        server treats that as a permanently lost phone.
+        """
+        callback = self._devices.get(token)
+        if callback is None:
+            self.pushes_failed += 1
+            raise TransportError(f"no device registered for token {token!r}")
+        callback(dict(payload))
+        self.pushes_delivered += 1

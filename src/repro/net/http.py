@@ -1,0 +1,48 @@
+"""Minimal HTTP request/response objects and the endpoint protocol.
+
+SOR uses HTTP purely as a carrier: the interesting content is the binary
+body. These classes model exactly what the message handlers on both
+sides need — method, path, headers and body — without pulling in a real
+HTTP stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """An HTTP request addressed to a host registered on the network."""
+
+    method: str
+    host: str
+    path: str
+    body: bytes = b""
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "method", self.method.upper())
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """An HTTP response. 200 for success, 4xx/5xx for failures."""
+
+    status: int
+    body: bytes = b""
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@runtime_checkable
+class HttpEndpoint(Protocol):
+    """Anything that can serve HTTP requests (phones and servers)."""
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request synchronously."""
+        ...

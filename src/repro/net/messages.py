@@ -1,0 +1,85 @@
+"""SOR message envelopes.
+
+Every exchange between the mobile frontend and the sensing server is an
+:class:`Envelope`: a message type, sender/recipient identities and a
+payload dictionary, serialized to an opaque binary body with
+:mod:`repro.net.codec`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import CodecError
+from repro.net import codec
+
+
+class MessageType(enum.Enum):
+    """The message kinds exchanged in the SOR protocol."""
+
+    PARTICIPATE = "participate"  # phone → server: barcode scanned
+    SCHEDULE = "schedule"  # server → phone: sensing schedule + script
+    SENSED_DATA = "sensed_data"  # phone → server: raw readings
+    LOCATION_QUERY = "location_query"  # server → phone: where are you?
+    LOCATION_REPORT = "location_report"  # phone → server: current location
+    PING = "ping"  # server → phone via GCM: re-establish contact
+    PONG = "pong"  # phone → server: reply to ping
+    PREFERENCES = "preferences"  # phone → server: local sensor preferences
+    ACK = "ack"  # either direction: success acknowledgement
+    ERROR = "error"  # either direction: failure notice
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A single SOR protocol message."""
+
+    message_type: MessageType
+    sender: str
+    recipient: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the opaque binary body carried inside HTTP."""
+        return codec.encode_body(
+            {
+                "type": self.message_type.value,
+                "sender": self.sender,
+                "recipient": self.recipient,
+                "payload": self.payload,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Envelope":
+        """Parse an envelope from its binary body."""
+        body = codec.decode_body(data)
+        try:
+            message_type = MessageType(body["type"])
+            sender = body["sender"]
+            recipient = body["recipient"]
+            payload = body.get("payload", {})
+        except (KeyError, ValueError) as exc:
+            raise CodecError(f"malformed envelope: {exc}") from exc
+        if not isinstance(sender, str) or not isinstance(recipient, str):
+            raise CodecError("envelope sender/recipient must be strings")
+        if not isinstance(payload, dict):
+            raise CodecError("envelope payload must be a dict")
+        return cls(
+            message_type=message_type,
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+        )
+
+    def reply(
+        self, message_type: MessageType, payload: dict[str, Any] | None = None
+    ) -> "Envelope":
+        """Build a reply envelope with sender/recipient swapped."""
+        return Envelope(
+            message_type=message_type,
+            sender=self.recipient,
+            recipient=self.sender,
+            payload=payload or {},
+        )

@@ -1,0 +1,117 @@
+"""A simulated network joining phones and servers.
+
+The network delivers :class:`~repro.net.http.HttpRequest` objects to
+registered endpoints synchronously (HTTP is request/response), while
+modelling the two impairments that matter to SOR's protocol logic:
+latency (recorded, and charged to the simulation clock when one is
+attached) and message loss (a dropped request surfaces as a
+:class:`~repro.common.errors.TransportError`, which the sender handles
+exactly as it would a timed-out HTTP call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.clock import Clock, ManualClock
+from repro.common.errors import TransportError, ValidationError
+from repro.common.validation import require_in_range
+from repro.net.http import HttpEndpoint, HttpRequest, HttpResponse
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """Impairment model for a simulated link."""
+
+    base_latency_s: float = 0.05
+    jitter_s: float = 0.02
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency_s < 0 or self.jitter_s < 0:
+            raise ValidationError("latency parameters must be non-negative")
+        require_in_range(self.drop_probability, "drop_probability", 0.0, 1.0)
+
+
+@dataclass
+class NetworkStats:
+    """Counters the tests and benchmarks read back."""
+
+    requests_sent: int = 0
+    requests_dropped: int = 0
+    responses_delivered: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    total_latency_s: float = 0.0
+    per_host_requests: dict[str, int] = field(default_factory=dict)
+
+
+class Network:
+    """Registry of endpoints plus the simulated request path."""
+
+    def __init__(
+        self,
+        conditions: NetworkConditions | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.conditions = conditions or NetworkConditions()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._clock = clock
+        self._endpoints: dict[str, HttpEndpoint] = {}
+        self.stats = NetworkStats()
+
+    def register(self, host: str, endpoint: HttpEndpoint) -> None:
+        """Attach ``endpoint`` at address ``host``."""
+        if host in self._endpoints:
+            raise TransportError(f"host {host!r} is already registered")
+        self._endpoints[host] = endpoint
+
+    def unregister(self, host: str) -> None:
+        """Detach the endpoint at ``host`` (simulates the phone going dark)."""
+        if host not in self._endpoints:
+            raise TransportError(f"host {host!r} is not registered")
+        del self._endpoints[host]
+
+    def is_registered(self, host: str) -> bool:
+        """Whether an endpoint is registered at ``host``."""
+        return host in self._endpoints
+
+    def _sample_latency(self) -> float:
+        jitter = (
+            float(self._rng.uniform(0.0, self.conditions.jitter_s))
+            if self.conditions.jitter_s > 0
+            else 0.0
+        )
+        return self.conditions.base_latency_s + jitter
+
+    def send(self, request: HttpRequest) -> HttpResponse:
+        """Deliver ``request`` to its host and return the response.
+
+        Raises :class:`TransportError` if the host is unknown or the
+        (request or response) leg is dropped.
+        """
+        self.stats.requests_sent += 1
+        self.stats.bytes_sent += len(request.body)
+        self.stats.per_host_requests[request.host] = (
+            self.stats.per_host_requests.get(request.host, 0) + 1
+        )
+        endpoint = self._endpoints.get(request.host)
+        if endpoint is None:
+            raise TransportError(f"no endpoint registered at {request.host!r}")
+        if self.conditions.drop_probability > 0 and (
+            float(self._rng.random()) < self.conditions.drop_probability
+        ):
+            self.stats.requests_dropped += 1
+            raise TransportError(f"request to {request.host!r} was dropped")
+        latency = self._sample_latency()
+        self.stats.total_latency_s += latency
+        if isinstance(self._clock, ManualClock):
+            self._clock.advance(latency)
+        response = endpoint.handle_request(request)
+        self.stats.responses_delivered += 1
+        self.stats.bytes_received += len(response.body)
+        return response

@@ -1,0 +1,39 @@
+"""The mobile frontend (paper Section II-A, Fig. 3).
+
+Components mirror the paper's architecture one-to-one:
+
+* :class:`MessageHandler` — HTTP + binary-body codec boundary, GCM
+  registration, wake locks during communication,
+* :class:`LocalPreferenceManager` — per-sensor participation consent
+  ("a user may not want to expose his/her exact locations …"),
+* :class:`TaskManager` / :class:`TaskInstance` — one self-contained
+  instance per sensing task, each owning its status and collected data,
+* the script bridge — task instances run their LuaLite scripts in a
+  sandbox whose whitelisted ``get_*_readings()`` functions the
+  :class:`SensorManager` maps to providers,
+* :class:`SensorManager` + :class:`ProviderRegister` — the scalability
+  point: support a new sensor by registering one provider,
+* :class:`Battery` / :class:`WakeLockManager` — energy accounting.
+
+:class:`MobilePhone` wires them together and implements the network's
+``HttpEndpoint`` protocol.
+"""
+
+from repro.phone.frontend import MobilePhone
+from repro.phone.power import Battery, WakeLockManager
+from repro.phone.preferences import LocalPreferenceManager
+from repro.phone.sensor_manager import ProviderRegister, SensorManager
+from repro.phone.task import TaskInstance, TaskStatus
+from repro.phone.task_manager import TaskManager
+
+__all__ = [
+    "Battery",
+    "LocalPreferenceManager",
+    "MobilePhone",
+    "ProviderRegister",
+    "SensorManager",
+    "TaskInstance",
+    "TaskManager",
+    "TaskStatus",
+    "WakeLockManager",
+]

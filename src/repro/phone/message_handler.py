@@ -1,0 +1,96 @@
+"""The phone-side Message Handler.
+
+"The Message Handler serves as an interface for communications between
+the mobile frontend and a sensing server … It is responsible for
+encoding/decoding the message body", dispatches incoming messages, can
+talk to a Google (Cloud Messaging) server, and holds a wake lock during
+communications so the phone does not sleep mid-transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.errors import CodecError, TransportError
+from repro.net import CloudMessenger, Envelope, HttpRequest, HttpResponse, MessageType
+from repro.net.transport import Network
+from repro.phone.power import WakeLockManager
+
+
+class PhoneMessageHandler:
+    """Encodes, sends, receives and dispatches envelopes for one phone."""
+
+    def __init__(
+        self,
+        host: str,
+        network: Network,
+        wake_locks: WakeLockManager,
+        *,
+        gcm: CloudMessenger | None = None,
+        gcm_token: str | None = None,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.wake_locks = wake_locks
+        self._dispatch: dict[MessageType, Callable[[Envelope], Envelope | None]] = {}
+        self.messages_sent = 0
+        self.messages_failed = 0
+        if gcm is not None and gcm_token is not None:
+            gcm.register_device(gcm_token, self._on_push)
+        self._push_handler: Callable[[dict[str, Any]], None] | None = None
+
+    def on(
+        self,
+        message_type: MessageType,
+        handler: Callable[[Envelope], Envelope | None],
+    ) -> None:
+        """Register the component that serves ``message_type``."""
+        self._dispatch[message_type] = handler
+
+    def on_push(self, handler: Callable[[dict[str, Any]], None]) -> None:
+        """Register the GCM wake-up handler."""
+        self._push_handler = handler
+
+    def _on_push(self, payload: dict[str, Any]) -> None:
+        if self._push_handler is not None:
+            self._push_handler(payload)
+
+    def send(self, server_host: str, envelope: Envelope) -> Envelope | None:
+        """POST an envelope to a server; returns the reply envelope.
+
+        Holds a wake lock for the duration. Transport drops return
+        ``None`` (the caller retries or gives up, as a real phone would
+        on an HTTP timeout).
+        """
+        self.wake_locks.acquire("communication")
+        try:
+            request = HttpRequest(
+                method="POST",
+                host=server_host,
+                path="/sor",
+                body=envelope.to_bytes(),
+            )
+            response = self.network.send(request)
+            self.messages_sent += 1
+            if not response.ok or not response.body:
+                return None
+            return Envelope.from_bytes(response.body)
+        except (TransportError, CodecError):
+            self.messages_failed += 1
+            return None
+        finally:
+            self.wake_locks.release("communication")
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Serve a server-initiated HTTP request (dispatching by type)."""
+        try:
+            envelope = Envelope.from_bytes(request.body)
+        except CodecError:
+            return HttpResponse(status=400)
+        handler = self._dispatch.get(envelope.message_type)
+        if handler is None:
+            return HttpResponse(status=404)
+        reply = handler(envelope)
+        if reply is None:
+            return HttpResponse(status=200)
+        return HttpResponse(status=200, body=reply.to_bytes())

@@ -1,0 +1,79 @@
+"""Energy accounting: battery and wake locks.
+
+The paper's message handler "can prevent a mobile phone from going to
+sleep during communications with a server"
+(``powerManager.newWakeupLock()``). We model wake locks as named,
+possibly nested holds whose total held time drains the battery at a
+fixed rate, and sensing/radio costs as discrete charges.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock
+from repro.common.errors import ValidationError
+
+
+class Battery:
+    """A finite energy store in millijoules."""
+
+    def __init__(self, capacity_mj: float = 40_000.0) -> None:
+        if capacity_mj <= 0:
+            raise ValidationError("battery capacity must be positive")
+        self.capacity_mj = capacity_mj
+        self.remaining_mj = capacity_mj
+        self.drained_by: dict[str, float] = {}
+
+    @property
+    def is_dead(self) -> bool:
+        return self.remaining_mj <= 0
+
+    @property
+    def level(self) -> float:
+        """Remaining fraction in [0, 1]."""
+        return max(0.0, self.remaining_mj / self.capacity_mj)
+
+    def drain(self, amount_mj: float, reason: str) -> None:
+        """Consume energy; clamps at zero (the phone just dies)."""
+        if amount_mj < 0:
+            raise ValidationError("cannot drain a negative amount")
+        self.remaining_mj = max(0.0, self.remaining_mj - amount_mj)
+        self.drained_by[reason] = self.drained_by.get(reason, 0.0) + amount_mj
+
+
+class WakeLockManager:
+    """Named, re-entrant wake locks; held time drains the battery."""
+
+    def __init__(
+        self, clock: Clock, battery: Battery, *, drain_mw: float = 50.0
+    ) -> None:
+        self.clock = clock
+        self.battery = battery
+        self.drain_mw = drain_mw
+        self._holds: dict[str, int] = {}
+        self._since: float | None = None
+        self.total_held_s = 0.0
+
+    @property
+    def is_held(self) -> bool:
+        return bool(self._holds)
+
+    def acquire(self, name: str) -> None:
+        """Take (or re-enter) the wake lock ``name``."""
+        if not self._holds:
+            self._since = self.clock.now()
+        self._holds[name] = self._holds.get(name, 0) + 1
+
+    def release(self, name: str) -> None:
+        """Release one hold of ``name``; the battery is charged when the
+        last hold goes away."""
+        if name not in self._holds:
+            raise ValidationError(f"wake lock {name!r} is not held")
+        self._holds[name] -= 1
+        if self._holds[name] == 0:
+            del self._holds[name]
+        if not self._holds and self._since is not None:
+            held = max(0.0, self.clock.now() - self._since)
+            self.total_held_s += held
+            # mW · s = mJ
+            self.battery.drain(self.drain_mw * held, reason="wake_lock")
+            self._since = None

@@ -1,0 +1,37 @@
+"""Local sensing preferences.
+
+"SOR also allows a user to specify how sensors on his/her phone can be
+used … he/she can disallow the phone to return locations provided by
+GPS." A denied sensor makes its acquisition functions unavailable to
+scripts on this phone — the task still runs, it simply cannot read that
+sensor.
+"""
+
+from __future__ import annotations
+
+
+class LocalPreferenceManager:
+    """Per-sensor allow/deny switches; everything is allowed by default."""
+
+    def __init__(self) -> None:
+        self._denied: set[str] = set()
+
+    def deny(self, sensor_type: str) -> None:
+        """Forbid scripts from reading ``sensor_type`` on this phone."""
+        self._denied.add(sensor_type)
+
+    def allow(self, sensor_type: str) -> None:
+        """Re-allow a previously denied sensor."""
+        self._denied.discard(sensor_type)
+
+    def is_allowed(self, sensor_type: str) -> bool:
+        """Whether scripts may read ``sensor_type``."""
+        return sensor_type not in self._denied
+
+    def denied_sensors(self) -> list[str]:
+        """Sorted list of denied sensor types."""
+        return sorted(self._denied)
+
+    def to_payload(self) -> dict[str, list[str]]:
+        """Serializable form sent to the server in PREFERENCES messages."""
+        return {"denied": self.denied_sensors()}

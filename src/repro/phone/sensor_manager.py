@@ -1,0 +1,151 @@
+"""Sensor Manager and Provider Register (paper Fig. 3, right column).
+
+"When a new sensor is integrated into SOR, the corresponding Provider
+needs to be registered with the Sensor Manager via the Provider
+Register, which keeps a list of currently supported sensors and the
+corresponding data acquisition functions we defined (such as
+get_light_readings() and get_location()). When a task instance requests
+data by calling such a data acquisition function, the Sensor Manager
+directs the call to the corresponding Provider."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigurationError, SensorError, SensorTimeoutError
+from repro.core.features.types import GpsFix, ReadingBurst
+from repro.phone.power import Battery
+from repro.phone.preferences import LocalPreferenceManager
+from repro.sensors.provider import Provider
+
+
+class ProviderRegister:
+    """The list of supported sensors and their acquisition-function names."""
+
+    def __init__(self) -> None:
+        self._providers: dict[str, Provider] = {}
+
+    def register(self, provider: Provider) -> None:
+        """Add a provider; one per sensor type."""
+        sensor_type = provider.spec.sensor_type
+        if sensor_type in self._providers:
+            raise ConfigurationError(
+                f"a provider for {sensor_type!r} is already registered"
+            )
+        self._providers[sensor_type] = provider
+
+    def unregister(self, sensor_type: str) -> None:
+        """Remove the provider for ``sensor_type``."""
+        if sensor_type not in self._providers:
+            raise ConfigurationError(f"no provider for {sensor_type!r}")
+        del self._providers[sensor_type]
+
+    def provider(self, sensor_type: str) -> Provider:
+        """The provider for ``sensor_type`` (raises if unsupported)."""
+        try:
+            return self._providers[sensor_type]
+        except KeyError:
+            raise SensorError(
+                f"sensor {sensor_type!r} is not supported on this phone"
+            ) from None
+
+    def supported_sensors(self) -> list[str]:
+        """Sorted sensor types this phone supports."""
+        return sorted(self._providers)
+
+    def acquisition_function_name(self, sensor_type: str) -> str:
+        """The whitelisted script-visible name for this sensor."""
+        if sensor_type == "gps":
+            return "get_location"
+        return f"get_{sensor_type}_readings"
+
+
+class SensorManager:
+    """Routes script acquisition calls to providers.
+
+    Enforces local preferences (denied sensors raise, which the task
+    instance reports as an error for that acquisition) and charges the
+    battery for each provider's energy use.
+    """
+
+    def __init__(
+        self,
+        register: ProviderRegister,
+        preferences: LocalPreferenceManager,
+        battery: Battery,
+    ) -> None:
+        self.register = register
+        self.preferences = preferences
+        self.battery = battery
+        self.acquisitions_cancelled = 0
+
+    def acquire_burst(
+        self,
+        sensor_type: str,
+        count: int,
+        interval_s: float,
+        *,
+        timeout_s: float | None = None,
+    ) -> ReadingBurst:
+        """Take a burst from ``sensor_type``, honoring preferences/power.
+
+        An acquisition whose end-to-end duration would exceed
+        ``timeout_s`` (default: the sensor's configured timeout) is
+        cancelled before it starts — the paper's "the manager can cancel
+        data acquisition if timeout".
+        """
+        if not self.preferences.is_allowed(sensor_type):
+            raise SensorError(
+                f"sensor {sensor_type!r} is disabled by the user's preferences"
+            )
+        if self.battery.is_dead:
+            raise SensorError("battery is dead; cannot sense")
+        provider = self.register.provider(sensor_type)
+        limit = timeout_s if timeout_s is not None else provider.spec.default_timeout_s
+        estimated = provider.estimated_duration_s(count, interval_s)
+        if estimated > limit:
+            self.acquisitions_cancelled += 1
+            raise SensorTimeoutError(
+                f"{sensor_type!r} acquisition cancelled: would take "
+                f"{estimated:.1f}s, timeout is {limit:.1f}s"
+            )
+        before = provider.energy_consumed_mj
+        burst = provider.acquire_burst(count, interval_s)
+        self.battery.drain(
+            provider.energy_consumed_mj - before, reason=f"sense:{sensor_type}"
+        )
+        return burst
+
+    def script_bindings(
+        self, record: Callable[[str, ReadingBurst], None]
+    ) -> dict[str, Callable]:
+        """Build the whitelisted acquisition functions for a sandbox.
+
+        Each binding takes ``(count, interval_s)``, records the burst
+        through ``record`` (so the task instance keeps the raw (t, Δt, d)
+        tuple) and returns the plain reading values to the script.
+        """
+        bindings: dict[str, Callable] = {}
+        for sensor_type in self.register.supported_sensors():
+            name = self.register.acquisition_function_name(sensor_type)
+            bindings[name] = self._make_binding(sensor_type, record)
+        return bindings
+
+    def _make_binding(
+        self, sensor_type: str, record: Callable[[str, ReadingBurst], None]
+    ) -> Callable:
+        def acquire(count: float = 1, interval_s: float = 0.0):
+            burst = self.acquire_burst(sensor_type, int(count), float(interval_s))
+            record(sensor_type, burst)
+            values = []
+            for value in burst.values:
+                if isinstance(value, GpsFix):
+                    values.append([value.latitude, value.longitude, value.altitude_m])
+                elif isinstance(value, tuple):
+                    values.append(list(value))
+                else:
+                    values.append(value)
+            return values
+
+        return acquire

@@ -1,0 +1,53 @@
+"""The Task Manager: keeps track of all task instances on a phone."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.phone.task import TaskInstance, TaskStatus
+
+
+class TaskManager:
+    """Owns every task instance; SOR is a multi-task system."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, TaskInstance] = {}
+
+    def add(self, task: TaskInstance) -> None:
+        """Track a new task instance; ids must be unique."""
+        if task.task_id in self._tasks:
+            raise ConfigurationError(f"task {task.task_id!r} already exists")
+        self._tasks[task.task_id] = task
+
+    def get(self, task_id: str) -> TaskInstance | None:
+        """The task with ``task_id``, or None."""
+        return self._tasks.get(task_id)
+
+    def all_tasks(self) -> list[TaskInstance]:
+        """Every tracked task instance."""
+        return list(self._tasks.values())
+
+    def active_tasks(self) -> list[TaskInstance]:
+        """Tasks that are neither finished nor failed."""
+        return [task for task in self._tasks.values() if not task.is_done]
+
+    def execute_due(self, now: float) -> int:
+        """Run every task's due instants; returns total executions."""
+        return sum(task.execute_due(now) for task in self.active_tasks())
+
+    def next_sensing_time(self) -> float | None:
+        """The earliest pending instant across all active tasks."""
+        times = [
+            time
+            for task in self.active_tasks()
+            if (time := task.next_sensing_time()) is not None
+        ]
+        return min(times) if times else None
+
+    def finished_unreported(self) -> list[TaskInstance]:
+        """Tasks that completed (or failed) and still hold data to upload."""
+        return [
+            task
+            for task in self._tasks.values()
+            if task.status in (TaskStatus.FINISHED, TaskStatus.ERROR)
+            and (task.bursts or task.error)
+        ]

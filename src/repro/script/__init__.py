@@ -1,0 +1,37 @@
+"""LuaLite — the sensing-task scripting language.
+
+SOR describes *how to sense* with Lua scripts shipped from the server to
+the phone (Section II-A): the script calls data-acquisition functions
+like ``get_light_readings()`` which the interpreter maps onto native
+callbacks, and only a whitelist of unharmful functions may be called.
+
+This package implements a compatible subset of Lua from scratch:
+
+* :mod:`repro.script.lexer` — tokenizer,
+* :mod:`repro.script.parser` — recursive-descent parser producing an AST,
+* :mod:`repro.script.interpreter` — tree-walking evaluator with Lua
+  truthiness, closures, tables, numeric ``for``, and a step budget,
+* :mod:`repro.script.sandbox` — the whitelist environment; unknown
+  global calls raise :class:`~repro.common.errors.ScriptSecurityError`.
+
+Supported syntax: ``local`` declarations, assignment (including table
+fields), ``if/elseif/else``, ``while``, numeric ``for``, generic
+``for k, v in pairs(t)`` / ``ipairs(t)``, ``function`` definitions and
+closures, ``return``, ``break``, table constructors, indexing
+(``t.x`` / ``t[k]``), arithmetic, comparison, ``and/or/not``, string
+concatenation ``..``, length ``#`` and ``--`` comments.
+"""
+
+from repro.script.interpreter import Interpreter, LuaTable
+from repro.script.lexer import tokenize
+from repro.script.parser import parse
+from repro.script.sandbox import Sandbox, build_base_environment
+
+__all__ = [
+    "Interpreter",
+    "LuaTable",
+    "Sandbox",
+    "build_base_environment",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,199 @@
+"""AST node definitions for LuaLite.
+
+All nodes carry the source line where they start, so runtime errors can
+point back at the script the server shipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Node:
+    line: int
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NilLiteral(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class BoolLiteral(Node):
+    value: bool
+
+
+@dataclass(frozen=True)
+class NumberLiteral(Node):
+    value: int | float
+
+
+@dataclass(frozen=True)
+class StringLiteral(Node):
+    value: str
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    identifier: str
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    operator: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    operator: str
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    """``obj[key]`` or ``obj.key`` (the latter parses to a string key)."""
+
+    obj: "Expression"
+    key: "Expression"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    callee: "Expression"
+    arguments: tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class FunctionExpr(Node):
+    parameters: tuple[str, ...]
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class TableField:
+    """One entry of a table constructor.
+
+    ``key`` is ``None`` for positional (array-part) entries.
+    """
+
+    key: Union["Expression", None]
+    value: "Expression"
+
+
+@dataclass(frozen=True)
+class TableConstructor(Node):
+    fields: tuple[TableField, ...]
+
+
+Expression = Union[
+    NilLiteral,
+    BoolLiteral,
+    NumberLiteral,
+    StringLiteral,
+    Name,
+    BinaryOp,
+    UnaryOp,
+    Index,
+    Call,
+    FunctionExpr,
+    TableConstructor,
+]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Block:
+    statements: tuple["Statement", ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class LocalAssign(Node):
+    names: tuple[str, ...]
+    values: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    """Assignment to names and/or table fields."""
+
+    targets: tuple[Expression, ...]  # Name or Index nodes
+    values: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class ExpressionStatement(Node):
+    expression: Expression  # must be a Call in Lua; we enforce that in the parser
+
+
+@dataclass(frozen=True)
+class If(Node):
+    """``if``/``elseif`` chain: list of (condition, block), optional else."""
+
+    branches: tuple[tuple[Expression, Block], ...]
+    otherwise: Block | None
+
+
+@dataclass(frozen=True)
+class While(Node):
+    condition: Expression
+    body: Block
+
+
+@dataclass(frozen=True)
+class NumericFor(Node):
+    variable: str
+    start: Expression
+    stop: Expression
+    step: Expression | None
+    body: Block
+
+
+@dataclass(frozen=True)
+class GenericFor(Node):
+    """``for k, v in expr do ... end`` (single iterator expression)."""
+
+    names: tuple[str, ...]
+    iterator: Expression
+    body: Block
+
+
+@dataclass(frozen=True)
+class FunctionDecl(Node):
+    """``function name(...)`` or ``local function name(...)``."""
+
+    name: str
+    function: FunctionExpr
+    is_local: bool
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Expression | None
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pass
+
+
+Statement = Union[
+    LocalAssign,
+    Assign,
+    ExpressionStatement,
+    If,
+    While,
+    NumericFor,
+    GenericFor,
+    FunctionDecl,
+    Return,
+    Break,
+]

@@ -1,0 +1,218 @@
+"""Tokenizer for LuaLite."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ScriptSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "and",
+        "break",
+        "do",
+        "else",
+        "elseif",
+        "end",
+        "false",
+        "for",
+        "function",
+        "if",
+        "in",
+        "local",
+        "nil",
+        "not",
+        "or",
+        "return",
+        "then",
+        "true",
+        "while",
+    }
+)
+
+# Multi-character operators must be matched before their prefixes.
+_OPERATORS = (
+    "==",
+    "~=",
+    "<=",
+    ">=",
+    "..",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "^",
+    "#",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ".",
+    ":",
+)
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of LuaLite tokens."""
+    NUMBER = "number"
+    STRING = "string"
+    NAME = "name"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str | int | float
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the keyword ``word``."""
+        return self.kind is TokenKind.KEYWORD and self.value == word
+
+    def is_operator(self, symbol: str) -> bool:
+        """Whether this token is the operator ``symbol``."""
+        return self.kind is TokenKind.OPERATOR and self.value == symbol
+
+
+class _Scanner:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, ahead: int = 0) -> str:
+        index = self.position + ahead
+        return self.source[index] if index < len(self.source) else ""
+
+    def advance(self) -> str:
+        char = self.source[self.position]
+        self.position += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.source)
+
+    def error(self, message: str) -> ScriptSyntaxError:
+        return ScriptSyntaxError(message, self.line, self.column)
+
+
+def _scan_number(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    text = []
+    is_float = False
+    while scanner.peek().isdigit():
+        text.append(scanner.advance())
+    if scanner.peek() == "." and scanner.peek(1).isdigit():
+        is_float = True
+        text.append(scanner.advance())
+        while scanner.peek().isdigit():
+            text.append(scanner.advance())
+    if scanner.peek() in ("e", "E"):
+        lookahead = 1
+        if scanner.peek(1) in ("+", "-"):
+            lookahead = 2
+        if scanner.peek(lookahead).isdigit():
+            is_float = True
+            for _ in range(lookahead):
+                text.append(scanner.advance())
+            while scanner.peek().isdigit():
+                text.append(scanner.advance())
+    literal = "".join(text)
+    value: int | float = float(literal) if is_float else int(literal)
+    return Token(TokenKind.NUMBER, value, line, column)
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"', "'": "'", "0": "\0"}
+
+
+def _scan_string(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    quote = scanner.advance()
+    chars: list[str] = []
+    while True:
+        if scanner.exhausted:
+            raise ScriptSyntaxError("unterminated string", line, column)
+        char = scanner.advance()
+        if char == quote:
+            break
+        if char == "\n":
+            raise ScriptSyntaxError("unterminated string", line, column)
+        if char == "\\":
+            if scanner.exhausted:
+                raise ScriptSyntaxError("unterminated escape", scanner.line, scanner.column)
+            escape = scanner.advance()
+            if escape not in _ESCAPES:
+                raise ScriptSyntaxError(
+                    f"unknown escape \\{escape}", scanner.line, scanner.column
+                )
+            chars.append(_ESCAPES[escape])
+        else:
+            chars.append(char)
+    return Token(TokenKind.STRING, "".join(chars), line, column)
+
+
+def _scan_name(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    chars = []
+    while scanner.peek().isalnum() or scanner.peek() == "_":
+        chars.append(scanner.advance())
+    word = "".join(chars)
+    kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.NAME
+    return Token(kind, word, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize LuaLite ``source``; the result always ends with EOF."""
+    scanner = _Scanner(source)
+    tokens: list[Token] = []
+    while not scanner.exhausted:
+        char = scanner.peek()
+        if char in " \t\r\n":
+            scanner.advance()
+            continue
+        if char == "-" and scanner.peek(1) == "-":
+            while not scanner.exhausted and scanner.peek() != "\n":
+                scanner.advance()
+            continue
+        if char.isdigit():
+            tokens.append(_scan_number(scanner))
+            continue
+        if char in ("'", '"'):
+            tokens.append(_scan_string(scanner))
+            continue
+        if char.isalpha() or char == "_":
+            tokens.append(_scan_name(scanner))
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if scanner.source.startswith(operator, scanner.position):
+                line, column = scanner.line, scanner.column
+                for _ in operator:
+                    scanner.advance()
+                tokens.append(Token(TokenKind.OPERATOR, operator, line, column))
+                matched = True
+                break
+        if not matched:
+            raise scanner.error(f"unexpected character {char!r}")
+    tokens.append(Token(TokenKind.EOF, "", scanner.line, scanner.column))
+    return tokens

@@ -1,0 +1,428 @@
+"""Recursive-descent parser for LuaLite.
+
+Operator precedence follows Lua 5.1 (lowest first)::
+
+    or
+    and
+    <  >  <=  >=  ~=  ==
+    ..            (right associative)
+    +  -
+    *  /  %
+    not  #  -     (unary)
+    ^             (right associative, binds tighter than unary)
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ScriptSyntaxError
+from repro.script import ast_nodes as ast
+from repro.script.lexer import Token, TokenKind, tokenize
+
+_COMPARISON_OPS = ("<", ">", "<=", ">=", "~=", "==")
+_ADDITIVE_OPS = ("+", "-")
+_MULTIPLICATIVE_OPS = ("*", "/", "%")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> ScriptSyntaxError:
+        token = token or self.current
+        return ScriptSyntaxError(message, token.line, token.column)
+
+    def expect_operator(self, symbol: str) -> Token:
+        if not self.current.is_operator(symbol):
+            raise self.error(f"expected {symbol!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self.error(f"expected {word!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def expect_name(self) -> str:
+        if self.current.kind is not TokenKind.NAME:
+            raise self.error(f"expected a name, found {self.current.value!r}")
+        return str(self.advance().value)
+
+    def at_block_end(self) -> bool:
+        token = self.current
+        return token.kind is TokenKind.EOF or (
+            token.kind is TokenKind.KEYWORD
+            and token.value in ("end", "else", "elseif")
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        statements: list[ast.Statement] = []
+        while not self.at_block_end():
+            if self.current.is_operator(";"):
+                self.advance()
+                continue
+            statement = self.parse_statement()
+            statements.append(statement)
+            if isinstance(statement, (ast.Return, ast.Break)):
+                # Lua requires return/break to end a block.
+                break
+        return ast.Block(statements=tuple(statements))
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.current
+        if token.is_keyword("local"):
+            return self.parse_local()
+        if token.is_keyword("if"):
+            return self.parse_if()
+        if token.is_keyword("while"):
+            return self.parse_while()
+        if token.is_keyword("for"):
+            return self.parse_for()
+        if token.is_keyword("function"):
+            return self.parse_function_decl(is_local=False)
+        if token.is_keyword("return"):
+            self.advance()
+            value: ast.Expression | None = None
+            if not self.at_block_end() and not self.current.is_operator(";"):
+                value = self.parse_expression()
+            if self.current.is_operator(";"):
+                self.advance()
+            return ast.Return(line=token.line, value=value)
+        if token.is_keyword("break"):
+            self.advance()
+            return ast.Break(line=token.line)
+        if token.is_keyword("do"):
+            raise self.error("bare do...end blocks are not supported in LuaLite")
+        return self.parse_expression_or_assignment()
+
+    def parse_local(self) -> ast.Statement:
+        token = self.expect_keyword("local")
+        if self.current.is_keyword("function"):
+            return self.parse_function_decl(is_local=True, local_token=token)
+        names = [self.expect_name()]
+        while self.current.is_operator(","):
+            self.advance()
+            names.append(self.expect_name())
+        values: list[ast.Expression] = []
+        if self.current.is_operator("="):
+            self.advance()
+            values.append(self.parse_expression())
+            while self.current.is_operator(","):
+                self.advance()
+                values.append(self.parse_expression())
+        return ast.LocalAssign(
+            line=token.line, names=tuple(names), values=tuple(values)
+        )
+
+    def parse_if(self) -> ast.If:
+        token = self.expect_keyword("if")
+        branches: list[tuple[ast.Expression, ast.Block]] = []
+        condition = self.parse_expression()
+        self.expect_keyword("then")
+        branches.append((condition, self.parse_block()))
+        otherwise: ast.Block | None = None
+        while True:
+            if self.current.is_keyword("elseif"):
+                self.advance()
+                condition = self.parse_expression()
+                self.expect_keyword("then")
+                branches.append((condition, self.parse_block()))
+                continue
+            if self.current.is_keyword("else"):
+                self.advance()
+                otherwise = self.parse_block()
+            self.expect_keyword("end")
+            break
+        return ast.If(line=token.line, branches=tuple(branches), otherwise=otherwise)
+
+    def parse_while(self) -> ast.While:
+        token = self.expect_keyword("while")
+        condition = self.parse_expression()
+        self.expect_keyword("do")
+        body = self.parse_block()
+        self.expect_keyword("end")
+        return ast.While(line=token.line, condition=condition, body=body)
+
+    def parse_for(self) -> "ast.NumericFor | ast.GenericFor":
+        token = self.expect_keyword("for")
+        names = [self.expect_name()]
+        while self.current.is_operator(","):
+            self.advance()
+            names.append(self.expect_name())
+        if self.current.is_keyword("in"):
+            self.advance()
+            iterator = self.parse_expression()
+            self.expect_keyword("do")
+            body = self.parse_block()
+            self.expect_keyword("end")
+            return ast.GenericFor(
+                line=token.line, names=tuple(names), iterator=iterator, body=body
+            )
+        if len(names) != 1:
+            raise self.error("numeric for takes exactly one variable", token)
+        variable = names[0]
+        self.expect_operator("=")
+        start = self.parse_expression()
+        self.expect_operator(",")
+        stop = self.parse_expression()
+        step: ast.Expression | None = None
+        if self.current.is_operator(","):
+            self.advance()
+            step = self.parse_expression()
+        self.expect_keyword("do")
+        body = self.parse_block()
+        self.expect_keyword("end")
+        return ast.NumericFor(
+            line=token.line,
+            variable=variable,
+            start=start,
+            stop=stop,
+            step=step,
+            body=body,
+        )
+
+    def parse_function_decl(
+        self, *, is_local: bool, local_token: Token | None = None
+    ) -> ast.FunctionDecl:
+        token = local_token or self.current
+        self.expect_keyword("function")
+        name = self.expect_name()
+        function = self.parse_function_body(token.line)
+        return ast.FunctionDecl(
+            line=token.line, name=name, function=function, is_local=is_local
+        )
+
+    def parse_function_body(self, line: int) -> ast.FunctionExpr:
+        self.expect_operator("(")
+        parameters: list[str] = []
+        if not self.current.is_operator(")"):
+            parameters.append(self.expect_name())
+            while self.current.is_operator(","):
+                self.advance()
+                parameters.append(self.expect_name())
+        self.expect_operator(")")
+        body = self.parse_block()
+        self.expect_keyword("end")
+        return ast.FunctionExpr(line=line, parameters=tuple(parameters), body=body)
+
+    def parse_expression_or_assignment(self) -> ast.Statement:
+        token = self.current
+        first = self.parse_prefix_expression()
+        if self.current.is_operator("=") or self.current.is_operator(","):
+            targets = [first]
+            while self.current.is_operator(","):
+                self.advance()
+                targets.append(self.parse_prefix_expression())
+            self.expect_operator("=")
+            values = [self.parse_expression()]
+            while self.current.is_operator(","):
+                self.advance()
+                values.append(self.parse_expression())
+            for target in targets:
+                if not isinstance(target, (ast.Name, ast.Index)):
+                    raise self.error("invalid assignment target", token)
+            return ast.Assign(
+                line=token.line, targets=tuple(targets), values=tuple(values)
+            )
+        if not isinstance(first, ast.Call):
+            raise self.error("expression statements must be function calls", token)
+        return ast.ExpressionStatement(line=token.line, expression=first)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> ast.Expression:
+        return self.parse_or()
+
+    def _binary_chain(self, operators: tuple[str, ...], parse_next) -> ast.Expression:
+        left = parse_next()
+        while self.current.kind is TokenKind.OPERATOR and self.current.value in operators:
+            operator_token = self.advance()
+            right = parse_next()
+            left = ast.BinaryOp(
+                line=operator_token.line,
+                operator=str(operator_token.value),
+                left=left,
+                right=right,
+            )
+        return left
+
+    def parse_or(self) -> ast.Expression:
+        left = self.parse_and()
+        while self.current.is_keyword("or"):
+            token = self.advance()
+            right = self.parse_and()
+            left = ast.BinaryOp(line=token.line, operator="or", left=left, right=right)
+        return left
+
+    def parse_and(self) -> ast.Expression:
+        left = self.parse_comparison()
+        while self.current.is_keyword("and"):
+            token = self.advance()
+            right = self.parse_comparison()
+            left = ast.BinaryOp(line=token.line, operator="and", left=left, right=right)
+        return left
+
+    def parse_comparison(self) -> ast.Expression:
+        return self._binary_chain(_COMPARISON_OPS, self.parse_concat)
+
+    def parse_concat(self) -> ast.Expression:
+        left = self.parse_additive()
+        if self.current.is_operator(".."):
+            token = self.advance()
+            right = self.parse_concat()  # right associative
+            return ast.BinaryOp(line=token.line, operator="..", left=left, right=right)
+        return left
+
+    def parse_additive(self) -> ast.Expression:
+        return self._binary_chain(_ADDITIVE_OPS, self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> ast.Expression:
+        return self._binary_chain(_MULTIPLICATIVE_OPS, self.parse_unary)
+
+    def parse_unary(self) -> ast.Expression:
+        token = self.current
+        if token.is_keyword("not") or token.is_operator("-") or token.is_operator("#"):
+            self.advance()
+            operand = self.parse_unary()
+            operator = "not" if token.is_keyword("not") else str(token.value)
+            return ast.UnaryOp(line=token.line, operator=operator, operand=operand)
+        return self.parse_power()
+
+    def parse_power(self) -> ast.Expression:
+        base = self.parse_prefix_expression()
+        if self.current.is_operator("^"):
+            token = self.advance()
+            # Lua: ^ is right associative and binds tighter than unary on
+            # the right operand.
+            exponent = self.parse_unary()
+            return ast.BinaryOp(line=token.line, operator="^", left=base, right=exponent)
+        return base
+
+    def parse_prefix_expression(self) -> ast.Expression:
+        expression = self.parse_atom()
+        while True:
+            token = self.current
+            if token.is_operator("."):
+                self.advance()
+                name = self.expect_name()
+                expression = ast.Index(
+                    line=token.line,
+                    obj=expression,
+                    key=ast.StringLiteral(line=token.line, value=name),
+                )
+            elif token.is_operator("["):
+                self.advance()
+                key = self.parse_expression()
+                self.expect_operator("]")
+                expression = ast.Index(line=token.line, obj=expression, key=key)
+            elif token.is_operator("("):
+                self.advance()
+                arguments: list[ast.Expression] = []
+                if not self.current.is_operator(")"):
+                    arguments.append(self.parse_expression())
+                    while self.current.is_operator(","):
+                        self.advance()
+                        arguments.append(self.parse_expression())
+                self.expect_operator(")")
+                expression = ast.Call(
+                    line=token.line, callee=expression, arguments=tuple(arguments)
+                )
+            elif token.kind is TokenKind.STRING and isinstance(expression, (ast.Name, ast.Index)):
+                # Lua sugar: f "literal" calls f with one string argument.
+                self.advance()
+                expression = ast.Call(
+                    line=token.line,
+                    callee=expression,
+                    arguments=(
+                        ast.StringLiteral(line=token.line, value=str(token.value)),
+                    ),
+                )
+            else:
+                return expression
+
+    def parse_atom(self) -> ast.Expression:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            assert isinstance(token.value, (int, float))
+            return ast.NumberLiteral(line=token.line, value=token.value)
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ast.StringLiteral(line=token.line, value=str(token.value))
+        if token.is_keyword("nil"):
+            self.advance()
+            return ast.NilLiteral(line=token.line)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.BoolLiteral(line=token.line, value=True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.BoolLiteral(line=token.line, value=False)
+        if token.kind is TokenKind.NAME:
+            self.advance()
+            return ast.Name(line=token.line, identifier=str(token.value))
+        if token.is_keyword("function"):
+            self.advance()
+            return self.parse_function_body(token.line)
+        if token.is_operator("("):
+            self.advance()
+            expression = self.parse_expression()
+            self.expect_operator(")")
+            return expression
+        if token.is_operator("{"):
+            return self.parse_table_constructor()
+        raise self.error(f"unexpected token {token.value!r}")
+
+    def parse_table_constructor(self) -> ast.TableConstructor:
+        token = self.expect_operator("{")
+        fields: list[ast.TableField] = []
+        while not self.current.is_operator("}"):
+            if self.current.is_operator("["):
+                self.advance()
+                key: ast.Expression | None = self.parse_expression()
+                self.expect_operator("]")
+                self.expect_operator("=")
+                value = self.parse_expression()
+            elif (
+                self.current.kind is TokenKind.NAME
+                and self.tokens[self.position + 1].is_operator("=")
+            ):
+                name = self.expect_name()
+                key = ast.StringLiteral(line=token.line, value=name)
+                self.expect_operator("=")
+                value = self.parse_expression()
+            else:
+                key = None
+                value = self.parse_expression()
+            fields.append(ast.TableField(key=key, value=value))
+            if self.current.is_operator(",") or self.current.is_operator(";"):
+                self.advance()
+            elif not self.current.is_operator("}"):
+                raise self.error("expected ',' or '}' in table constructor")
+        self.expect_operator("}")
+        return ast.TableConstructor(line=token.line, fields=tuple(fields))
+
+
+def parse(source: str) -> ast.Block:
+    """Parse LuaLite ``source`` into a :class:`~repro.script.ast_nodes.Block`."""
+    parser = _Parser(tokenize(source))
+    block = parser.parse_block()
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser.error(f"unexpected {parser.current.value!r} after block")
+    return block

@@ -1,0 +1,250 @@
+"""The sandboxed environment sensing scripts run in.
+
+Section II-A: "security can be enforced here by only allowing a white
+list of unharmful functions to be called." The sandbox builds a global
+environment containing exactly:
+
+* a small pure standard library (``math``/``string``/``table`` helpers,
+  ``tostring``/``tonumber``/``type``/``print``),
+* whatever data-acquisition functions the host registers (on the phone,
+  the Sensor Manager registers ``get_*_readings``-style functions).
+
+Calling any other global raises
+:class:`~repro.common.errors.ScriptSecurityError`; the task instance
+reports that back to the server as a failed task.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.common.errors import ScriptRuntimeError
+from repro.script.interpreter import (
+    Environment,
+    Interpreter,
+    LuaIterator,
+    LuaTable,
+    from_python,
+    is_truthy,
+    lua_tostring,
+    lua_type_name,
+)
+from repro.script.parser import parse
+
+
+def _check_number(value: Any, what: str) -> int | float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScriptRuntimeError(f"{what} expects a number, got {lua_type_name(value)}")
+    return value
+
+
+def _lua_tonumber(value: Any = None) -> Any:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+def _string_sub(text: Any, start: Any, stop: Any = None) -> str:
+    if not isinstance(text, str):
+        raise ScriptRuntimeError("string.sub expects a string")
+    length = len(text)
+    i = int(_check_number(start, "string.sub"))
+    j = int(_check_number(stop, "string.sub")) if stop is not None else -1
+    if i < 0:
+        i = max(length + i + 1, 1)
+    elif i == 0:
+        i = 1
+    if j < 0:
+        j = length + j + 1
+    elif j > length:
+        j = length
+    if i > j:
+        return ""
+    return text[i - 1 : j]
+
+
+def _table_insert(table: Any, value: Any) -> None:
+    if not isinstance(table, LuaTable):
+        raise ScriptRuntimeError("table.insert expects a table")
+    table.set(table.length() + 1, value)
+
+
+def _table_remove(table: Any, position: Any = None) -> Any:
+    if not isinstance(table, LuaTable):
+        raise ScriptRuntimeError("table.remove expects a table")
+    length = table.length()
+    if length == 0:
+        return None
+    index = int(_check_number(position, "table.remove")) if position is not None else length
+    removed = table.get(index)
+    for current in range(index, length):
+        table.set(current, table.get(current + 1))
+    table.set(length, None)
+    return removed
+
+
+def _table_concat(table: Any, separator: Any = "") -> str:
+    if not isinstance(table, LuaTable):
+        raise ScriptRuntimeError("table.concat expects a table")
+    if not isinstance(separator, str):
+        raise ScriptRuntimeError("table.concat separator must be a string")
+    return separator.join(lua_tostring(item) for item in table.array_items())
+
+
+def _make_math_table() -> LuaTable:
+    table = LuaTable()
+    entries: dict[str, Any] = {
+        "floor": lambda value: math.floor(_check_number(value, "math.floor")),
+        "ceil": lambda value: math.ceil(_check_number(value, "math.ceil")),
+        "abs": lambda value: abs(_check_number(value, "math.abs")),
+        "sqrt": lambda value: math.sqrt(_check_number(value, "math.sqrt")),
+        "exp": lambda value: math.exp(_check_number(value, "math.exp")),
+        "log": lambda value: math.log(_check_number(value, "math.log")),
+        "min": lambda *values: min(_check_number(v, "math.min") for v in values),
+        "max": lambda *values: max(_check_number(v, "math.max") for v in values),
+        "pi": math.pi,
+        "huge": math.inf,
+    }
+    for name, value in entries.items():
+        table.set(name, value)
+    return table
+
+
+def _make_string_table() -> LuaTable:
+    table = LuaTable()
+    entries: dict[str, Any] = {
+        "len": lambda text: len(text)
+        if isinstance(text, str)
+        else (_ for _ in ()).throw(ScriptRuntimeError("string.len expects a string")),
+        "sub": _string_sub,
+        "upper": lambda text: str(text).upper(),
+        "lower": lambda text: str(text).lower(),
+        "rep": lambda text, count: str(text) * int(_check_number(count, "string.rep")),
+    }
+    for name, value in entries.items():
+        table.set(name, value)
+    return table
+
+
+def _make_table_table() -> LuaTable:
+    table = LuaTable()
+    for name, value in {
+        "insert": _table_insert,
+        "remove": _table_remove,
+        "concat": _table_concat,
+    }.items():
+        table.set(name, value)
+    return table
+
+
+def build_base_environment(print_sink: Callable[[str], None] | None = None) -> Environment:
+    """Build the pure (acquisition-free) global environment."""
+    environment = Environment()
+    environment.declare("math", _make_math_table())
+    environment.declare("string", _make_string_table())
+    environment.declare("table", _make_table_table())
+    environment.declare("tostring", lua_tostring)
+    environment.declare("tonumber", _lua_tonumber)
+    environment.declare("type", lua_type_name)
+
+    def lua_print(*values: Any) -> None:
+        line = "\t".join(lua_tostring(value) for value in values)
+        if print_sink is not None:
+            print_sink(line)
+
+    environment.declare("print", lua_print)
+
+    def lua_assert(value: Any, message: Any = None) -> Any:
+        if not is_truthy(value):
+            raise ScriptRuntimeError(
+                lua_tostring(message) if message is not None else "assertion failed!"
+            )
+        return value
+
+    environment.declare("assert", lua_assert)
+
+    def lua_pairs(table: Any) -> LuaIterator:
+        if not isinstance(table, LuaTable):
+            raise ScriptRuntimeError(
+                f"pairs expects a table, got {lua_type_name(table)}"
+            )
+        return LuaIterator(table.items())
+
+    def lua_ipairs(table: Any) -> LuaIterator:
+        if not isinstance(table, LuaTable):
+            raise ScriptRuntimeError(
+                f"ipairs expects a table, got {lua_type_name(table)}"
+            )
+        return LuaIterator(
+            [(index, table.get(index)) for index in range(1, table.length() + 1)]
+        )
+
+    environment.declare("pairs", lua_pairs)
+    environment.declare("ipairs", lua_ipairs)
+    return environment
+
+
+class Sandbox:
+    """A ready-to-run script environment with a host-controlled whitelist.
+
+    >>> sandbox = Sandbox()
+    >>> sandbox.register_function("get_answer", lambda: 42)
+    >>> sandbox.run("return get_answer() + 1")
+    43
+    """
+
+    def __init__(self, *, max_steps: int = 2_000_000) -> None:
+        self._prints: list[str] = []
+        self.environment = build_base_environment(print_sink=self._prints.append)
+        self.interpreter = Interpreter(self.environment, max_steps=max_steps)
+
+    @property
+    def printed_lines(self) -> list[str]:
+        """Lines the script printed (for diagnostics/telemetry)."""
+        return list(self._prints)
+
+    def register_function(self, name: str, function: Callable[..., Any]) -> None:
+        """Whitelist a native function under ``name``.
+
+        Values are converted at the boundary: table arguments arrive as
+        plain Python lists/dicts, and Python lists/dicts returned by the
+        function become Lua tables.
+        """
+
+        def bridge(*arguments: Any) -> Any:
+            converted = [
+                argument.to_python() if isinstance(argument, LuaTable) else argument
+                for argument in arguments
+            ]
+            return from_python(function(*converted))
+
+        self.environment.declare(name, bridge)
+
+    def register_value(self, name: str, value: Any) -> None:
+        """Expose a constant or table to scripts (converted from Python)."""
+        self.environment.declare(name, from_python(value))
+
+    def run(self, source: str) -> Any:
+        """Parse and execute ``source``; returns the script's return value.
+
+        Tables are returned as :class:`LuaTable`; call
+        :meth:`LuaTable.to_python` (or use :meth:`run_to_python`) when the
+        host wants plain Python structures.
+        """
+        return self.interpreter.run(parse(source))
+
+    def run_to_python(self, source: str) -> Any:
+        """Like :meth:`run` but deep-converts the result to Python types."""
+        result = self.run(source)
+        if isinstance(result, LuaTable):
+            return result.to_python()
+        return result

@@ -1,0 +1,47 @@
+"""Sensor providers (paper Section II-A, "Sensor Manager and Providers").
+
+A *Provider* is "a software component which actually operates embedded
+and external sensors … to collect data". In this reproduction the
+hardware is replaced by environment signal models
+(:mod:`repro.sim.environment`): a provider samples its signal at the
+current simulated time, adds sensor noise, and buffers the readings.
+
+The paper's energy-saving behaviour is modelled faithfully: each
+provider keeps a data buffer shared across tasks, so a second task
+asking for a reading the buffer already holds (within the provider's
+freshness window) costs no extra energy; fresh acquisitions charge the
+provider's per-sample energy cost.
+
+Providers for every sensor on a Google Nexus 4 (accelerometer, GPS,
+light, microphone, Wi-Fi, compass, gyroscope, pressure) and on a
+Sensordrone (temperature, humidity, pressure, light, gas, …) are
+constructed through the same two classes — scalar and vector providers
+parameterized by a :class:`SensorSpec`.
+"""
+
+from repro.sensors.buffer import BufferedReading, DataBuffer
+from repro.sensors.provider import (
+    GpsProvider,
+    Provider,
+    ScalarProvider,
+    VectorProvider,
+)
+from repro.sensors.spec import (
+    NEXUS4_SENSORS,
+    SENSORDRONE_SENSORS,
+    SensorKind,
+    SensorSpec,
+)
+
+__all__ = [
+    "BufferedReading",
+    "DataBuffer",
+    "GpsProvider",
+    "NEXUS4_SENSORS",
+    "Provider",
+    "SENSORDRONE_SENSORS",
+    "ScalarProvider",
+    "SensorKind",
+    "SensorSpec",
+    "VectorProvider",
+]

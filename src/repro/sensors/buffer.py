@@ -1,0 +1,61 @@
+"""The per-provider data buffer shared across sensing tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class BufferedReading:
+    """One sensed value and when it was taken."""
+
+    timestamp: float
+    value: Any
+
+
+class DataBuffer:
+    """A bounded time-ordered buffer of readings.
+
+    Tasks asking for a reading "now" first look here: a reading no older
+    than the provider's freshness window is reused instead of operating
+    the sensor again — the paper's energy-saving data sharing.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._readings: list[BufferedReading] = []
+
+    def __len__(self) -> int:
+        return len(self._readings)
+
+    def append(self, reading: BufferedReading) -> None:
+        """Append a reading, evicting the oldest beyond capacity."""
+        self._readings.append(reading)
+        if len(self._readings) > self.capacity:
+            del self._readings[: len(self._readings) - self.capacity]
+
+    def latest(self) -> BufferedReading | None:
+        """The most recent reading, or None when empty."""
+        return self._readings[-1] if self._readings else None
+
+    def fresh_reading(self, now: float, freshness_s: float) -> BufferedReading | None:
+        """The most recent reading no older than ``freshness_s``, if any."""
+        latest = self.latest()
+        if latest is not None and now - latest.timestamp <= freshness_s:
+            return latest
+        return None
+
+    def window(self, start: float, end: float) -> list[BufferedReading]:
+        """All readings with ``start <= timestamp <= end`` (time order)."""
+        return [
+            reading
+            for reading in self._readings
+            if start <= reading.timestamp <= end
+        ]
+
+    def clear(self) -> None:
+        """Drop every buffered reading."""
+        self._readings.clear()

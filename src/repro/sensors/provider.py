@@ -1,0 +1,218 @@
+"""Provider implementations.
+
+A provider samples a *signal* — a callable ``t → value`` supplied by the
+environment model — applies measurement noise, charges energy, and
+serves readings through its shared buffer. Acquisition is synchronous
+here but mirrors the paper's asynchronous contract: ``acquire_burst``
+returns the ``(t, Δt, d)`` burst a task instance would have been called
+back with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.common.clock import Clock
+from repro.common.errors import SensorError
+from repro.common.geo import LatLon, offset_latlon
+from repro.core.features.types import GpsFix, ReadingBurst
+from repro.sensors.buffer import BufferedReading, DataBuffer
+from repro.sensors.spec import SensorSpec
+
+
+@runtime_checkable
+class Provider(Protocol):
+    """What the phone's Sensor Manager needs from any provider."""
+
+    spec: SensorSpec
+    buffer: DataBuffer
+    energy_consumed_mj: float
+
+    def read_now(self) -> Any:
+        """One reading at the current time (buffer-aware)."""
+        ...
+
+    def acquire_burst(self, count: int, interval_s: float) -> ReadingBurst:
+        """``count`` readings ``interval_s`` apart, as one (t, Δt, d) burst."""
+        ...
+
+    def estimated_duration_s(self, count: int, interval_s: float) -> float:
+        """End-to-end acquisition time (for the manager's timeout check)."""
+        ...
+
+
+class _BaseProvider:
+    """Shared plumbing: clock, buffer, freshness reuse, energy ledger.
+
+    ``response_delay_s`` models sensors that take time to produce their
+    first reading (a GPS cold fix, a warming gas sensor); the Sensor
+    Manager cancels acquisitions whose total duration would exceed its
+    timeout.
+    """
+
+    def __init__(
+        self,
+        spec: SensorSpec,
+        clock: Clock,
+        rng: np.random.Generator,
+        *,
+        buffer_capacity: int = 1024,
+        response_delay_s: float = 0.0,
+    ) -> None:
+        if response_delay_s < 0:
+            raise SensorError("response_delay_s must be non-negative")
+        self.spec = spec
+        self.clock = clock
+        self.rng = rng
+        self.buffer = DataBuffer(capacity=buffer_capacity)
+        self.response_delay_s = response_delay_s
+        self.energy_consumed_mj = 0.0
+        self.samples_taken = 0
+        self.samples_reused = 0
+
+    def estimated_duration_s(self, count: int, interval_s: float) -> float:
+        """How long acquiring a burst will take, end to end."""
+        return self.response_delay_s + max(0, count - 1) * interval_s
+
+    def _sample(self, timestamp: float) -> Any:
+        raise NotImplementedError
+
+    def read_now(self) -> Any:
+        """Read the sensor, reusing a fresh buffered value when possible.
+
+        A freshness window of 0 disables sharing entirely (even a
+        same-instant reading is re-taken).
+        """
+        now = self.clock.now()
+        fresh = (
+            self.buffer.fresh_reading(now, self.spec.freshness_s)
+            if self.spec.freshness_s > 0
+            else None
+        )
+        if fresh is not None:
+            self.samples_reused += 1
+            return fresh.value
+        value = self._sample(now)
+        self.buffer.append(BufferedReading(timestamp=now, value=value))
+        self.energy_consumed_mj += self.spec.energy_per_sample_mj
+        self.samples_taken += 1
+        return value
+
+    def acquire_burst(self, count: int, interval_s: float) -> ReadingBurst:
+        """Take ``count`` readings ``interval_s`` apart.
+
+        Multi-reading bursts always sample the sensor (they exist to
+        capture within-window variation). A single-reading acquisition
+        is served from the shared buffer when a fresh value exists —
+        the paper's energy saving: "each Provider maintains a data
+        buffer … and can even share them with multiple different tasks".
+        """
+        if count <= 0:
+            raise SensorError("burst count must be positive")
+        if interval_s < 0:
+            raise SensorError("burst interval must be non-negative")
+        if count == 1 and self.spec.freshness_s > 0:
+            fresh = self.buffer.fresh_reading(
+                self.clock.now(), self.spec.freshness_s
+            )
+            if fresh is not None:
+                self.samples_reused += 1
+                return ReadingBurst.of(
+                    timestamp=fresh.timestamp, duration_s=0.0, values=[fresh.value]
+                )
+        start = self.clock.now() + self.response_delay_s
+        values = []
+        for index in range(count):
+            timestamp = start + index * interval_s
+            value = self._sample(timestamp)
+            self.buffer.append(BufferedReading(timestamp=timestamp, value=value))
+            self.energy_consumed_mj += self.spec.energy_per_sample_mj
+            self.samples_taken += 1
+            values.append(value)
+        return ReadingBurst.of(
+            timestamp=start, duration_s=max(0.0, (count - 1) * interval_s), values=values
+        )
+
+
+class ScalarProvider(_BaseProvider):
+    """A provider for scalar sensors (temperature, light, noise, …)."""
+
+    def __init__(
+        self,
+        spec: SensorSpec,
+        clock: Clock,
+        rng: np.random.Generator,
+        signal: Callable[[float], float],
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(spec, clock, rng, **kwargs)
+        self.signal = signal
+
+    def _sample(self, timestamp: float) -> float:
+        truth = float(self.signal(timestamp))
+        if self.spec.noise_std > 0:
+            truth += float(self.rng.normal(0.0, self.spec.noise_std))
+        return truth
+
+
+class VectorProvider(_BaseProvider):
+    """A provider for fixed-arity vector sensors (accelerometer, gyro)."""
+
+    def __init__(
+        self,
+        spec: SensorSpec,
+        clock: Clock,
+        rng: np.random.Generator,
+        signal: Callable[[float], tuple[float, ...]],
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(spec, clock, rng, **kwargs)
+        self.signal = signal
+
+    def _sample(self, timestamp: float) -> tuple[float, ...]:
+        truth = tuple(float(component) for component in self.signal(timestamp))
+        if self.spec.noise_std > 0:
+            noise = self.rng.normal(0.0, self.spec.noise_std, size=len(truth))
+            truth = tuple(
+                component + float(delta) for component, delta in zip(truth, noise)
+            )
+        return truth
+
+
+class GpsProvider(_BaseProvider):
+    """A provider for GPS fixes with horizontal fix error in metres.
+
+    The signal returns the phone's true position (and altitude) at time
+    t; the provider perturbs it by ``fix_error_m`` in a random
+    direction, which is how GPS error actually presents.
+    """
+
+    def __init__(
+        self,
+        spec: SensorSpec,
+        clock: Clock,
+        rng: np.random.Generator,
+        signal: Callable[[float], GpsFix],
+        *,
+        fix_error_m: float = 3.0,
+        altitude_error_m: float = 1.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(spec, clock, rng, **kwargs)
+        self.signal = signal
+        self.fix_error_m = fix_error_m
+        self.altitude_error_m = altitude_error_m
+
+    def _sample(self, timestamp: float) -> GpsFix:
+        truth = self.signal(timestamp)
+        east = float(self.rng.normal(0.0, self.fix_error_m))
+        north = float(self.rng.normal(0.0, self.fix_error_m))
+        moved = offset_latlon(
+            LatLon(truth.latitude, truth.longitude), east_m=east, north_m=north
+        )
+        altitude = truth.altitude_m + float(self.rng.normal(0.0, self.altitude_error_m))
+        return GpsFix(
+            latitude=moved.latitude, longitude=moved.longitude, altitude_m=altitude
+        )

@@ -1,0 +1,104 @@
+"""Sensor specifications: identity, units, noise and energy cost."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+
+class SensorKind(enum.Enum):
+    """Whether a sensor is on the phone or an external Bluetooth device."""
+
+    EMBEDDED = "embedded"
+    EXTERNAL = "external"
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static description of one sensor.
+
+    ``noise_std`` is the standard deviation of additive measurement
+    noise; ``energy_per_sample_mj`` the cost charged to the phone's
+    battery per fresh sample; ``freshness_s`` how long a buffered
+    reading may be reused by other tasks ("each Provider maintains a
+    data buffer … and can even share them with multiple different
+    tasks. In this way, energy consumed for sensing can be reduced");
+    ``default_timeout_s`` how long the Sensor Manager waits before
+    cancelling an acquisition ("the manager can cancel data acquisition
+    if timeout").
+    """
+
+    sensor_type: str
+    kind: SensorKind
+    unit: str
+    noise_std: float = 0.0
+    energy_per_sample_mj: float = 1.0
+    freshness_s: float = 1.0
+    default_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.sensor_type:
+            raise ValidationError("sensor_type is required")
+        if self.noise_std < 0:
+            raise ValidationError("noise_std must be non-negative")
+        if self.energy_per_sample_mj < 0:
+            raise ValidationError("energy_per_sample_mj must be non-negative")
+        if self.freshness_s < 0:
+            raise ValidationError("freshness_s must be non-negative")
+        if self.default_timeout_s <= 0:
+            raise ValidationError("default_timeout_s must be positive")
+
+
+def _embedded(sensor_type: str, unit: str, noise: float, energy: float) -> SensorSpec:
+    return SensorSpec(
+        sensor_type=sensor_type,
+        kind=SensorKind.EMBEDDED,
+        unit=unit,
+        noise_std=noise,
+        energy_per_sample_mj=energy,
+    )
+
+
+def _external(sensor_type: str, unit: str, noise: float, energy: float) -> SensorSpec:
+    return SensorSpec(
+        sensor_type=sensor_type,
+        kind=SensorKind.EXTERNAL,
+        unit=unit,
+        noise_std=noise,
+        energy_per_sample_mj=energy,
+    )
+
+
+# Sensors available on a Google Nexus 4 (the paper's field-test phone).
+NEXUS4_SENSORS: dict[str, SensorSpec] = {
+    spec.sensor_type: spec
+    for spec in (
+        _embedded("accelerometer", "m/s^2", 0.02, 0.5),
+        _embedded("gps", "deg", 0.0, 25.0),  # fix noise modelled in metres
+        _embedded("light", "lux", 5.0, 0.3),
+        _embedded("microphone", "dB", 1.0, 2.0),
+        _embedded("wifi", "dBm", 1.5, 3.0),
+        _embedded("compass", "deg", 2.0, 0.5),
+        _embedded("gyroscope", "rad/s", 0.01, 0.5),
+        _embedded("pressure", "hPa", 0.1, 0.3),
+    )
+}
+
+# Sensors on a Sensordrone (the paper's external multisensor, Fig. 1).
+SENSORDRONE_SENSORS: dict[str, SensorSpec] = {
+    spec.sensor_type: spec
+    for spec in (
+        _external("temperature", "F", 0.3, 1.0),
+        _external("humidity", "%", 1.0, 1.0),
+        _external("drone_pressure", "hPa", 0.1, 1.0),
+        _external("drone_light", "lux", 5.0, 1.0),
+        _external("gas_co", "ppm", 0.5, 2.0),
+        _external("gas_oxidizing", "ppm", 0.5, 2.0),
+        _external("ir_temperature", "F", 0.5, 1.5),
+        _external("color_r", "raw", 2.0, 1.0),
+        _external("color_g", "raw", 2.0, 1.0),
+        _external("color_b", "raw", 2.0, 1.0),
+    )
+}

@@ -1,0 +1,48 @@
+"""The sensing server (paper Section II-B, Fig. 5).
+
+Components map one-to-one onto the paper's architecture:
+
+* :class:`UserInfoManager` — userID / name / token records,
+* :class:`ApplicationManager` — per-place sensing applications: creator,
+  location, the LuaLite data-acquisition script, scheduling-period
+  configuration,
+* :class:`ParticipationManager` — task list, truthfulness check
+  (location verification on barcode scan), status tracking, budgets,
+* :class:`SensingSchedulerService` — the online greedy coverage
+  scheduler, invoked per participation request, distributing schedules
+  plus scripts,
+* :class:`DataProcessor` — decodes binary blobs from the database into
+  readings and turns raw data into feature data,
+* :class:`PersonalizableRanker` — ranks places from feature data and a
+  user's preference profile,
+* :mod:`repro.server.visualization` — text/CSV rendering of feature
+  data,
+* :class:`SensingServer` — the HTTP endpoint tying everything to a
+  :class:`~repro.db.Database` (the PostgreSQL stand-in).
+
+:class:`SORSystem` (in :mod:`repro.server.system`) assembles server,
+phones, barcodes and places into a runnable end-to-end deployment.
+"""
+
+from repro.server.app_manager import Application, ApplicationManager
+from repro.server.data_processor import DataProcessor
+from repro.server.participation import ParticipationManager, ParticipationStatus
+from repro.server.ranker_service import PersonalizableRanker, RankingReport
+from repro.server.scheduler_service import SensingSchedulerService
+from repro.server.server import SensingServer
+from repro.server.system import SORSystem
+from repro.server.user_manager import UserInfoManager
+
+__all__ = [
+    "Application",
+    "ApplicationManager",
+    "DataProcessor",
+    "ParticipationManager",
+    "ParticipationStatus",
+    "PersonalizableRanker",
+    "RankingReport",
+    "SORSystem",
+    "SensingSchedulerService",
+    "SensingServer",
+    "UserInfoManager",
+]

@@ -1,0 +1,112 @@
+"""The Application Manager.
+
+"An application is defined as a procedure of acquiring data from sensors
+for a target place … The Application Manager manages all necessary
+information related to each application, including its AppID, its
+creator (which could be the owner/manager/operator of the corresponding
+target place), and the Lua scripts defining the corresponding data
+acquisition procedure."
+
+The feature pipeline (how raw readings become feature values) is a
+Python object and lives in an in-memory registry next to the persisted
+configuration row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError, ScriptError
+from repro.common.geo import LatLon
+from repro.core.features import FeaturePipeline
+from repro.db import Database
+from repro.script import parse
+
+
+@dataclass(frozen=True)
+class Application:
+    """One sensing application: a place and how to sense it."""
+
+    app_id: str
+    creator: str
+    place_id: str
+    place_name: str
+    category: str
+    location: LatLon
+    script: str
+    pipeline: FeaturePipeline
+    period_start: float
+    period_end: float
+    num_instants: int = 1080
+    coverage_sigma_s: float = 60.0
+    location_tolerance_m: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.period_end <= self.period_start:
+            raise ConfigurationError("application period must be non-empty")
+        if self.num_instants <= 0:
+            raise ConfigurationError("num_instants must be positive")
+        if self.coverage_sigma_s <= 0:
+            raise ConfigurationError("coverage_sigma_s must be positive")
+        if self.location_tolerance_m <= 0:
+            raise ConfigurationError("location_tolerance_m must be positive")
+
+
+class ApplicationManager:
+    """Registers applications and answers lookups."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._pipelines: dict[str, FeaturePipeline] = {}
+        self._apps: dict[str, Application] = {}
+
+    def create(self, application: Application) -> None:
+        """Register an application (validates its script parses)."""
+        if application.app_id in self._apps:
+            raise ConfigurationError(
+                f"application {application.app_id!r} already exists"
+            )
+        try:
+            parse(application.script)
+        except ScriptError as exc:
+            raise ConfigurationError(
+                f"application script does not parse: {exc}"
+            ) from exc
+        self.database.table("applications").insert(
+            {
+                "app_id": application.app_id,
+                "creator": application.creator,
+                "place_id": application.place_id,
+                "place_name": application.place_name,
+                "category": application.category,
+                "latitude": application.location.latitude,
+                "longitude": application.location.longitude,
+                "location_tolerance_m": application.location_tolerance_m,
+                "script": application.script,
+                "period_start": application.period_start,
+                "period_end": application.period_end,
+                "num_instants": application.num_instants,
+                "coverage_sigma_s": application.coverage_sigma_s,
+            }
+        )
+        self._apps[application.app_id] = application
+        self._pipelines[application.app_id] = application.pipeline
+
+    def get(self, app_id: str) -> Application | None:
+        """The application with ``app_id``, or None."""
+        return self._apps.get(app_id)
+
+    def pipeline_for(self, app_id: str) -> FeaturePipeline:
+        """The feature pipeline of ``app_id`` (raises if unknown)."""
+        try:
+            return self._pipelines[app_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown application {app_id!r}") from None
+
+    def all_apps(self) -> list[Application]:
+        """Every registered application."""
+        return list(self._apps.values())
+
+    def apps_in_category(self, category: str) -> list[Application]:
+        """Applications whose place belongs to ``category``."""
+        return [app for app in self._apps.values() if app.category == category]

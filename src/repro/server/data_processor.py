@@ -1,0 +1,182 @@
+"""The Data Processor.
+
+"The Data Processor periodically checks if there are any binary sensed
+data in the database, and if any, it decodes the data and stores useful
+information into corresponding tables … Moreover, it also processes raw
+data to generate more meaningful data for various sensing features
+(temperature, humidity, roughness of road surface, etc) … The processed
+data are called feature data."
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.clock import Clock
+from repro.common.errors import CodecError
+from repro.core.features.types import GpsFix, ReadingBurst
+from repro.db import Database, and_, eq
+from repro.net import Envelope
+from repro.server.app_manager import ApplicationManager
+
+
+class DataProcessor:
+    """Decodes stored binary bodies and computes feature data."""
+
+    def __init__(
+        self, database: Database, apps: ApplicationManager, clock: Clock
+    ) -> None:
+        self.database = database
+        self.apps = apps
+        self.clock = clock
+        self.blobs_decoded = 0
+        self.blobs_rejected = 0
+        self.features_skipped = 0
+
+    # ------------------------------------------------------------------
+    # step 1: binary blobs → readings rows
+    # ------------------------------------------------------------------
+    def process_pending(self) -> int:
+        """Decode every unprocessed blob of *this server's* applications.
+
+        Several servers may share the database; blobs whose application
+        lives on another server are left unprocessed for that server's
+        Data Processor. Returns how many blobs decoded successfully.
+        """
+        raw_table = self.database.table("raw_data")
+        tasks_table = self.database.table("tasks")
+        pending = raw_table.select(eq("processed", False))
+        decoded = 0
+        for row in pending:
+            task = tasks_table.get(row["task_id"])
+            if task is not None and self.apps.get(task["app_id"]) is None:
+                continue  # another server's application
+            inserted: list[int] = []
+            try:
+                self._decode_one(row, inserted)
+                decoded += 1
+                self.blobs_decoded += 1
+            except CodecError:
+                # Atomicity: a malformed burst halfway through a payload
+                # must not leave partial readings behind. Compensating
+                # deletes are cheaper than snapshotting the whole table.
+                readings = self.database.table("readings")
+                for reading_id in inserted:
+                    readings.delete(eq("reading_id", reading_id))
+                self.blobs_rejected += 1
+            raw_table.update(eq("raw_id", row["raw_id"]), {"processed": True})
+        return decoded
+
+    def _decode_one(self, row: dict[str, Any], inserted: list[int]) -> None:
+        """Decode one blob, appending created reading ids to ``inserted``."""
+        envelope = Envelope.from_bytes(row["body"])
+        payload = envelope.payload
+        task_id = payload.get("task_id")
+        bursts = payload.get("bursts")
+        if not isinstance(task_id, str) or not isinstance(bursts, list):
+            raise CodecError("sensed-data payload has the wrong shape")
+        task = self.database.table("tasks").get(task_id)
+        if task is None:
+            raise CodecError(f"sensed data for unknown task {task_id!r}")
+        application = self.apps.get(task["app_id"])
+        if application is None:
+            raise CodecError(f"task {task_id!r} references unknown app")
+        readings = self.database.table("readings")
+        for burst in bursts:
+            if not isinstance(burst, dict):
+                raise CodecError("burst entry is not a dict")
+            inserted.append(
+                readings.insert(
+                    {
+                        "task_id": task_id,
+                        "app_id": task["app_id"],
+                        "place_id": application.place_id,
+                        "sensor": str(burst.get("sensor", "")),
+                        "t": float(burst.get("t", 0.0)),
+                        "dt": float(burst.get("dt", 0.0)),
+                        "values": burst.get("values", []),
+                        "source": task["user_id"],
+                    }
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # step 2: readings → feature data
+    # ------------------------------------------------------------------
+    def bursts_for_place(self, place_id: str) -> dict[str, list[ReadingBurst]]:
+        """Reconstruct (t, Δt, d) bursts per sensor from the database."""
+        rows = self.database.table("readings").select(eq("place_id", place_id))
+        bursts: dict[str, list[ReadingBurst]] = {}
+        for row in rows:
+            values = tuple(
+                self._revive_value(row["sensor"], value) for value in row["values"]
+            )
+            bursts.setdefault(row["sensor"], []).append(
+                ReadingBurst(
+                    timestamp=row["t"],
+                    duration_s=row["dt"],
+                    values=values,
+                    source=row["source"],
+                )
+            )
+        return bursts
+
+    @staticmethod
+    def _revive_value(sensor: str, value: Any) -> Any:
+        """Wire form back to reading objects, dispatched on sensor type.
+
+        GPS triples (lat, lon, alt) revive to :class:`GpsFix`; other
+        list values (accelerometer/gyro vectors) revive to tuples.
+        """
+        if isinstance(value, list):
+            if sensor == "gps" and len(value) == 3:
+                return GpsFix(
+                    latitude=float(value[0]),
+                    longitude=float(value[1]),
+                    altitude_m=float(value[2]),
+                )
+            return tuple(float(item) for item in value)
+        return float(value)
+
+    def compute_features(self, app_id: str) -> dict[str, float]:
+        """Run the application's pipeline and persist feature data.
+
+        Features whose sensor produced no data at all (every participant
+        denied it, or it timed out everywhere) are skipped rather than
+        failing the whole pass — the ranker works on the features the
+        category's places have in common.
+        """
+        application = self.apps.get(app_id)
+        if application is None:
+            raise CodecError(f"unknown application {app_id!r}")
+        pipeline = self.apps.pipeline_for(app_id)
+        bursts = self.bursts_for_place(application.place_id)
+        features, missing = pipeline.compute_available(bursts)
+        self.features_skipped += len(missing)
+        table = self.database.table("feature_data")
+        now = self.clock.now()
+        for feature, value in features.items():
+            existing = table.select(
+                and_(
+                    eq("place_id", application.place_id), eq("feature", feature)
+                )
+            )
+            if existing:
+                table.update(
+                    and_(
+                        eq("place_id", application.place_id),
+                        eq("feature", feature),
+                    ),
+                    {"value": value, "computed_at": now},
+                )
+            else:
+                table.insert(
+                    {
+                        "place_id": application.place_id,
+                        "category": application.category,
+                        "feature": feature,
+                        "value": value,
+                        "computed_at": now,
+                    }
+                )
+        return features

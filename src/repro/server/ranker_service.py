@@ -1,0 +1,93 @@
+"""The Personalizable Ranker service.
+
+Reads feature data for all places of a category from the database,
+assembles the paper's H matrix, and runs Algorithm 2 (Γ → individual
+rankings → weighted footrule aggregation via min-cost flow) for a
+user's preference profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import RankingError
+from repro.core.features import build_feature_matrix
+from repro.core.ranking import (
+    PreferenceProfile,
+    Ranking,
+    aggregate_footrule,
+    individual_rankings,
+    preference_distance_matrix,
+    weighted_footrule_distance,
+    weighted_kemeny_distance,
+)
+from repro.db import Database, eq
+
+
+@dataclass(frozen=True)
+class RankingReport:
+    """The aggregated ranking plus everything needed to explain it."""
+
+    profile_name: str
+    category: str
+    ranking: Ranking
+    feature_names: list[str]
+    feature_matrix: np.ndarray
+    place_ids: list[str]
+    individual: list[Ranking]
+    weights: list[int]
+    weighted_footrule: float
+    weighted_kemeny: float
+
+
+class PersonalizableRanker:
+    """Ranks the places of a category for a preference profile."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def feature_values(self, category: str) -> dict[str, dict[str, float]]:
+        """place_id → {feature → value} for every place in the category."""
+        rows = self.database.table("feature_data").select(eq("category", category))
+        values: dict[str, dict[str, float]] = {}
+        for row in rows:
+            values.setdefault(row["place_id"], {})[row["feature"]] = row["value"]
+        return values
+
+    def rank(self, category: str, profile: PreferenceProfile) -> RankingReport:
+        """Run the full personalizable ranking pipeline."""
+        values = self.feature_values(category)
+        if len(values) < 2:
+            raise RankingError(
+                f"need at least two places with feature data in {category!r}"
+            )
+        feature_sets = [set(features) for features in values.values()]
+        common = set.intersection(*feature_sets)
+        feature_names = sorted(
+            feature for feature in common if profile.weight(feature) > 0
+        )
+        if not feature_names:
+            raise RankingError(
+                "no common features with positive weight for this profile"
+            )
+        matrix, place_ids = build_feature_matrix(values, feature_names)
+        gamma = preference_distance_matrix(matrix, feature_names, profile)
+        individual = individual_rankings(gamma, place_ids)
+        weights = [profile.weight(feature) for feature in feature_names]
+        ranking = aggregate_footrule(individual, weights)
+        return RankingReport(
+            profile_name=profile.name,
+            category=category,
+            ranking=ranking,
+            feature_names=feature_names,
+            feature_matrix=matrix,
+            place_ids=list(place_ids),
+            individual=individual,
+            weights=weights,
+            weighted_footrule=weighted_footrule_distance(
+                ranking, individual, weights
+            ),
+            weighted_kemeny=weighted_kemeny_distance(ranking, individual, weights),
+        )

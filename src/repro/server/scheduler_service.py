@@ -1,0 +1,120 @@
+"""The online Sensing Scheduler service.
+
+"For each application, the Sensing Scheduler applies an online algorithm
+to calculate a sensing schedule (that specifies when to sense for each
+participating user) for a scheduling period based on runtime
+participation information."
+
+Online operation: participants arrive one at a time (a barcode scan).
+The service keeps, per application, the incremental coverage objective
+over everything already scheduled; a new participant's budget is spent
+greedily on the instants with maximum marginal coverage inside their
+remaining presence window. This is exactly the paper's greedy restricted
+to the elements that are still selectable, and inherits its guarantee
+for the instants scheduled so far.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.clock import Clock
+from repro.common.errors import SchedulingError
+from repro.core.scheduling import CoverageObjective, GaussianKernel, SchedulingPeriod
+from repro.server.app_manager import Application
+from repro.server.participation import ParticipationManager
+
+
+class _AppSchedulerState:
+    """Per-application incremental coverage state."""
+
+    def __init__(self, application: Application) -> None:
+        self.period = SchedulingPeriod(
+            application.period_start,
+            application.period_end,
+            application.num_instants,
+        )
+        self.kernel = GaussianKernel(sigma=application.coverage_sigma_s)
+        self.objective = CoverageObjective(self.period, self.kernel)
+        self.scheduled_counts: dict[str, int] = {}
+
+    def schedule_user(
+        self, user_id: str, *, from_time: float, until_time: float, budget: int
+    ) -> list[int]:
+        """Greedily pick up to ``budget`` instants in the user's window."""
+        lo, hi = self.period.window_indices(
+            max(from_time, self.period.start), min(until_time, self.period.end)
+        )
+        if hi <= lo:
+            return []
+        chosen: list[int] = []
+        already: set[int] = set()
+        for _ in range(budget):
+            gains = self.objective.gains_fast()[lo:hi]
+            if already:
+                for index in already:
+                    gains[index - lo] = -np.inf
+            best_offset = int(np.argmax(gains))
+            if gains[best_offset] <= 1e-12:
+                break
+            instant = lo + best_offset
+            self.objective.add(instant)
+            already.add(instant)
+            chosen.append(instant)
+        self.scheduled_counts[user_id] = (
+            self.scheduled_counts.get(user_id, 0) + len(chosen)
+        )
+        return sorted(chosen)
+
+    @property
+    def average_coverage(self) -> float:
+        return self.objective.average_coverage()
+
+
+class SensingSchedulerService:
+    """Schedules each participation request as it arrives."""
+
+    def __init__(self, participation: ParticipationManager, clock: Clock) -> None:
+        self.participation = participation
+        self.clock = clock
+        self._states: dict[str, _AppSchedulerState] = {}
+
+    def state_for(self, application: Application) -> _AppSchedulerState:
+        """The per-application incremental coverage state (lazily built)."""
+        state = self._states.get(application.app_id)
+        if state is None:
+            state = _AppSchedulerState(application)
+            self._states[application.app_id] = state
+        return state
+
+    def schedule_task(
+        self,
+        application: Application,
+        task_id: str,
+        *,
+        budget: int,
+        departure_time: float | None = None,
+    ) -> list[float]:
+        """Compute and record the sensing times for a new task.
+
+        The schedule starts from *now* (a user cannot sense in the past)
+        and runs to their expected departure or the period end.
+        """
+        if budget <= 0:
+            raise SchedulingError("budget must be positive")
+        state = self.state_for(application)
+        now = self.clock.now()
+        until = departure_time if departure_time is not None else state.period.end
+        task = self.participation.get_task(task_id)
+        if task is None:
+            raise SchedulingError(f"unknown task {task_id!r}")
+        instants = state.schedule_user(
+            task["user_id"], from_time=now, until_time=until, budget=budget
+        )
+        times = [state.period.instant_time(index) for index in instants]
+        self.participation.record_schedule(task_id, times)
+        return times
+
+    def coverage_for(self, application: Application) -> float:
+        """Current average coverage of an application's pooled schedule."""
+        return self.state_for(application).average_coverage

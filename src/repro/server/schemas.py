@@ -1,0 +1,116 @@
+"""Database schemas for the sensing server's PostgreSQL stand-in."""
+
+from __future__ import annotations
+
+from repro.db import Column, ColumnType, Schema
+
+USERS = Schema(
+    name="users",
+    columns=(
+        Column("user_id", ColumnType.TEXT, nullable=False),
+        Column("name", ColumnType.TEXT, nullable=False),
+        Column("token", ColumnType.TEXT, nullable=False),
+        Column("denied_sensors", ColumnType.JSON, default=[]),
+        Column("registered_at", ColumnType.REAL, nullable=False),
+    ),
+    primary_key="user_id",
+    unique=("token",),
+)
+
+APPLICATIONS = Schema(
+    name="applications",
+    columns=(
+        Column("app_id", ColumnType.TEXT, nullable=False),
+        Column("creator", ColumnType.TEXT, nullable=False),
+        Column("place_id", ColumnType.TEXT, nullable=False),
+        Column("place_name", ColumnType.TEXT, nullable=False),
+        Column("category", ColumnType.TEXT, nullable=False),
+        Column("latitude", ColumnType.REAL, nullable=False),
+        Column("longitude", ColumnType.REAL, nullable=False),
+        Column("location_tolerance_m", ColumnType.REAL, nullable=False),
+        Column("script", ColumnType.TEXT, nullable=False),
+        Column("period_start", ColumnType.REAL, nullable=False),
+        Column("period_end", ColumnType.REAL, nullable=False),
+        Column("num_instants", ColumnType.INT, nullable=False),
+        Column("coverage_sigma_s", ColumnType.REAL, nullable=False),
+    ),
+    primary_key="app_id",
+)
+
+TASKS = Schema(
+    name="tasks",
+    columns=(
+        Column("task_id", ColumnType.TEXT, nullable=False),
+        Column("app_id", ColumnType.TEXT, nullable=False),
+        Column("user_id", ColumnType.TEXT, nullable=False),
+        Column("token", ColumnType.TEXT, nullable=False),
+        Column("phone_host", ColumnType.TEXT, nullable=False),
+        Column("budget", ColumnType.INT, nullable=False),
+        Column("status", ColumnType.TEXT, nullable=False),
+        Column("error", ColumnType.TEXT, default=""),
+        Column("created_at", ColumnType.REAL, nullable=False),
+        Column("schedule_times", ColumnType.JSON, default=[]),
+    ),
+    primary_key="task_id",
+)
+
+RAW_DATA = Schema(
+    name="raw_data",
+    columns=(
+        Column("raw_id", ColumnType.INT, nullable=False, auto_increment=True),
+        Column("task_id", ColumnType.TEXT, nullable=False),
+        Column("received_at", ColumnType.REAL, nullable=False),
+        Column("body", ColumnType.BLOB, nullable=False),
+        Column("processed", ColumnType.BOOL, nullable=False, default=False),
+    ),
+    primary_key="raw_id",
+)
+
+READINGS = Schema(
+    name="readings",
+    columns=(
+        Column("reading_id", ColumnType.INT, nullable=False, auto_increment=True),
+        Column("task_id", ColumnType.TEXT, nullable=False),
+        Column("app_id", ColumnType.TEXT, nullable=False),
+        Column("place_id", ColumnType.TEXT, nullable=False),
+        Column("sensor", ColumnType.TEXT, nullable=False),
+        Column("t", ColumnType.REAL, nullable=False),
+        Column("dt", ColumnType.REAL, nullable=False),
+        Column("values", ColumnType.JSON, nullable=False),
+        Column("source", ColumnType.TEXT, nullable=False),
+    ),
+    primary_key="reading_id",
+)
+
+FEATURE_DATA = Schema(
+    name="feature_data",
+    columns=(
+        Column("feature_id", ColumnType.INT, nullable=False, auto_increment=True),
+        Column("place_id", ColumnType.TEXT, nullable=False),
+        Column("category", ColumnType.TEXT, nullable=False),
+        Column("feature", ColumnType.TEXT, nullable=False),
+        Column("value", ColumnType.REAL, nullable=False),
+        Column("computed_at", ColumnType.REAL, nullable=False),
+    ),
+    primary_key="feature_id",
+)
+
+ALL_SCHEMAS = (USERS, APPLICATIONS, TASKS, RAW_DATA, READINGS, FEATURE_DATA)
+
+
+def create_all_tables(database) -> None:
+    """Create every server table plus its hot-path indexes.
+
+    Idempotent: several sensing servers may share one database (the
+    paper deploys "one or multiple sensing servers"), and each runs this
+    at startup.
+    """
+    for schema in ALL_SCHEMAS:
+        if not database.has_table(schema.name):
+            database.create_table(schema)
+    database.table("tasks").create_index("app_id")
+    database.table("tasks").create_index("token")
+    database.table("raw_data").create_index("processed")
+    database.table("readings").create_index("place_id")
+    database.table("feature_data").create_index("place_id")
+    database.table("feature_data").create_index("category")

@@ -1,0 +1,363 @@
+"""The Sensing Server HTTP endpoint.
+
+The server-side Message Handler "communicates with the mobile frontend
+using HTTP and dispatches incoming messages to different components.
+Note that if it detects that the received message includes sensed data,
+it will directly store the binary message body into the database, which
+will be processed later by the Data Processor."
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock
+from repro.common.errors import CodecError, ParticipationError, TransportError
+from repro.common.geo import LatLon
+from repro.db import Database, eq
+from repro.net import (
+    CloudMessenger,
+    Envelope,
+    HttpRequest,
+    HttpResponse,
+    MessageType,
+)
+from repro.net.transport import Network
+from repro.server.app_manager import Application, ApplicationManager
+from repro.server.data_processor import DataProcessor
+from repro.server.participation import ParticipationManager, ParticipationStatus
+from repro.server.ranker_service import PersonalizableRanker
+from repro.server.schemas import create_all_tables
+from repro.server.scheduler_service import SensingSchedulerService
+from repro.server.user_manager import UserInfoManager
+
+
+class SensingServer:
+    """One sensing server: endpoint + all backend components."""
+
+    def __init__(
+        self,
+        host: str,
+        network: Network,
+        clock: Clock,
+        *,
+        gcm: CloudMessenger | None = None,
+        database: Database | None = None,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.clock = clock
+        self.gcm = gcm
+        self.database = database if database is not None else Database(name=host)
+        create_all_tables(self.database)
+        self.users = UserInfoManager(self.database, clock)
+        self.apps = ApplicationManager(self.database)
+        self.participation = ParticipationManager(
+            self.database, self.users, self.apps, clock, id_prefix=f"{host}:"
+        )
+        self.scheduler = SensingSchedulerService(self.participation, clock)
+        self.data_processor = DataProcessor(self.database, self.apps, clock)
+        self.ranker = PersonalizableRanker(self.database)
+        self._phone_hosts: dict[str, str] = {}  # token → host
+        network.register(host, self)
+
+    # ------------------------------------------------------------------
+    # administration
+    # ------------------------------------------------------------------
+    def register_user(self, user_id: str, name: str, token: str) -> None:
+        """Register a mobile user (User Info Manager record)."""
+        self.users.register(user_id, name, token)
+
+    def create_application(self, application: Application) -> None:
+        """Register a sensing application for a target place."""
+        self.apps.create(application)
+
+    # ------------------------------------------------------------------
+    # endpoint
+    # ------------------------------------------------------------------
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Serve one HTTP request (the server-side Message Handler)."""
+        try:
+            envelope = Envelope.from_bytes(request.body)
+        except CodecError:
+            return HttpResponse(status=400)
+        handlers = {
+            MessageType.PARTICIPATE: self._on_participate,
+            MessageType.SENSED_DATA: lambda env: self._on_sensed_data(
+                env, request.body
+            ),
+            MessageType.PREFERENCES: self._on_preferences,
+            MessageType.PONG: self._on_pong,
+            MessageType.LOCATION_REPORT: self._on_location_report,
+        }
+        handler = handlers.get(envelope.message_type)
+        if handler is None:
+            return HttpResponse(status=404)
+        reply = handler(envelope)
+        return HttpResponse(status=200, body=reply.to_bytes())
+
+    # ------------------------------------------------------------------
+    # message handlers
+    # ------------------------------------------------------------------
+    def _on_participate(self, envelope: Envelope) -> Envelope:
+        payload = envelope.payload
+        try:
+            app_id = str(payload["app_id"])
+            user_id = str(payload["user_id"])
+            token = str(payload["token"])
+            budget = int(payload["budget"])
+            location = LatLon(
+                latitude=float(payload["latitude"]),
+                longitude=float(payload["longitude"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return envelope.reply(
+                MessageType.ERROR, {"reason": "malformed participation request"}
+            )
+        try:
+            task_id = self.participation.create_task(
+                app_id=app_id,
+                user_id=user_id,
+                token=token,
+                phone_host=envelope.sender,
+                location=location,
+                budget=budget,
+            )
+        except ParticipationError as exc:
+            return envelope.reply(MessageType.ERROR, {"reason": str(exc)})
+        self._phone_hosts[token] = envelope.sender
+        application = self.apps.get(app_id)
+        assert application is not None  # create_task verified it
+        times = self.scheduler.schedule_task(
+            application,
+            task_id,
+            budget=budget,
+            departure_time=payload.get("departure_time"),
+        )
+        return envelope.reply(
+            MessageType.SCHEDULE,
+            {
+                "task_id": task_id,
+                "app_id": app_id,
+                "script": application.script,
+                "times": times,
+            },
+        )
+
+    def _on_sensed_data(self, envelope: Envelope, raw_body: bytes) -> Envelope:
+        payload = envelope.payload
+        task_id = payload.get("task_id")
+        if not isinstance(task_id, str):
+            return envelope.reply(MessageType.ERROR, {"reason": "missing task_id"})
+        task = self.participation.get_task(task_id)
+        if task is None or task["token"] != payload.get("token"):
+            return envelope.reply(MessageType.ERROR, {"reason": "unknown task"})
+        # The paper's behaviour: store the binary body now, decode later.
+        self.database.table("raw_data").insert(
+            {
+                "task_id": task_id,
+                "received_at": self.clock.now(),
+                "body": raw_body,
+                "processed": False,
+            }
+        )
+        status = payload.get("status")
+        if status == "error":
+            self.participation.mark_status(
+                task_id,
+                ParticipationStatus.ERROR,
+                error=str(payload.get("error", "")),
+            )
+        elif status == "finished":
+            self.participation.mark_status(task_id, ParticipationStatus.FINISHED)
+        # The paper: the sensing budget "is updated at runtime" — record
+        # how much of it the phone actually consumed.
+        executed = payload.get("executed")
+        if isinstance(executed, int) and executed >= 0:
+            remaining = max(0, task["budget"] - executed)
+            self.database.table("tasks").update(
+                eq("task_id", task_id), {"budget": remaining}
+            )
+        return envelope.reply(MessageType.ACK, {"task_id": task_id})
+
+    def _on_preferences(self, envelope: Envelope) -> Envelope:
+        token = envelope.payload.get("token")
+        denied = envelope.payload.get("denied", [])
+        if not isinstance(token, str) or not isinstance(denied, list):
+            return envelope.reply(MessageType.ERROR, {"reason": "malformed"})
+        if not self.users.update_preferences(token, [str(item) for item in denied]):
+            return envelope.reply(MessageType.ERROR, {"reason": "unknown token"})
+        return envelope.reply(MessageType.ACK)
+
+    def _on_pong(self, envelope: Envelope) -> Envelope:
+        token = envelope.payload.get("token")
+        if isinstance(token, str):
+            self._phone_hosts[token] = envelope.payload.get(
+                "host", envelope.sender
+            )
+        return envelope.reply(MessageType.ACK)
+
+    def _on_location_report(self, envelope: Envelope) -> Envelope:
+        payload = envelope.payload
+        token = payload.get("token")
+        try:
+            location = LatLon(
+                latitude=float(payload["latitude"]),
+                longitude=float(payload["longitude"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return envelope.reply(MessageType.ERROR, {"reason": "malformed"})
+        finished = (
+            self.participation.handle_location_report(token, location)
+            if isinstance(token, str)
+            else []
+        )
+        return envelope.reply(MessageType.ACK, {"finished_tasks": finished})
+
+    # ------------------------------------------------------------------
+    # outbound
+    # ------------------------------------------------------------------
+    def ping_phone(self, token: str) -> bool:
+        """Reach a phone we lost track of.
+
+        Try HTTP first; if the phone's host is unknown or unreachable,
+        fall back to a GCM push asking the device to ping us — the
+        paper's recovery path.
+        """
+        host = self._phone_hosts.get(token)
+        if host is not None:
+            envelope = Envelope(
+                message_type=MessageType.PING,
+                sender=self.host,
+                recipient=host,
+                payload={},
+            )
+            try:
+                response = self.network.send(
+                    HttpRequest("POST", host, "/sor", envelope.to_bytes())
+                )
+                if response.ok:
+                    return True
+            except TransportError:
+                pass
+        if self.gcm is not None and self.gcm.is_registered(token):
+            try:
+                self.gcm.push(token, {"action": "ping", "server": self.host})
+                return True
+            except TransportError:
+                return False
+        return False
+
+    def push_schedule(self, task_id: str) -> bool:
+        """Proactively (re)send a task's schedule and script to its phone.
+
+        The paper's Sensing Scheduler "will also distribute the
+        calculated schedules along with the corresponding Lua scripts to
+        participating mobile phones" — this is that distribution path,
+        used when a phone lost the original reply or the server
+        recomputed. Returns True when the phone acknowledged.
+        """
+        task = self.participation.get_task(task_id)
+        if task is None:
+            return False
+        application = self.apps.get(task["app_id"])
+        if application is None:
+            return False
+        host = self._phone_hosts.get(task["token"], task["phone_host"])
+        envelope = Envelope(
+            message_type=MessageType.SCHEDULE,
+            sender=self.host,
+            recipient=host,
+            payload={
+                "task_id": task_id,
+                "app_id": task["app_id"],
+                "script": application.script,
+                "times": list(task["schedule_times"]),
+            },
+        )
+        try:
+            response = self.network.send(
+                HttpRequest("POST", host, "/sor", envelope.to_bytes())
+            )
+        except TransportError:
+            return False
+        if not response.ok or not response.body:
+            return False
+        try:
+            reply = Envelope.from_bytes(response.body)
+        except CodecError:
+            return False
+        return reply.message_type is MessageType.ACK
+
+    def query_phone_location(self, token: str) -> LatLon | None:
+        """Ask a phone where it is (used by the participation tracker)."""
+        host = self._phone_hosts.get(token)
+        if host is None:
+            return None
+        envelope = Envelope(
+            message_type=MessageType.LOCATION_QUERY,
+            sender=self.host,
+            recipient=host,
+            payload={},
+        )
+        try:
+            response = self.network.send(
+                HttpRequest("POST", host, "/sor", envelope.to_bytes())
+            )
+        except TransportError:
+            return None
+        if not response.ok or not response.body:
+            return None
+        try:
+            reply = Envelope.from_bytes(response.body)
+            return LatLon(
+                latitude=float(reply.payload["latitude"]),
+                longitude=float(reply.payload["longitude"]),
+            )
+        except (CodecError, KeyError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # processing and queries
+    # ------------------------------------------------------------------
+    def process_data(self) -> int:
+        """Run one Data Processor pass; returns decoded blob count."""
+        return self.data_processor.process_pending()
+
+    def feature_charts(self, category: str) -> str:
+        """Text figures for a category's feature data (the paper's
+        Visualization module output)."""
+        from repro.server.visualization import bar_chart, feature_table
+
+        values = self.ranker.feature_values(category)
+        if not values:
+            return f"(no feature data for category {category!r})"
+        feature_names = sorted({f for fs in values.values() for f in fs})
+        sections = [feature_table(values, feature_names)]
+        for feature in feature_names:
+            sections.append("")
+            sections.append(
+                bar_chart(
+                    feature,
+                    {
+                        place: features[feature]
+                        for place, features in values.items()
+                        if feature in features
+                    },
+                )
+            )
+        return "\n".join(sections)
+
+    def compute_all_features(self) -> dict[str, dict[str, float]]:
+        """Compute features for every application with data."""
+        results: dict[str, dict[str, float]] = {}
+        for application in self.apps.all_apps():
+            has_data = (
+                self.database.table("readings").count(
+                    eq("place_id", application.place_id)
+                )
+                > 0
+            )
+            if has_data:
+                results[application.place_id] = self.data_processor.compute_features(
+                    application.app_id
+                )
+        return results

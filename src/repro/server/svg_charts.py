@@ -1,0 +1,179 @@
+"""SVG figure generation (the Visualization module's "figures").
+
+The paper's server includes "a simple Visualization module, which can
+generate figures for feature data in the database". These helpers render
+self-contained SVG documents — bar charts for feature data (Figs. 6/10)
+and line charts for the scheduling sweeps (Fig. 14) — with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Mapping, Sequence
+
+from repro.common.errors import ValidationError
+
+_PALETTE = ("#4878a8", "#e1812c", "#3a923a", "#c03d3e", "#9372b2", "#7f7f7f")
+
+
+def _svg_document(width: int, height: int, body: list[str], title: str) -> str:
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f"<title>{html.escape(title)}</title>",
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="18" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14" font-weight="bold">'
+        f"{html.escape(title)}</text>",
+    ]
+    parts.extend(body)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart_svg(
+    title: str,
+    values: Mapping[str, float],
+    *,
+    width: int = 420,
+    height: int = 260,
+    unit: str = "",
+) -> str:
+    """A vertical bar chart of ``label → value`` as an SVG string."""
+    if not values:
+        raise ValidationError("bar chart needs at least one value")
+    margin_left, margin_bottom, margin_top = 50, 50, 32
+    plot_width = width - margin_left - 16
+    plot_height = height - margin_top - margin_bottom
+    top = max(max(values.values()), 0.0)
+    bottom = min(min(values.values()), 0.0)
+    span = (top - bottom) or 1.0
+    baseline_y = margin_top + plot_height * (top / span if span else 1.0)
+    count = len(values)
+    slot = plot_width / count
+    bar_width = slot * 0.6
+    body = []
+    # y axis labels (min, 0-ish, max)
+    for value in {bottom, top}:
+        y = margin_top + (top - value) / span * plot_height
+        body.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{value:.3g}</text>'
+        )
+        body.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" x2="{width - 16}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+    for index, (label, value) in enumerate(values.items()):
+        x = margin_left + index * slot + (slot - bar_width) / 2
+        value_y = margin_top + (top - value) / span * plot_height
+        bar_top = min(value_y, baseline_y)
+        bar_height = max(abs(value_y - baseline_y), 0.5)
+        color = _PALETTE[index % len(_PALETTE)]
+        body.append(
+            f'<rect x="{x:.1f}" y="{bar_top:.1f}" width="{bar_width:.1f}" '
+            f'height="{bar_height:.1f}" fill="{color}"/>'
+        )
+        body.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{bar_top - 4:.1f}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="10">'
+            f"{value:.3g}{html.escape(unit)}</text>"
+        )
+        body.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{height - margin_bottom + 14}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="10">'
+            f"{html.escape(label)}</text>"
+        )
+    return _svg_document(width, height, body, title)
+
+
+def line_chart_svg(
+    title: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 480,
+    height: int = 300,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A multi-series line chart; each series is [(x, y), …]."""
+    if not series or all(len(points) == 0 for points in series.values()):
+        raise ValidationError("line chart needs at least one point")
+    margin_left, margin_bottom, margin_top, margin_right = 56, 54, 32, 16
+    plot_width = width - margin_left - margin_right
+    plot_height = height - margin_top - margin_bottom
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(min(ys), 0.0), max(max(ys), 1e-12)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    def to_px(x: float, y: float) -> tuple[float, float]:
+        px = margin_left + (x - x_low) / x_span * plot_width
+        py = margin_top + (y_high - y) / y_span * plot_height
+        return px, py
+
+    body = [
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{height - margin_bottom}" stroke="black"/>',
+        f'<line x1="{margin_left}" y1="{height - margin_bottom}" '
+        f'x2="{width - margin_right}" y2="{height - margin_bottom}" stroke="black"/>',
+    ]
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        value = y_low + fraction * y_span
+        _, y = to_px(x_low, value)
+        body.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{value:.2f}</text>'
+        )
+        body.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{width - margin_right}" y2="{y:.1f}" '
+            f'stroke="#eeeeee" stroke-width="1"/>'
+        )
+    for index, (name, points) in enumerate(series.items()):
+        color = _PALETTE[index % len(_PALETTE)]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'} {to_px(x, y)[0]:.1f} {to_px(x, y)[1]:.1f}"
+            for i, (x, y) in enumerate(sorted(points))
+        )
+        body.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in points:
+            px, py = to_px(x, y)
+            body.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" fill="{color}"/>')
+        legend_y = margin_top + 14 * index
+        body.append(
+            f'<rect x="{width - margin_right - 120}" y="{legend_y}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        body.append(
+            f'<text x="{width - margin_right - 106}" y="{legend_y + 9}" '
+            f'font-family="sans-serif" font-size="11">{html.escape(name)}</text>'
+        )
+        # x tick labels from the first series only (shared axes).
+        if index == 0:
+            for x, _ in points:
+                px, _ = to_px(x, 0)
+                body.append(
+                    f'<text x="{px:.1f}" y="{height - margin_bottom + 14}" '
+                    f'text-anchor="middle" font-family="sans-serif" '
+                    f'font-size="9">{x:g}</text>'
+                )
+    if x_label:
+        body.append(
+            f'<text x="{margin_left + plot_width / 2:.0f}" y="{height - 8}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="11">'
+            f"{html.escape(x_label)}</text>"
+        )
+    if y_label:
+        body.append(
+            f'<text x="14" y="{margin_top + plot_height / 2:.0f}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="11" '
+            f'transform="rotate(-90 14 {margin_top + plot_height / 2:.0f})">'
+            f"{html.escape(y_label)}</text>"
+        )
+    return _svg_document(width, height, body, title)

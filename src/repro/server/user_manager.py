@@ -1,0 +1,59 @@
+"""The User Info Manager: userID, name and device token records."""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock
+from repro.common.errors import ParticipationError
+from repro.db import Database, eq
+
+
+class UserInfoManager:
+    """Maintains user information in the ``users`` table."""
+
+    def __init__(self, database: Database, clock: Clock) -> None:
+        self.database = database
+        self.clock = clock
+
+    def register(self, user_id: str, name: str, token: str) -> None:
+        """Register a user; duplicate ids or tokens are rejected."""
+        self.database.table("users").insert(
+            {
+                "user_id": user_id,
+                "name": name,
+                "token": token,
+                "denied_sensors": [],
+                "registered_at": self.clock.now(),
+            }
+        )
+
+    def is_registered(self, user_id: str) -> bool:
+        """Whether ``user_id`` exists."""
+        return self.database.table("users").get(user_id) is not None
+
+    def by_token(self, token: str) -> dict | None:
+        """Look a user up by device token (how uploads identify phones)."""
+        rows = self.database.table("users").select(eq("token", token))
+        return rows[0] if rows else None
+
+    def verify(self, user_id: str, token: str) -> bool:
+        """Whether ``token`` belongs to ``user_id``."""
+        row = self.database.table("users").get(user_id)
+        return row is not None and row["token"] == token
+
+    def update_preferences(self, token: str, denied_sensors: list[str]) -> bool:
+        """Record a phone's sensing preferences; False if token unknown."""
+        user = self.by_token(token)
+        if user is None:
+            return False
+        self.database.table("users").update(
+            eq("user_id", user["user_id"]),
+            {"denied_sensors": sorted(denied_sensors)},
+        )
+        return True
+
+    def denied_sensors(self, user_id: str) -> list[str]:
+        """The sensors ``user_id`` has denied (raises if unknown)."""
+        row = self.database.table("users").get(user_id)
+        if row is None:
+            raise ParticipationError(f"unknown user {user_id!r}")
+        return list(row["denied_sensors"])

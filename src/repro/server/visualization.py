@@ -1,0 +1,99 @@
+"""The Visualization module.
+
+"We also implemented a simple Visualization module, which can generate
+figures for feature data in the database such that users can view them
+easily." Here: terminal bar charts and CSV export — the formats a
+headless reproduction can actually show.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping
+
+from repro.common.errors import ValidationError
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    *,
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart of ``label → value``."""
+    if not values:
+        raise ValidationError("bar chart needs at least one value")
+    if width < 8:
+        raise ValidationError("width must be at least 8")
+    label_width = max(len(label) for label in values)
+    magnitudes = [abs(value) for value in values.values()]
+    scale = max(magnitudes) or 1.0
+    lines = [title, "=" * len(title)]
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(abs(value) / scale * width)))
+        lines.append(
+            f"{label:<{label_width}}  {bar}  {value:.3f}{(' ' + unit) if unit else ''}"
+        )
+    return "\n".join(lines)
+
+
+def feature_table(
+    features_by_place: Mapping[str, Mapping[str, float]],
+    feature_names: list[str],
+) -> str:
+    """Render the H matrix as an aligned text table (places × features)."""
+    if not features_by_place:
+        raise ValidationError("need at least one place")
+    place_width = max(len(str(place)) for place in features_by_place)
+    column_width = max(12, max((len(name) for name in feature_names), default=12))
+    header = " " * place_width + "".join(
+        f"  {name:>{column_width}}" for name in feature_names
+    )
+    lines = [header, "-" * len(header)]
+    for place, features in features_by_place.items():
+        cells = "".join(
+            f"  {features.get(name, float('nan')):>{column_width}.3f}"
+            for name in feature_names
+        )
+        lines.append(f"{place:<{place_width}}{cells}")
+    return "\n".join(lines)
+
+
+def sparkline(values, *, width: int | None = None) -> str:
+    """Render a sequence of values in [0, ∞) as a unicode sparkline.
+
+    Used to show the per-instant coverage profile of a schedule at a
+    glance. ``width`` resamples the series to that many characters.
+    """
+    levels = "▁▂▃▄▅▆▇█"
+    series = [float(value) for value in values]
+    if not series:
+        raise ValidationError("sparkline needs at least one value")
+    if width is not None and width > 0 and len(series) > width:
+        bucket = len(series) / width
+        series = [
+            max(series[int(index * bucket) : max(int((index + 1) * bucket), int(index * bucket) + 1)])
+            for index in range(width)
+        ]
+    top = max(series) or 1.0
+    return "".join(
+        levels[min(len(levels) - 1, int(value / top * (len(levels) - 1) + 0.5))]
+        for value in series
+    )
+
+
+def to_csv(
+    features_by_place: Mapping[str, Mapping[str, float]],
+    feature_names: list[str],
+) -> str:
+    """Export feature data as CSV (place, then one column per feature)."""
+    buffer = io.StringIO()
+    buffer.write("place," + ",".join(feature_names) + "\n")
+    for place, features in features_by_place.items():
+        row = [str(place)] + [
+            repr(features[name]) if name in features else ""
+            for name in feature_names
+        ]
+        buffer.write(",".join(row) + "\n")
+    return buffer.getvalue()

@@ -1,0 +1,40 @@
+"""Simulation substrate.
+
+Replaces the paper's physical world: a discrete-event engine drives
+phones and servers on a shared virtual clock; environment models
+generate ground-truth signals (temperature, light, noise, motion, GPS
+position along a trail) that sensor providers sample; scenario builders
+reconstruct the Syracuse field tests (three hiking trails, three coffee
+shops) and the Section V-C scheduling simulations.
+"""
+
+from repro.sim.arrivals import poisson_arrivals, uniform_arrivals
+from repro.sim.engine import EventQueue, Simulator
+from repro.sim.environment import (
+    CompositeSignal,
+    ConstantSignal,
+    CrowdNoiseSignal,
+    DiurnalSignal,
+    OrnsteinUhlenbeckSignal,
+    SignalModel,
+    SinusoidSignal,
+)
+from repro.sim.mobility import TrailPath, TrailWalker
+from repro.sim.places import PlaceProfile
+
+__all__ = [
+    "CompositeSignal",
+    "ConstantSignal",
+    "CrowdNoiseSignal",
+    "DiurnalSignal",
+    "EventQueue",
+    "OrnsteinUhlenbeckSignal",
+    "PlaceProfile",
+    "SignalModel",
+    "poisson_arrivals",
+    "Simulator",
+    "SinusoidSignal",
+    "TrailPath",
+    "TrailWalker",
+    "uniform_arrivals",
+]

@@ -1,0 +1,90 @@
+"""User arrival models for the scheduling simulation (Section V-C).
+
+The paper: "The arrival (leaving) times of mobile users were randomly
+generated, following a uniform distribution between 0 (the corresponding
+arrival time) and 10800 s" — i.e. arrival ~ U(0, T) and departure
+~ U(arrival, T). :func:`poisson_arrivals` adds the standard alternative
+(Poisson arrival process with exponential dwell times) for workload
+sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.core.scheduling.problem import MobileUser
+
+
+def uniform_arrivals(
+    count: int,
+    period_s: float,
+    budget: int,
+    rng: np.random.Generator,
+    *,
+    id_prefix: str = "user",
+) -> list[MobileUser]:
+    """Generate ``count`` users with the paper's uniform arrival model."""
+    if count <= 0:
+        raise ValidationError("count must be positive")
+    if period_s <= 0:
+        raise ValidationError("period_s must be positive")
+    if budget < 0:
+        raise ValidationError("budget must be non-negative")
+    users = []
+    for index in range(count):
+        arrival = float(rng.uniform(0.0, period_s))
+        departure = float(rng.uniform(arrival, period_s))
+        users.append(
+            MobileUser(
+                user_id=f"{id_prefix}-{index}",
+                arrival=arrival,
+                departure=departure,
+                budget=budget,
+            )
+        )
+    return users
+
+
+def poisson_arrivals(
+    rate_per_hour: float,
+    period_s: float,
+    budget: int,
+    rng: np.random.Generator,
+    *,
+    mean_dwell_s: float = 1800.0,
+    id_prefix: str = "user",
+) -> list[MobileUser]:
+    """Poisson arrivals with exponential dwell times, clipped to the period.
+
+    Models a venue where visitors trickle in at ``rate_per_hour`` and
+    stay ``Exp(mean_dwell_s)``; useful for testing the scheduler under a
+    non-uniform workload. The number of users returned is itself random.
+    """
+    if rate_per_hour <= 0:
+        raise ValidationError("rate_per_hour must be positive")
+    if period_s <= 0:
+        raise ValidationError("period_s must be positive")
+    if budget < 0:
+        raise ValidationError("budget must be non-negative")
+    if mean_dwell_s <= 0:
+        raise ValidationError("mean_dwell_s must be positive")
+    users = []
+    t = 0.0
+    index = 0
+    rate_per_s = rate_per_hour / 3600.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_s))
+        if t >= period_s:
+            break
+        departure = min(period_s, t + float(rng.exponential(mean_dwell_s)))
+        users.append(
+            MobileUser(
+                user_id=f"{id_prefix}-{index}",
+                arrival=t,
+                departure=departure,
+                budget=budget,
+            )
+        )
+        index += 1
+    return users

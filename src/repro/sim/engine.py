@@ -1,0 +1,111 @@
+"""A small discrete-event simulation engine.
+
+Events are (time, priority, sequence, callback) tuples in a heap; the
+simulator advances a :class:`~repro.common.clock.ManualClock` to each
+event's timestamp before invoking it, so every component reading the
+clock observes consistent virtual time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.common.clock import ManualClock
+from repro.common.errors import ValidationError
+
+EventCallback = Callable[[], None]
+
+
+class EventQueue:
+    """A time/priority-ordered queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, EventCallback]] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: EventCallback, *, priority: int = 0) -> None:
+        """Enqueue ``callback`` at ``time`` (lower priority fires first on ties)."""
+        heapq.heappush(self._heap, (time, priority, next(self._sequence), callback))
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> tuple[float, EventCallback]:
+        """Remove and return the next (time, callback)."""
+        time, _priority, _sequence, callback = heapq.heappop(self._heap)
+        return time, callback
+
+
+class Simulator:
+    """Drives an event queue against a manual clock.
+
+    >>> simulator = Simulator()
+    >>> fired = []
+    >>> simulator.schedule_at(5.0, lambda: fired.append(simulator.now()))
+    >>> simulator.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = ManualClock(start=start_time)
+        self.queue = EventQueue()
+        self.events_processed = 0
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now()
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, *, priority: int = 0
+    ) -> None:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self.clock.now():
+            raise ValidationError(
+                f"cannot schedule in the past ({time} < {self.clock.now()})"
+            )
+        self.queue.push(time, callback, priority=priority)
+
+    def schedule_in(
+        self, delay: float, callback: EventCallback, *, priority: int = 0
+    ) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValidationError(f"delay must be non-negative, got {delay}")
+        self.queue.push(self.clock.now() + delay, callback, priority=priority)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in order; stop at ``until`` if given.
+
+        When ``until`` is given the clock is advanced to it even if the
+        queue drains earlier, so follow-up scheduling starts from there.
+        """
+        while len(self.queue) > 0:
+            next_time = self.queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                break
+            time, callback = self.queue.pop()
+            if time > self.clock.now():
+                self.clock.set(time)
+            callback()
+            self.events_processed += 1
+        if until is not None and until > self.clock.now():
+            self.clock.set(until)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if len(self.queue) == 0:
+            return False
+        time, callback = self.queue.pop()
+        if time > self.clock.now():
+            self.clock.set(time)
+        callback()
+        self.events_processed += 1
+        return True

@@ -1,0 +1,173 @@
+"""Ground-truth environment signal models.
+
+A signal maps simulated time (seconds) to the true physical value a
+perfect sensor would read. Providers add measurement noise on top; the
+models here capture how the *world* varies: diurnal temperature cycles,
+slowly wandering humidity, bursty crowd noise in a busy coffee shop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+@runtime_checkable
+class SignalModel(Protocol):
+    """Anything that yields the true value of a quantity at time t."""
+
+    def value(self, t: float) -> float:
+        """The true value of the quantity at time ``t``."""
+        ...
+
+
+class ConstantSignal:
+    """A constant quantity."""
+
+    def __init__(self, level: float) -> None:
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        """The constant level, regardless of ``t``."""
+        return self.level
+
+
+class SinusoidSignal:
+    """``offset + amplitude · sin(2πt/period + phase)``."""
+
+    def __init__(
+        self, offset: float, amplitude: float, period_s: float, phase: float = 0.0
+    ) -> None:
+        if period_s <= 0:
+            raise ValidationError("period_s must be positive")
+        self.offset = offset
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self.phase = phase
+
+    def value(self, t: float) -> float:
+        """The sinusoid evaluated at ``t``."""
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * t / self.period_s + self.phase
+        )
+
+
+class DiurnalSignal:
+    """A 24-hour cycle peaking at ``peak_hour`` (t = seconds since midnight)."""
+
+    def __init__(self, mean: float, amplitude: float, peak_hour: float = 15.0) -> None:
+        self.mean = mean
+        self.amplitude = amplitude
+        self.peak_hour = peak_hour
+
+    def value(self, t: float) -> float:
+        """The 24-hour cycle evaluated at ``t`` seconds since midnight."""
+        hours = (t / 3600.0) % 24.0
+        return self.mean + self.amplitude * math.cos(
+            2.0 * math.pi * (hours - self.peak_hour) / 24.0
+        )
+
+
+class OrnsteinUhlenbeckSignal:
+    """A mean-reverting random walk, precomputed on a regular grid.
+
+    Models quantities that wander but stay near a level (humidity,
+    Wi-Fi RSSI under interference). The path is generated once from the
+    supplied generator so repeated evaluation is deterministic; values
+    between grid points are linearly interpolated, before/after the grid
+    clamped.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        reversion_rate: float,
+        volatility: float,
+        rng: np.random.Generator,
+        *,
+        horizon_s: float = 86_400.0,
+        step_s: float = 10.0,
+        initial: float | None = None,
+    ) -> None:
+        if reversion_rate < 0 or volatility < 0:
+            raise ValidationError("reversion_rate and volatility must be >= 0")
+        if horizon_s <= 0 or step_s <= 0:
+            raise ValidationError("horizon_s and step_s must be positive")
+        self.mean = mean
+        self.step_s = step_s
+        steps = int(math.ceil(horizon_s / step_s)) + 1
+        path = np.empty(steps)
+        path[0] = mean if initial is None else initial
+        noise_scale = volatility * math.sqrt(step_s)
+        shocks = rng.normal(0.0, noise_scale, size=steps - 1)
+        decay = math.exp(-reversion_rate * step_s)
+        for index in range(1, steps):
+            path[index] = mean + (path[index - 1] - mean) * decay + shocks[index - 1]
+        self._path = path
+
+    def value(self, t: float) -> float:
+        """The precomputed OU path, linearly interpolated at ``t``."""
+        position = t / self.step_s
+        if position <= 0:
+            return float(self._path[0])
+        if position >= len(self._path) - 1:
+            return float(self._path[-1])
+        low = int(position)
+        fraction = position - low
+        return float(
+            self._path[low] * (1.0 - fraction) + self._path[low + 1] * fraction
+        )
+
+
+class CrowdNoiseSignal:
+    """Bursty background noise: a base level plus random busy episodes.
+
+    Busy episodes start as a Poisson process and last an exponential
+    time, raising the level by ``burst_gain``. Episode times are drawn
+    once so the signal is a deterministic function of t afterwards.
+    """
+
+    def __init__(
+        self,
+        base_level: float,
+        burst_gain: float,
+        rng: np.random.Generator,
+        *,
+        bursts_per_hour: float = 6.0,
+        mean_burst_s: float = 120.0,
+        horizon_s: float = 86_400.0,
+    ) -> None:
+        if bursts_per_hour < 0 or mean_burst_s <= 0:
+            raise ValidationError("invalid burst parameters")
+        self.base_level = base_level
+        self.burst_gain = burst_gain
+        episodes: list[tuple[float, float]] = []
+        t = 0.0
+        rate_per_s = bursts_per_hour / 3600.0
+        while t < horizon_s and rate_per_s > 0:
+            t += float(rng.exponential(1.0 / rate_per_s))
+            duration = float(rng.exponential(mean_burst_s))
+            episodes.append((t, t + duration))
+        self._episodes = episodes
+
+    def value(self, t: float) -> float:
+        """Base level plus the gain of episodes active at ``t``."""
+        active = sum(1 for start, end in self._episodes if start <= t < end)
+        return self.base_level + self.burst_gain * min(active, 3)
+
+
+class CompositeSignal:
+    """The sum of several signals (e.g. diurnal + OU wander)."""
+
+    def __init__(self, components: Sequence[SignalModel]) -> None:
+        if not components:
+            raise ValidationError("composite needs at least one component")
+        self.components = list(components)
+
+    def value(self, t: float) -> float:
+        """Sum of every component signal at ``t``."""
+        return sum(component.value(t) for component in self.components)

@@ -1,0 +1,53 @@
+"""Place profiles: the ground truth a field test measures.
+
+A :class:`PlaceProfile` bundles everything the simulation needs to stand
+in for a physical place: identity and location (what the 2D barcode
+encodes), per-sensor ground-truth signals, and — for trails — the trail
+geometry hikers walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.common.errors import ValidationError
+from repro.common.geo import LatLon
+from repro.sim.environment import SignalModel
+from repro.sim.mobility import TrailPath
+
+
+@dataclass
+class PlaceProfile:
+    """Ground truth for one target place."""
+
+    place_id: str
+    name: str
+    category: str
+    location: LatLon
+    signals: Mapping[str, SignalModel] = field(default_factory=dict)
+    trail: TrailPath | None = None
+    # Motion roughness parameter: std (m/s²) of the vertical shaking a
+    # walking phone experiences on this surface; drives the
+    # accelerometer signal.
+    surface_roughness: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.place_id or not self.name or not self.category:
+            raise ValidationError("place identity fields are required")
+        if self.surface_roughness < 0:
+            raise ValidationError("surface_roughness must be non-negative")
+
+    def signal(self, sensor_type: str) -> SignalModel:
+        """The ground-truth signal for ``sensor_type`` (raises if absent)."""
+        try:
+            return self.signals[sensor_type]
+        except KeyError:
+            raise ValidationError(
+                f"place {self.place_id!r} has no signal for sensor "
+                f"{sensor_type!r}"
+            ) from None
+
+    def has_signal(self, sensor_type: str) -> bool:
+        """Whether this place models ``sensor_type``."""
+        return sensor_type in self.signals

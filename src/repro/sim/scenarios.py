@@ -1,0 +1,357 @@
+"""Field-test scenarios reproducing Section V-A and V-B.
+
+The paper field-tested three Syracuse hiking trails (Green Lake Trail,
+Long Trail, Cliff Trail — Nov 17, 2013, 11:00–14:00, 7 Nexus 4 phones
+per trail) and three coffee shops (Tim Hortons, B&N Cafe, Starbucks —
+Nov 15, 2013, 11:00–14:00, 12 phones per shop). We cannot visit those
+places; instead each gets a ground-truth profile built from the paper's
+qualitative descriptions and ground truths (Figs. 8/9/12/13):
+
+* Green Lake Trail — loops a lake: humid, a little cooler, "almost
+  entirely flat", smooth and easy;
+* Long Trail — flat, fairly easy, drier;
+* Cliff Trail — rocky, twisty, real relief: the difficult one;
+* Starbucks — crowded, noisy and dark;
+* Tim Hortons — a little colder than B&N but very bright (big window);
+* B&N Cafe — quiet, bright, warm.
+
+The user profiles (Figs. 7 and 11) are encoded exactly as described:
+preferred values plus integer weights in {0..5}, with MAX/MIN for
+always-better-one-way features.
+
+Quantities: temperature °F, humidity %RH, brightness lux, background
+noise dB(A) (the paper's figure uses a normalized unit; dB preserves the
+ordering), Wi-Fi RSSI dBm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.geo import LatLon
+from repro.core.features import (
+    AltitudeChangeExtractor,
+    CurvatureExtractor,
+    FeaturePipeline,
+    FeatureSpec,
+    MeanExtractor,
+    RoughnessExtractor,
+)
+from repro.core.ranking import MAX, MIN, FeaturePreference, PreferenceProfile
+from repro.sim.environment import (
+    CompositeSignal,
+    CrowdNoiseSignal,
+    DiurnalSignal,
+    OrnsteinUhlenbeckSignal,
+)
+from repro.sim.mobility import TrailPath
+from repro.sim.places import PlaceProfile
+
+# The paper's field tests ran 11:00AM–2:00PM; seconds since midnight.
+FIELD_TEST_START_S = 11 * 3600.0
+FIELD_TEST_END_S = 14 * 3600.0
+
+TRAIL_PHONES = 7  # phones per hiking-trail test
+SHOP_PHONES = 12  # phones per coffee-shop test
+
+
+@dataclass(frozen=True)
+class _TrailTruth:
+    place_id: str
+    name: str
+    location: LatLon
+    temperature_f: float
+    humidity_pct: float
+    roughness: float  # accelerometer std, m/s²
+    wiggle_amplitude_m: float
+    wiggle_period_m: float
+    wiggle_jitter_m: float
+    altitude_amplitude_m: float
+    altitude_period_m: float
+    length_m: float
+    closed_loop: bool
+
+
+_TRAILS = (
+    _TrailTruth(
+        place_id="green-lake-trail",
+        name="Green Lake Trail",
+        location=LatLon(43.0520, -75.9670),
+        temperature_f=44.0,
+        humidity_pct=58.0,
+        roughness=0.12,
+        wiggle_amplitude_m=2.0,
+        wiggle_period_m=500.0,
+        wiggle_jitter_m=0.0,
+        altitude_amplitude_m=0.8,
+        altitude_period_m=900.0,
+        length_m=3000.0,
+        closed_loop=True,
+    ),
+    _TrailTruth(
+        place_id="long-trail",
+        name="Long Trail",
+        location=LatLon(43.0000, -76.0880),
+        temperature_f=47.0,
+        humidity_pct=45.0,
+        roughness=0.22,
+        wiggle_amplitude_m=12.0,
+        wiggle_period_m=150.0,
+        wiggle_jitter_m=0.5,
+        altitude_amplitude_m=6.0,
+        altitude_period_m=500.0,
+        length_m=2600.0,
+        closed_loop=False,
+    ),
+    _TrailTruth(
+        place_id="cliff-trail",
+        name="Cliff Trail",
+        location=LatLon(42.9980, -76.0905),
+        temperature_f=46.0,
+        humidity_pct=48.0,
+        roughness=0.45,
+        wiggle_amplitude_m=15.0,
+        wiggle_period_m=60.0,
+        wiggle_jitter_m=3.0,
+        altitude_amplitude_m=28.0,
+        altitude_period_m=300.0,
+        length_m=1800.0,
+        closed_loop=False,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class _ShopTruth:
+    place_id: str
+    name: str
+    location: LatLon
+    temperature_f: float
+    brightness_lux: float
+    noise_db: float
+    wifi_dbm: float
+    crowd_bursts_per_hour: float
+
+
+_SHOPS = (
+    _ShopTruth(
+        place_id="tim-hortons",
+        name="Tim Hortons",
+        location=LatLon(43.0103, -76.1468),
+        temperature_f=66.0,
+        brightness_lux=800.0,
+        noise_db=58.0,
+        wifi_dbm=-60.0,
+        crowd_bursts_per_hour=2.0,
+    ),
+    _ShopTruth(
+        place_id="bn-cafe",
+        name="B&N Cafe",
+        location=LatLon(43.0448, -76.0740),
+        temperature_f=72.0,
+        brightness_lux=500.0,
+        noise_db=55.0,
+        wifi_dbm=-55.0,
+        crowd_bursts_per_hour=1.5,
+    ),
+    _ShopTruth(
+        place_id="starbucks",
+        name="Starbucks",
+        location=LatLon(43.0412, -76.1350),
+        temperature_f=75.0,
+        brightness_lux=200.0,
+        noise_db=72.0,
+        wifi_dbm=-65.0,
+        crowd_bursts_per_hour=10.0,
+    ),
+)
+
+
+def syracuse_trails(rng: np.random.Generator) -> list[PlaceProfile]:
+    """Ground-truth profiles for the three hiking trails."""
+    profiles = []
+    for truth in _TRAILS:
+        trail = TrailPath.build(
+            origin=truth.location,
+            length_m=truth.length_m,
+            wiggle_amplitude_m=truth.wiggle_amplitude_m,
+            wiggle_period_m=truth.wiggle_period_m,
+            altitude_amplitude_m=truth.altitude_amplitude_m,
+            altitude_period_m=truth.altitude_period_m,
+            closed_loop=truth.closed_loop,
+            rng=rng,
+            wiggle_jitter=truth.wiggle_jitter_m,
+        )
+        signals = {
+            "temperature": CompositeSignal(
+                [
+                    DiurnalSignal(
+                        mean=truth.temperature_f, amplitude=1.5, peak_hour=15.0
+                    ),
+                    OrnsteinUhlenbeckSignal(
+                        mean=0.0,
+                        reversion_rate=1.0 / 600.0,
+                        volatility=0.01,
+                        rng=rng,
+                    ),
+                ]
+            ),
+            "humidity": OrnsteinUhlenbeckSignal(
+                mean=truth.humidity_pct,
+                reversion_rate=1.0 / 900.0,
+                volatility=0.02,
+                rng=rng,
+            ),
+        }
+        profiles.append(
+            PlaceProfile(
+                place_id=truth.place_id,
+                name=truth.name,
+                category="hiking_trail",
+                location=truth.location,
+                signals=signals,
+                trail=trail,
+                surface_roughness=truth.roughness,
+            )
+        )
+    return profiles
+
+
+def syracuse_coffee_shops(rng: np.random.Generator) -> list[PlaceProfile]:
+    """Ground-truth profiles for the three coffee shops."""
+    profiles = []
+    for truth in _SHOPS:
+        signals = {
+            "temperature": OrnsteinUhlenbeckSignal(
+                mean=truth.temperature_f,
+                reversion_rate=1.0 / 600.0,
+                volatility=0.01,
+                rng=rng,
+            ),
+            "drone_light": OrnsteinUhlenbeckSignal(
+                mean=truth.brightness_lux,
+                reversion_rate=1.0 / 300.0,
+                volatility=0.5,
+                rng=rng,
+            ),
+            "microphone": CrowdNoiseSignal(
+                base_level=truth.noise_db,
+                burst_gain=4.0,
+                rng=rng,
+                bursts_per_hour=truth.crowd_bursts_per_hour,
+            ),
+            "wifi": OrnsteinUhlenbeckSignal(
+                mean=truth.wifi_dbm,
+                reversion_rate=1.0 / 120.0,
+                volatility=0.2,
+                rng=rng,
+            ),
+        }
+        profiles.append(
+            PlaceProfile(
+                place_id=truth.place_id,
+                name=truth.name,
+                category="coffee_shop",
+                location=truth.location,
+                signals=signals,
+                surface_roughness=0.02,
+            )
+        )
+    return profiles
+
+
+def trail_feature_pipeline() -> FeaturePipeline:
+    """The 5 hiking-trail features of Section V-A."""
+    return FeaturePipeline(
+        [
+            FeatureSpec("temperature", "temperature", MeanExtractor()),
+            FeatureSpec("humidity", "humidity", MeanExtractor()),
+            FeatureSpec("roughness", "accelerometer", RoughnessExtractor()),
+            FeatureSpec(
+                "curvature",
+                "gps",
+                CurvatureExtractor(min_spacing_m=12.0, max_gap_m=60.0, smooth_window=5),
+            ),
+            FeatureSpec("altitude_change", "gps", AltitudeChangeExtractor()),
+        ]
+    )
+
+
+def shop_feature_pipeline() -> FeaturePipeline:
+    """The 4 coffee-shop features of Section V-B."""
+    return FeaturePipeline(
+        [
+            FeatureSpec("temperature", "temperature", MeanExtractor()),
+            FeatureSpec("brightness", "drone_light", MeanExtractor()),
+            FeatureSpec("noise", "microphone", MeanExtractor()),
+            FeatureSpec("wifi", "wifi", MeanExtractor()),
+        ]
+    )
+
+
+def hiker_profiles() -> list[PreferenceProfile]:
+    """Alice, Bob and Chris (Fig. 7)."""
+    alice = PreferenceProfile(
+        "Alice",
+        {
+            # An experienced hiker who prefers difficult trails: all
+            # difficulty features to MAX with weight 5.
+            "temperature": FeaturePreference(73.0, 0),
+            "humidity": FeaturePreference(40.0, 0),
+            "roughness": FeaturePreference(MAX, 5),
+            "curvature": FeaturePreference(MAX, 5),
+            "altitude_change": FeaturePreference(MAX, 5),
+        },
+    )
+    bob = PreferenceProfile(
+        "Bob",
+        {
+            # A beginner who likes dry and even trails; cares more about
+            # humidity than difficulty.
+            "temperature": FeaturePreference(73.0, 0),
+            "humidity": FeaturePreference(MIN, 5),
+            "roughness": FeaturePreference(MIN, 1),
+            "curvature": FeaturePreference(MIN, 1),
+            "altitude_change": FeaturePreference(MIN, 1),
+        },
+    )
+    chris = PreferenceProfile(
+        "Chris",
+        {
+            # A beginner who likes jogging near a lake: humid (near
+            # water) first, easy terrain second.
+            "temperature": FeaturePreference(73.0, 0),
+            "humidity": FeaturePreference(MAX, 5),
+            "roughness": FeaturePreference(MIN, 2),
+            "curvature": FeaturePreference(MIN, 2),
+            "altitude_change": FeaturePreference(MIN, 2),
+        },
+    )
+    return [alice, bob, chris]
+
+
+def customer_profiles() -> list[PreferenceProfile]:
+    """David and Emma (Fig. 11)."""
+    david = PreferenceProfile(
+        "David",
+        {
+            # A social person: not-so-bright and warm, noise irrelevant.
+            "temperature": FeaturePreference(75.0, 4),
+            "brightness": FeaturePreference(MIN, 4),
+            "noise": FeaturePreference(MIN, 0),
+            "wifi": FeaturePreference(MAX, 2),
+        },
+    )
+    emma = PreferenceProfile(
+        "Emma",
+        {
+            # A student who reads and studies in relatively warm shops.
+            "temperature": FeaturePreference(73.0, 3),
+            "brightness": FeaturePreference(MAX, 2),
+            "noise": FeaturePreference(MIN, 5),
+            "wifi": FeaturePreference(MAX, 3),
+        },
+    )
+    return [david, emma]

@@ -1,0 +1,98 @@
+"""Tests for GF(256) arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.barcode import galois as gf
+from repro.common.errors import BarcodeError
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements)
+    def test_addition_commutes_and_is_xor(self, a, b):
+        assert gf.gf_add(a, b) == gf.gf_add(b, a) == a ^ b
+
+    @given(a=elements)
+    def test_additive_inverse_is_self(self, a):
+        assert gf.gf_add(a, a) == 0
+
+    @given(a=elements, b=elements)
+    def test_multiplication_commutes(self, a, b):
+        assert gf.gf_mul(a, b) == gf.gf_mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_multiplication_associates(self, a, b, c):
+        assert gf.gf_mul(gf.gf_mul(a, b), c) == gf.gf_mul(a, gf.gf_mul(b, c))
+
+    @given(a=elements, b=elements, c=elements)
+    def test_distributivity(self, a, b, c):
+        left = gf.gf_mul(a, gf.gf_add(b, c))
+        right = gf.gf_add(gf.gf_mul(a, b), gf.gf_mul(a, c))
+        assert left == right
+
+    @given(a=elements)
+    def test_multiplicative_identity(self, a):
+        assert gf.gf_mul(a, 1) == a
+
+    @given(a=nonzero)
+    def test_inverse(self, a):
+        assert gf.gf_mul(a, gf.gf_inverse(a)) == 1
+
+    @given(a=nonzero, b=nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf.gf_div(gf.gf_mul(a, b), b) == a
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(BarcodeError):
+            gf.gf_inverse(0)
+        with pytest.raises(BarcodeError):
+            gf.gf_div(1, 0)
+
+    @given(a=nonzero, power=st.integers(-10, 10))
+    def test_pow_matches_repeated_multiplication(self, a, power):
+        expected = 1
+        for _ in range(abs(power)):
+            expected = gf.gf_mul(expected, a)
+        if power < 0:
+            expected = gf.gf_inverse(expected)
+        assert gf.gf_pow(a, power) == expected
+
+
+class TestPolynomials:
+    def test_poly_eval_horner(self):
+        # p(x) = 2x² + 3x + 1 over GF(256) at x = 1 → 2 ^ 3 ^ 1 = 0
+        assert gf.poly_eval([2, 3, 1], 1) == 2 ^ 3 ^ 1
+
+    @given(
+        a=st.lists(elements, min_size=1, max_size=6).filter(lambda p: p[0] != 0),
+        b=st.lists(elements, min_size=1, max_size=6).filter(lambda p: p[0] != 0),
+        x=elements,
+    )
+    def test_poly_mul_evaluates_pointwise(self, a, b, x):
+        product = gf.poly_mul(a, b)
+        assert gf.poly_eval(product, x) == gf.gf_mul(
+            gf.poly_eval(a, x), gf.poly_eval(b, x)
+        )
+
+    @given(
+        dividend=st.lists(elements, min_size=3, max_size=10).filter(
+            lambda p: p[0] != 0
+        ),
+        divisor=st.lists(elements, min_size=1, max_size=3).filter(
+            lambda p: p[0] != 0
+        ),
+    )
+    def test_divmod_reconstructs(self, dividend, divisor):
+        quotient, remainder = gf.poly_divmod(dividend, divisor)
+        rebuilt = gf.poly_add(gf.poly_mul(quotient, divisor) if quotient else [0], remainder)
+        # strip leading zeros for comparison
+        def strip(poly):
+            poly = list(poly)
+            while len(poly) > 1 and poly[0] == 0:
+                poly.pop(0)
+            return poly
+
+        assert strip(rebuilt) == strip(dividend)

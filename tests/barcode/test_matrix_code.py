@@ -1,0 +1,103 @@
+"""Tests for the 2D matrix symbology."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.barcode import decode_matrix, encode_matrix
+from repro.barcode.matrix_code import BitMatrix
+from repro.common.errors import BarcodeError
+
+
+class TestRoundtrip:
+    def test_simple(self):
+        payload = b"SOR place payload"
+        assert decode_matrix(encode_matrix(payload)) == payload
+
+    def test_single_byte(self):
+        assert decode_matrix(encode_matrix(b"\x00")) == b"\x00"
+
+    def test_binary_payload(self):
+        payload = bytes(range(200, 256)) * 2
+        assert decode_matrix(encode_matrix(payload)) == payload
+
+    def test_matrix_is_square_with_timing(self):
+        matrix = encode_matrix(b"x" * 30)
+        assert len(matrix.modules) == matrix.size
+        assert all(len(row) == matrix.size for row in matrix.modules)
+        # Timing pattern alternates starting dark.
+        assert matrix.get(0, 0) is True
+        assert matrix.get(0, 1) is False
+        assert matrix.get(1, 0) is False
+
+
+class TestDamage:
+    def test_corrects_flipped_data_modules(self):
+        payload = b"resilient payload!"
+        matrix = encode_matrix(payload, ecc_symbols=10)
+        size = matrix.size
+        # Flip a handful of modules in the data region (≤ 5 byte errors).
+        for row, column in [(2, 2), (2, 3), (5, 7), (9, 1), (size - 1, size - 1)]:
+            matrix.flip(row, column)
+        assert decode_matrix(matrix, ecc_symbols=10) == payload
+
+    def test_header_survives_one_copy_corruption(self):
+        payload = b"header-vote"
+        matrix = encode_matrix(payload)
+        matrix.flip(1, 1)  # first header bit lives at the first data cell
+        assert decode_matrix(matrix) == payload
+
+    def test_rotated_symbol_rejected(self):
+        matrix = encode_matrix(b"orientation")
+        rotated = BitMatrix(
+            size=matrix.size,
+            modules=[list(row) for row in zip(*matrix.modules[::-1])],
+        )
+        with pytest.raises(BarcodeError):
+            decode_matrix(rotated)
+
+    def test_blank_matrix_rejected(self):
+        with pytest.raises(BarcodeError):
+            decode_matrix(BitMatrix.empty(12))
+
+    def test_tiny_matrix_rejected(self):
+        with pytest.raises(BarcodeError):
+            decode_matrix(BitMatrix.empty(1))
+
+
+class TestRendering:
+    def test_to_text_dimensions(self):
+        matrix = encode_matrix(b"art")
+        art = matrix.to_text(dark="#", light=".")
+        lines = art.splitlines()
+        assert len(lines) == matrix.size
+        assert all(len(line) == matrix.size for line in lines)
+
+    def test_copy_is_independent(self):
+        matrix = encode_matrix(b"copy")
+        clone = matrix.copy()
+        clone.flip(0, 0)
+        assert matrix.get(0, 0) != clone.get(0, 0)
+
+
+@settings(max_examples=60)
+@given(
+    payload=st.binary(min_size=1, max_size=150),
+    seed=st.integers(0, 2**31),
+    flips=st.integers(0, 4),
+)
+def test_roundtrip_with_random_damage(payload, seed, flips):
+    """Random payloads survive a few random data-region module flips."""
+    import random
+
+    matrix = encode_matrix(payload, ecc_symbols=16)
+    rnd = random.Random(seed)
+    header_cells = 48  # protected by triple redundancy, avoid in this test
+    data_cells = [
+        (row, column)
+        for row in range(1, matrix.size)
+        for column in range(1, matrix.size)
+    ][header_cells:]
+    # ≤4 flipped modules can hit at most 4 codeword bytes < capacity 8.
+    for row, column in rnd.sample(data_cells, min(flips, len(data_cells))):
+        matrix.flip(row, column)
+    assert decode_matrix(matrix, ecc_symbols=16) == payload

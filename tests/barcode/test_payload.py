@@ -1,0 +1,60 @@
+"""Tests for the place payload carried by barcodes."""
+
+import pytest
+
+from repro.barcode import PlacePayload, decode_place_barcode, encode_place_barcode
+from repro.common.errors import BarcodeError
+
+
+def make_payload(**overrides):
+    defaults = dict(
+        place_id="starbucks",
+        name="Starbucks",
+        category="coffee_shop",
+        latitude=43.0412,
+        longitude=-76.1350,
+        app_id="app-starbucks",
+        server_host="sor-server",
+    )
+    defaults.update(overrides)
+    return PlacePayload(**defaults)
+
+
+class TestPlacePayload:
+    def test_bytes_roundtrip(self):
+        payload = make_payload()
+        assert PlacePayload.from_bytes(payload.to_bytes()) == payload
+
+    def test_unicode_name(self):
+        payload = make_payload(name="Café Près du Lac")
+        assert PlacePayload.from_bytes(payload.to_bytes()).name == payload.name
+
+    def test_wrong_shape_rejected(self):
+        from repro.net.codec import encode_value
+
+        with pytest.raises(BarcodeError):
+            PlacePayload.from_bytes(encode_value(["just", "two"]))
+
+    def test_wrong_types_rejected(self):
+        from repro.net.codec import encode_value
+
+        bad = encode_value(["a", "b", "c", "not-a-float", 1.0, "e", "f"])
+        with pytest.raises(BarcodeError):
+            PlacePayload.from_bytes(bad)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BarcodeError):
+            PlacePayload.from_bytes(b"\xff\xfe\x00")
+
+
+class TestBarcodeScan:
+    def test_scan_roundtrip(self):
+        payload = make_payload()
+        assert decode_place_barcode(encode_place_barcode(payload)) == payload
+
+    def test_scan_survives_damage(self):
+        payload = make_payload()
+        matrix = encode_place_barcode(payload)
+        for row, column in [(3, 4), (7, 7), (11, 2), (2, 11)]:
+            matrix.flip(row, column)
+        assert decode_place_barcode(matrix) == payload

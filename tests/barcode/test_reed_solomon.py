@@ -1,0 +1,85 @@
+"""Tests for the Reed–Solomon codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.barcode import ReedSolomonCodec
+from repro.common.errors import BarcodeError
+
+
+class TestEncode:
+    def test_appends_parity(self):
+        codec = ReedSolomonCodec(10)
+        encoded = codec.encode(b"hello")
+        assert encoded[:5] == b"hello"
+        assert len(encoded) == 15
+
+    def test_empty_rejected(self):
+        with pytest.raises(BarcodeError):
+            ReedSolomonCodec(4).encode(b"")
+
+    def test_oversized_rejected(self):
+        with pytest.raises(BarcodeError):
+            ReedSolomonCodec(10).encode(bytes(250))
+
+    def test_bad_parity_count_rejected(self):
+        with pytest.raises(BarcodeError):
+            ReedSolomonCodec(1)
+        with pytest.raises(BarcodeError):
+            ReedSolomonCodec(255)
+
+
+class TestDecode:
+    def test_clean_roundtrip(self):
+        codec = ReedSolomonCodec(8)
+        assert codec.decode(codec.encode(b"payload")) == b"payload"
+
+    def test_corrects_up_to_capacity(self):
+        codec = ReedSolomonCodec(10)
+        data = bytes(range(50))
+        codeword = bytearray(codec.encode(data))
+        for position in (0, 13, 27, 44, 58):  # 5 = capacity
+            codeword[position] ^= 0xA5
+        assert codec.decode(bytes(codeword)) == data
+
+    def test_error_in_parity_corrected(self):
+        codec = ReedSolomonCodec(6)
+        data = b"abcdef"
+        codeword = bytearray(codec.encode(data))
+        codeword[-1] ^= 0xFF
+        codeword[-3] ^= 0x42
+        assert codec.decode(bytes(codeword)) == data
+
+    def test_too_many_errors_detected(self):
+        codec = ReedSolomonCodec(4)  # corrects 2
+        codeword = bytearray(codec.encode(bytes(range(30))))
+        for position in (1, 5, 9, 13, 17, 21):
+            codeword[position] ^= 0x77
+        with pytest.raises(BarcodeError):
+            codec.decode(bytes(codeword))
+
+    def test_short_codeword_rejected(self):
+        with pytest.raises(BarcodeError):
+            ReedSolomonCodec(10).decode(b"short")
+
+    def test_max_correctable(self):
+        assert ReedSolomonCodec(10).max_correctable == 5
+        assert ReedSolomonCodec(7).max_correctable == 3
+
+
+@settings(max_examples=150)
+@given(
+    data=st.binary(min_size=1, max_size=120),
+    seed=st.integers(0, 2**32 - 1),
+    error_count=st.integers(0, 5),
+)
+def test_correction_property(data, seed, error_count):
+    """Any ≤5 byte errors anywhere in an RS(·,·,10) codeword correct."""
+    import random
+
+    codec = ReedSolomonCodec(10)
+    codeword = bytearray(codec.encode(data))
+    rnd = random.Random(seed)
+    for position in rnd.sample(range(len(codeword)), error_count):
+        codeword[position] ^= rnd.randrange(1, 256)
+    assert codec.decode(bytes(codeword)) == data

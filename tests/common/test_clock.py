@@ -1,0 +1,58 @@
+"""Tests for repro.common.clock."""
+
+import pytest
+
+from repro.common.clock import Clock, ManualClock, SystemClock
+from repro.common.errors import ValidationError
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(start=5.0).now() == 5.0
+
+    def test_defaults_to_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = ManualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_accumulates(self):
+        clock = ManualClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now() == 3.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            ManualClock().advance(-0.1)
+
+    def test_set_jumps_forward(self):
+        clock = ManualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_rejects_past(self):
+        clock = ManualClock(start=10.0)
+        with pytest.raises(ValidationError):
+            clock.set(9.0)
+
+    def test_set_to_same_time_is_allowed(self):
+        clock = ManualClock(start=3.0)
+        clock.set(3.0)
+        assert clock.now() == 3.0
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(ManualClock(), Clock)
+
+
+class TestSystemClock:
+    def test_is_monotonic(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(SystemClock(), Clock)

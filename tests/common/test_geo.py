@@ -1,0 +1,51 @@
+"""Tests for repro.common.geo."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.common.geo import LatLon, haversine_m, offset_latlon, project_local_m
+
+SYRACUSE = LatLon(43.05, -76.15)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(SYRACUSE, SYRACUSE) == 0.0
+
+    def test_known_distance_one_degree_latitude(self):
+        north = LatLon(SYRACUSE.latitude + 1.0, SYRACUSE.longitude)
+        distance = haversine_m(SYRACUSE, north)
+        assert abs(distance - 111_195) < 300  # ~111.2 km per degree
+
+    def test_symmetric(self):
+        other = LatLon(43.1, -76.0)
+        assert haversine_m(SYRACUSE, other) == haversine_m(other, SYRACUSE)
+
+
+class TestProjection:
+    def test_origin_projects_to_zero(self):
+        assert project_local_m(SYRACUSE, SYRACUSE) == (0.0, 0.0)
+
+    def test_offset_roundtrip(self):
+        moved = offset_latlon(SYRACUSE, east_m=120.0, north_m=-40.0)
+        x, y = project_local_m(moved, SYRACUSE)
+        assert abs(x - 120.0) < 0.01
+        assert abs(y + 40.0) < 0.01
+
+    def test_projection_matches_haversine_locally(self):
+        moved = offset_latlon(SYRACUSE, east_m=300.0, north_m=400.0)
+        x, y = project_local_m(moved, SYRACUSE)
+        euclidean = math.hypot(x, y)
+        great_circle = haversine_m(SYRACUSE, moved)
+        assert abs(euclidean - great_circle) < 1.0  # sub-metre at 500 m
+
+    @given(
+        east=st.floats(-2000, 2000),
+        north=st.floats(-2000, 2000),
+    )
+    def test_roundtrip_property(self, east, north):
+        moved = offset_latlon(SYRACUSE, east_m=east, north_m=north)
+        x, y = project_local_m(moved, SYRACUSE)
+        assert abs(x - east) < 0.5
+        assert abs(y - north) < 0.5

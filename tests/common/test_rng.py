@@ -1,0 +1,41 @@
+"""Tests for repro.common.rng."""
+
+from repro.common.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_differs_by_path_depth(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+
+    def test_accepts_integer_names(self):
+        assert derive_seed(1, 0) == derive_seed(1, 0)
+        assert derive_seed(1, 0) != derive_seed(1, 1)
+
+
+class TestRngRegistry:
+    def test_same_stream_same_values(self):
+        registry = RngRegistry(root_seed=7)
+        a = registry.generator("x")
+        b = registry.generator("x")
+        assert [float(a.random()) for _ in range(5)] == [
+            float(b.random()) for _ in range(5)
+        ]
+
+    def test_different_streams_differ(self):
+        registry = RngRegistry(root_seed=7)
+        a = registry.generator("x")
+        b = registry.generator("y")
+        assert float(a.random()) != float(b.random())
+
+    def test_seed_for_matches_generator_seed(self):
+        registry = RngRegistry(root_seed=3)
+        assert registry.seed_for("s") == derive_seed(3, "s")

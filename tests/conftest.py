@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.core.scheduling import (
+    GaussianKernel,
+    MobileUser,
+    SchedulingPeriod,
+    SchedulingProblem,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    return ManualClock(start=0.0)
+
+
+@pytest.fixture
+def small_problem() -> SchedulingProblem:
+    """A tiny scheduling instance usable by brute force."""
+    period = SchedulingPeriod(0.0, 100.0, 10)
+    users = [
+        MobileUser("a", 0.0, 60.0, 2),
+        MobileUser("b", 30.0, 100.0, 2),
+    ]
+    return SchedulingProblem(period, users, GaussianKernel(sigma=15.0))
+
+
+@pytest.fixture
+def paper_problem(rng: np.random.Generator) -> SchedulingProblem:
+    """A paper-scale instance (3 h, 1080 instants, σ = 10 s)."""
+    period = SchedulingPeriod(0.0, 10_800.0, 1080)
+    users = []
+    for index in range(20):
+        arrival = float(rng.uniform(0, 10_800))
+        departure = float(rng.uniform(arrival, 10_800))
+        users.append(MobileUser(f"u{index}", arrival, departure, 17))
+    return SchedulingProblem(period, users, GaussianKernel(sigma=10.0))

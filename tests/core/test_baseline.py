@@ -1,0 +1,61 @@
+"""Tests for the periodic baseline scheduler (Section V-C)."""
+
+import pytest
+
+from repro.core.scheduling import (
+    GaussianKernel,
+    GreedyScheduler,
+    MobileUser,
+    PeriodicBaselineScheduler,
+    SchedulingPeriod,
+    SchedulingProblem,
+)
+
+
+def make_problem(users, num_instants=1080, duration=10_800.0):
+    period = SchedulingPeriod(0.0, duration, num_instants)
+    return SchedulingProblem(period, users, GaussianKernel(sigma=10.0))
+
+
+class TestBaseline:
+    def test_senses_every_interval_from_arrival(self):
+        problem = make_problem([MobileUser("u", 100.0, 10_800.0, 5)])
+        schedule = PeriodicBaselineScheduler(interval_s=10.0).solve(problem)
+        times = schedule.times_for("u")
+        assert times == [100.0, 110.0, 120.0, 130.0, 140.0]
+
+    def test_respects_budget(self):
+        problem = make_problem([MobileUser("u", 0.0, 10_800.0, 17)])
+        schedule = PeriodicBaselineScheduler().solve(problem)
+        assert len(schedule.assignments["u"]) == 17
+
+    def test_clips_at_departure(self):
+        problem = make_problem([MobileUser("u", 0.0, 25.0, 100)])
+        schedule = PeriodicBaselineScheduler(interval_s=10.0).solve(problem)
+        assert all(t <= 25.0 for t in schedule.times_for("u"))
+
+    def test_schedule_validates(self):
+        users = [MobileUser(f"u{i}", i * 500.0, 10_800.0, 17) for i in range(5)]
+        schedule = PeriodicBaselineScheduler().solve(make_problem(users))
+        schedule.validate()
+
+    def test_clusters_measurements_near_arrival(self):
+        problem = make_problem([MobileUser("u", 0.0, 10_800.0, 17)])
+        schedule = PeriodicBaselineScheduler().solve(problem)
+        assert max(schedule.times_for("u")) <= 170.0
+
+    def test_greedy_beats_baseline(self):
+        """The paper's headline comparison, single instance."""
+        users = [
+            MobileUser(f"u{i}", i * 250.0, 10_800.0, 17) for i in range(20)
+        ]
+        problem = make_problem(users)
+        greedy = GreedyScheduler().solve(problem)
+        baseline = PeriodicBaselineScheduler().solve(problem)
+        assert greedy.average_coverage > baseline.average_coverage * 1.3
+
+    def test_invalid_interval_rejected(self):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            PeriodicBaselineScheduler(interval_s=0.0)

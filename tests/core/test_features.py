@@ -1,0 +1,277 @@
+"""Tests for feature extraction (Section IV-A / V definitions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.geo import LatLon, offset_latlon
+from repro.core.features import (
+    AltitudeChangeExtractor,
+    CurvatureExtractor,
+    FeaturePipeline,
+    FeatureSpec,
+    GpsFix,
+    MeanExtractor,
+    ReadingBurst,
+    RoughnessExtractor,
+    build_feature_matrix,
+)
+
+ORIGIN = LatLon(43.05, -76.15)
+
+
+def scalar_burst(t, values):
+    return ReadingBurst.of(t, 1.0, values)
+
+
+class TestReadingBurst:
+    def test_valid(self):
+        burst = ReadingBurst.of(10.0, 2.0, [1.0, 2.0], source="phone-1")
+        assert burst.values == (1.0, 2.0)
+        assert burst.source == "phone-1"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ReadingBurst.of(0.0, 1.0, [])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            ReadingBurst.of(0.0, -1.0, [1.0])
+
+
+class TestMeanExtractor:
+    def test_mean_across_bursts(self):
+        bursts = [scalar_burst(0, [1.0, 3.0]), scalar_burst(10, [5.0])]
+        assert MeanExtractor().extract(bursts) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            MeanExtractor().extract([])
+
+
+class TestRoughnessExtractor:
+    def make_accel_burst(self, t, amplitude, samples=64):
+        values = []
+        for index in range(samples):
+            shake = amplitude * math.sin(2 * math.pi * index / 16)
+            values.append((0.0, 0.0, 9.81 + shake))
+        return ReadingBurst.of(t, 1.0, values)
+
+    def test_flat_surface_near_zero(self):
+        burst = self.make_accel_burst(0, amplitude=0.0)
+        assert RoughnessExtractor().extract([burst]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_scales_with_shaking(self):
+        smooth = self.make_accel_burst(0, amplitude=0.1)
+        rough = self.make_accel_burst(0, amplitude=0.5)
+        extractor = RoughnessExtractor()
+        assert extractor.extract([rough]) > extractor.extract([smooth]) * 3
+
+    def test_sinusoid_std_value(self):
+        burst = self.make_accel_burst(0, amplitude=1.0)
+        # std of sin over whole periods = 1/√2
+        assert RoughnessExtractor().extract([burst]) == pytest.approx(
+            1 / math.sqrt(2), rel=0.01
+        )
+
+    def test_gravity_offset_ignored(self):
+        # Constant gravity has zero deviation regardless of magnitude.
+        values = [(0.0, 0.0, 9.81)] * 10
+        burst = ReadingBurst.of(0, 1.0, values)
+        assert RoughnessExtractor().extract([burst]) == 0.0
+
+
+class TestAltitudeChangeExtractor:
+    def test_flat_trail_zero(self):
+        bursts = [scalar_burst(t, [120.0, 120.0]) for t in range(5)]
+        assert AltitudeChangeExtractor().extract(bursts) == pytest.approx(0.0)
+
+    def test_hilly_trail_positive(self):
+        bursts = [
+            scalar_burst(0, [100.0]),
+            scalar_burst(1, [150.0]),
+            scalar_burst(2, [100.0]),
+        ]
+        assert AltitudeChangeExtractor().extract(bursts) == pytest.approx(
+            np.std([100, 150, 100])
+        )
+
+    def test_accepts_gps_fixes(self):
+        bursts = [
+            ReadingBurst.of(0, 1.0, [GpsFix(43.0, -76.0, 100.0)]),
+            ReadingBurst.of(1, 1.0, [GpsFix(43.0, -76.0, 140.0)]),
+        ]
+        assert AltitudeChangeExtractor().extract(bursts) == pytest.approx(20.0)
+
+    def test_within_burst_noise_averaged(self):
+        # Noise inside a burst is averaged away before the std.
+        bursts = [
+            scalar_burst(0, [100.0 + noise for noise in (-1, 1, -1, 1)]),
+            scalar_burst(1, [100.0 + noise for noise in (1, -1, 1, -1)]),
+        ]
+        assert AltitudeChangeExtractor().extract(bursts) == pytest.approx(0.0)
+
+
+def trace_bursts(points, *, per_burst=3, spacing_s=10.0):
+    """Split a list of GpsFix points into bursts of `per_burst`."""
+    bursts = []
+    for start in range(0, len(points) - per_burst + 1, per_burst):
+        chunk = points[start : start + per_burst]
+        bursts.append(
+            ReadingBurst.of(start * spacing_s, 5.0, chunk, source="walker")
+        )
+    return bursts
+
+
+def circle_fixes(radius_m, count=120):
+    fixes = []
+    for index in range(count):
+        angle = 2 * math.pi * index / count
+        point = offset_latlon(
+            ORIGIN, east_m=radius_m * math.cos(angle), north_m=radius_m * math.sin(angle)
+        )
+        fixes.append(GpsFix(point.latitude, point.longitude, 100.0))
+    return fixes
+
+
+def straight_fixes(count=60, step_m=15.0):
+    fixes = []
+    for index in range(count):
+        point = offset_latlon(ORIGIN, east_m=index * step_m, north_m=0.0)
+        fixes.append(GpsFix(point.latitude, point.longitude, 100.0))
+    return fixes
+
+
+class TestCurvatureExtractor:
+    def extractor(self):
+        return CurvatureExtractor(min_spacing_m=10.0, max_gap_m=100.0, smooth_window=1)
+
+    def test_straight_line_zero(self):
+        bursts = trace_bursts(straight_fixes())
+        assert self.extractor().extract(bursts) == pytest.approx(0.0, abs=1e-6)
+
+    def test_circle_matches_inverse_radius(self):
+        radius = 300.0
+        bursts = trace_bursts(circle_fixes(radius))
+        curvature_per_km = self.extractor().extract(bursts)
+        assert curvature_per_km == pytest.approx(1000.0 / radius, rel=0.05)
+
+    def test_tighter_circle_higher_curvature(self):
+        wide = self.extractor().extract(trace_bursts(circle_fixes(400.0)))
+        tight = self.extractor().extract(trace_bursts(circle_fixes(150.0)))
+        assert tight > wide * 2
+
+    def test_sources_not_mixed(self):
+        """Two walkers far apart must not create phantom curvature."""
+        a = trace_bursts(straight_fixes())
+        offset_origin = offset_latlon(ORIGIN, east_m=0.0, north_m=5000.0)
+        b_points = [
+            GpsFix(
+                offset_latlon(offset_origin, east_m=i * 15.0, north_m=0.0).latitude,
+                offset_latlon(offset_origin, east_m=i * 15.0, north_m=0.0).longitude,
+                100.0,
+            )
+            for i in range(60)
+        ]
+        b = [
+            ReadingBurst.of(burst.timestamp, 5.0, burst.values, source="other")
+            for burst in trace_bursts(b_points)
+        ]
+        assert self.extractor().extract(a + b) == pytest.approx(0.0, abs=1e-6)
+
+    def test_non_gps_values_rejected(self):
+        with pytest.raises(ValidationError):
+            self.extractor().extract([scalar_burst(0, [1.0, 2.0, 3.0])])
+
+    def test_too_few_points_zero(self):
+        bursts = [ReadingBurst.of(0, 1.0, [GpsFix(43.0, -76.0, 0.0)])]
+        assert self.extractor().extract(bursts) == 0.0
+
+    def test_smoothing_reduces_gps_noise_curvature(self):
+        rng = np.random.default_rng(0)
+        noisy = []
+        for fix in straight_fixes(count=90, step_m=12.0):
+            moved = offset_latlon(
+                LatLon(fix.latitude, fix.longitude),
+                east_m=float(rng.normal(0, 2.0)),
+                north_m=float(rng.normal(0, 2.0)),
+            )
+            noisy.append(GpsFix(moved.latitude, moved.longitude, 100.0))
+        bursts = trace_bursts(noisy)
+        raw = CurvatureExtractor(
+            min_spacing_m=10.0, max_gap_m=100.0, smooth_window=1
+        ).extract(bursts)
+        smoothed = CurvatureExtractor(
+            min_spacing_m=10.0, max_gap_m=100.0, smooth_window=5
+        ).extract(bursts)
+        assert smoothed < raw
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            CurvatureExtractor(min_spacing_m=0.0)
+        with pytest.raises(ValidationError):
+            CurvatureExtractor(min_spacing_m=10.0, max_gap_m=5.0)
+        with pytest.raises(ValidationError):
+            CurvatureExtractor(smooth_window=0)
+
+
+class TestFeaturePipeline:
+    def make_pipeline(self):
+        return FeaturePipeline(
+            [
+                FeatureSpec("temperature", "temperature", MeanExtractor()),
+                FeatureSpec("roughness", "accelerometer", RoughnessExtractor()),
+            ]
+        )
+
+    def test_compute(self):
+        pipeline = self.make_pipeline()
+        bursts = {
+            "temperature": [scalar_burst(0, [70.0, 72.0])],
+            "accelerometer": [
+                ReadingBurst.of(0, 1.0, [(0.0, 0.0, 9.81)] * 4)
+            ],
+        }
+        values = pipeline.compute(bursts)
+        assert values["temperature"] == pytest.approx(71.0)
+        assert values["roughness"] == pytest.approx(0.0)
+
+    def test_missing_sensor_rejected(self):
+        with pytest.raises(ValidationError, match="accelerometer"):
+            self.make_pipeline().compute({"temperature": [scalar_burst(0, [1.0])]})
+
+    def test_duplicate_feature_names_rejected(self):
+        with pytest.raises(ValidationError):
+            FeaturePipeline(
+                [
+                    FeatureSpec("x", "a", MeanExtractor()),
+                    FeatureSpec("x", "b", MeanExtractor()),
+                ]
+            )
+
+    def test_required_sensors(self):
+        assert self.make_pipeline().required_sensors == {
+            "temperature",
+            "accelerometer",
+        }
+
+
+class TestFeatureMatrix:
+    def test_build(self):
+        values = {
+            "p1": {"a": 1.0, "b": 2.0},
+            "p2": {"a": 3.0, "b": 4.0},
+        }
+        matrix, place_ids = build_feature_matrix(values, ["b", "a"])
+        assert place_ids == ["p1", "p2"]
+        np.testing.assert_allclose(matrix, [[2.0, 1.0], [4.0, 3.0]])
+
+    def test_missing_feature_rejected(self):
+        with pytest.raises(ValidationError):
+            build_feature_matrix({"p": {"a": 1.0}}, ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            build_feature_matrix({}, ["a"])

@@ -1,0 +1,85 @@
+"""Tests for hybrid subjective + objective ranking."""
+
+import pytest
+
+from repro.common.errors import RankingError
+from repro.core.ranking import (
+    Ranking,
+    aggregate_hybrid,
+    subjective_ranking,
+    weighted_footrule_distance,
+)
+
+
+class TestSubjectiveRanking:
+    def test_orders_by_stars_descending(self):
+        ratings = {"a": 3.5, "b": 4.8, "c": 2.0}
+        assert subjective_ranking(ratings, ["a", "b", "c"]).items == ("b", "a", "c")
+
+    def test_ties_keep_place_order(self):
+        ratings = {"a": 4.0, "b": 4.0, "c": 1.0}
+        assert subjective_ranking(ratings, ["b", "a", "c"]).items == ("b", "a", "c")
+
+    def test_missing_rating_rejected(self):
+        with pytest.raises(RankingError, match="missing"):
+            subjective_ranking({"a": 4.0}, ["a", "b"])
+
+    def test_extra_ratings_ignored(self):
+        ratings = {"a": 1.0, "b": 2.0, "zzz": 5.0}
+        assert subjective_ranking(ratings, ["a", "b"]).items == ("b", "a")
+
+
+class TestAggregateHybrid:
+    OBJECTIVE = [Ranking("ABC"), Ranking("ACB")]
+    WEIGHTS = [3, 2]
+
+    def test_zero_weight_is_pure_objective(self):
+        from repro.core.ranking import aggregate_footrule
+
+        pure = aggregate_footrule(self.OBJECTIVE, self.WEIGHTS)
+        hybrid = aggregate_hybrid(
+            self.OBJECTIVE, self.WEIGHTS, {"A": 1.0, "B": 5.0, "C": 3.0},
+            subjective_weight=0,
+        )
+        assert hybrid == pure
+
+    def test_dominant_subjective_weight_flips_result(self):
+        # Objective says A first; the crowd loves C.
+        ratings = {"A": 1.0, "B": 2.0, "C": 5.0}
+        blended = aggregate_hybrid(
+            self.OBJECTIVE, [1, 1], ratings, subjective_weight=5
+        )
+        assert blended.items[0] in ("C", "A")
+        # With weight 5 vs combined 2, the subjective ranking C,B,A should
+        # pull C to the top.
+        assert blended.items[0] == "C"
+
+    def test_result_minimizes_blended_footrule(self):
+        import itertools
+
+        ratings = {"A": 2.0, "B": 5.0, "C": 4.0}
+        blended = aggregate_hybrid(
+            self.OBJECTIVE, self.WEIGHTS, ratings, subjective_weight=3
+        )
+        subjective = subjective_ranking(ratings, list("ABC"))
+        collection = list(self.OBJECTIVE) + [subjective]
+        weights = list(self.WEIGHTS) + [3]
+        best = min(
+            weighted_footrule_distance(Ranking(p), collection, weights)
+            for p in itertools.permutations("ABC")
+        )
+        assert weighted_footrule_distance(
+            blended, collection, weights
+        ) == pytest.approx(best)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(RankingError):
+            aggregate_hybrid(self.OBJECTIVE, self.WEIGHTS, {}, subjective_weight=7)
+        with pytest.raises(RankingError):
+            aggregate_hybrid(
+                self.OBJECTIVE, self.WEIGHTS, {}, subjective_weight=2.5  # type: ignore
+            )
+
+    def test_empty_objective_rejected(self):
+        with pytest.raises(RankingError):
+            aggregate_hybrid([], [], {"A": 1.0})

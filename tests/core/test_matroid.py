@@ -1,0 +1,92 @@
+"""Tests for the budget partition matroid (paper Theorem 1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.core.scheduling import BudgetPartitionMatroid
+
+
+def pair_matroid(capacities):
+    """Ground elements are (part, index) pairs."""
+    return BudgetPartitionMatroid(capacities, part_of=lambda element: element[0])
+
+
+class TestBasics:
+    def test_empty_set_independent(self):
+        assert pair_matroid({"a": 1}).is_independent(set())
+
+    def test_capacity_respected(self):
+        matroid = pair_matroid({"a": 2})
+        assert matroid.is_independent({("a", 1), ("a", 2)})
+        assert not matroid.is_independent({("a", 1), ("a", 2), ("a", 3)})
+
+    def test_unknown_part_dependent(self):
+        assert not pair_matroid({"a": 1}).is_independent({("zzz", 1)})
+
+    def test_duplicates_dependent(self):
+        matroid = pair_matroid({"a": 3})
+        assert not matroid.is_independent([("a", 1), ("a", 1)])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            pair_matroid({"a": -1})
+
+    def test_constant_time_oracle_matches_full_check(self):
+        matroid = pair_matroid({"a": 2, "b": 1})
+        current = {("a", 1), ("b", 1)}
+        counters = matroid.counters_for(current)
+        for element in [("a", 2), ("b", 2), ("c", 1)]:
+            assert matroid.can_extend(counters, element) == matroid.is_independent(
+                current | {element}
+            )
+
+    def test_rank_upper_bound(self):
+        assert pair_matroid({"a": 2, "b": 3}).rank_upper_bound() == 5
+
+
+# Hypothesis strategy for small matroid instances.
+capacity_maps = st.dictionaries(
+    st.sampled_from("abc"), st.integers(0, 3), min_size=1, max_size=3
+)
+
+
+def all_elements(capacities):
+    return [
+        (part, index) for part in capacities for index in range(4)
+    ]
+
+
+@settings(max_examples=60)
+@given(capacities=capacity_maps, seed=st.integers(0, 10_000))
+def test_matroid_axioms(capacities, seed):
+    """Hereditary property + exchange axiom on exhaustive small subsets."""
+    import random
+
+    matroid = pair_matroid(capacities)
+    universe = all_elements(capacities)
+    rnd = random.Random(seed)
+    sample = rnd.sample(universe, min(len(universe), 6))
+
+    independents = [
+        frozenset(subset)
+        for size in range(len(sample) + 1)
+        for subset in itertools.combinations(sample, size)
+        if matroid.is_independent(subset)
+    ]
+    # Axiom 1: empty set independent.
+    assert frozenset() in independents
+    # Axiom 2 (hereditary): subsets of independent sets are independent.
+    for independent in independents:
+        for element in independent:
+            assert frozenset(independent - {element}) in independents
+    # Axiom 3 (exchange): |X| > |Y| ⇒ ∃x ∈ X \ Y with Y + x independent.
+    for bigger in independents:
+        for smaller in independents:
+            if len(bigger) > len(smaller):
+                assert any(
+                    matroid.is_independent(smaller | {element})
+                    for element in bigger - smaller
+                ), (bigger, smaller)

@@ -1,0 +1,159 @@
+"""Tests for the incremental coverage objective."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduling import CoverageObjective, GaussianKernel, SchedulingPeriod
+from repro.core.scheduling.objective import coverage_of_instants
+
+
+def make_objective(num_instants=20, sigma=15.0, duration=200.0):
+    period = SchedulingPeriod(0.0, duration, num_instants)
+    return CoverageObjective(period, GaussianKernel(sigma=sigma))
+
+
+def brute_force_value(period, kernel, chosen):
+    """Direct evaluation of equations (1) and (4)."""
+    total = 0.0
+    for j in range(period.num_instants):
+        survival = 1.0
+        for i in chosen:
+            distance = abs(period.instant_time(i) - period.instant_time(j))
+            survival *= 1.0 - kernel.probability(distance)
+        total += 1.0 - survival
+    return total
+
+
+class TestValue:
+    def test_empty_value_zero(self):
+        assert make_objective().value() == 0.0
+
+    def test_single_instant_matches_brute_force(self):
+        objective = make_objective()
+        objective.add(10)
+        expected = brute_force_value(
+            objective.period, objective.kernel, {10}
+        )
+        assert objective.value() == pytest.approx(expected, rel=1e-9)
+
+    def test_multiple_instants_match_brute_force(self):
+        objective = make_objective()
+        for instant in (2, 7, 13, 18):
+            objective.add(instant)
+        expected = brute_force_value(
+            objective.period, objective.kernel, {2, 7, 13, 18}
+        )
+        assert objective.value() == pytest.approx(expected, rel=1e-9)
+
+    def test_duplicate_add_is_noop(self):
+        objective = make_objective()
+        objective.add(5)
+        before = objective.value()
+        assert objective.add(5) == 0.0
+        assert objective.value() == before
+
+    def test_average_coverage_normalization(self):
+        objective = make_objective()
+        objective.add(10)
+        assert objective.average_coverage() == pytest.approx(
+            objective.value() / 20
+        )
+
+    def test_coverage_profile_peaks_at_measurement(self):
+        objective = make_objective()
+        objective.add(10)
+        profile = objective.coverage_profile()
+        assert profile[10] == pytest.approx(1.0)
+        assert profile[10] >= profile.max() - 1e-12
+
+    def test_out_of_range_add_rejected(self):
+        from repro.common.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            make_objective().add(99)
+
+
+class TestGains:
+    def test_gain_equals_realized_increase(self):
+        objective = make_objective()
+        objective.add(4)
+        predicted = objective.gain(12)
+        before = objective.value()
+        objective.add(12)
+        assert objective.value() - before == pytest.approx(predicted, rel=1e-9)
+
+    def test_gains_all_matches_individual(self):
+        objective = make_objective()
+        objective.add(7)
+        gains = objective.gains_all()
+        for instant in range(20):
+            assert gains[instant] == objective.gain(instant)
+
+    def test_gains_fast_matches_gains_all(self):
+        objective = make_objective()
+        for instant in (1, 9, 15):
+            objective.add(instant)
+        np.testing.assert_allclose(
+            objective.gains_fast(), objective.gains_all(), atol=1e-12
+        )
+
+    def test_chosen_instant_gain_zero(self):
+        objective = make_objective()
+        objective.add(5)
+        assert objective.gain(5) == 0.0
+
+
+class TestSubmodularityProperties:
+    @settings(max_examples=40)
+    @given(
+        base=st.sets(st.integers(0, 19), max_size=6),
+        extra=st.integers(0, 19),
+        candidate=st.integers(0, 19),
+    )
+    def test_monotone_and_submodular(self, base, extra, candidate):
+        """f is monotone; marginal gains shrink as the set grows."""
+        small = make_objective()
+        for instant in base:
+            small.add(instant)
+        big = make_objective()
+        for instant in base | {extra}:
+            big.add(instant)
+        # Monotonicity.
+        assert big.value() >= small.value() - 1e-12
+        # Submodularity (diminishing returns).
+        assert big.gain(candidate) <= small.gain(candidate) + 1e-12
+
+    @settings(max_examples=30)
+    @given(chosen=st.sets(st.integers(0, 19), max_size=8))
+    def test_incremental_matches_brute_force(self, chosen):
+        objective = make_objective()
+        for instant in chosen:
+            objective.add(instant)
+        expected = brute_force_value(objective.period, objective.kernel, chosen)
+        assert objective.value() == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_value_bounded_by_num_instants(self):
+        objective = make_objective()
+        for instant in range(20):
+            objective.add(instant)
+        assert objective.value() <= 20.0 + 1e-9
+
+
+class TestHelpers:
+    def test_coverage_of_instants_one_shot(self):
+        period = SchedulingPeriod(0.0, 200.0, 20)
+        kernel = GaussianKernel(15.0)
+        value = coverage_of_instants(period, kernel, [3, 9, 9, 16])
+        assert value == pytest.approx(
+            brute_force_value(period, kernel, {3, 9, 16}), rel=1e-9
+        )
+
+    def test_window_respects_kernel_support(self):
+        objective = make_objective(num_instants=100, sigma=5.0, duration=1000.0)
+        support_instants = math.ceil(
+            objective.kernel.support() / objective.period.spacing
+        )
+        assert objective.window == support_instants

@@ -1,0 +1,67 @@
+"""Tests for the equation-(2) per-user scheduler and metric."""
+
+import pytest
+
+from repro.core.scheduling import (
+    GaussianKernel,
+    GreedyScheduler,
+    MobileUser,
+    PerUserGreedyScheduler,
+    SchedulingPeriod,
+    SchedulingProblem,
+    average_coverage,
+    per_user_sum_value,
+)
+
+
+def overlapping_problem(num_users=4, budget=5):
+    """Users fully overlapping in time — where eq. 2 and eq. 4 diverge."""
+    period = SchedulingPeriod(0.0, 1_000.0, 100)
+    users = [MobileUser(f"u{i}", 0.0, 1_000.0, budget) for i in range(num_users)]
+    return SchedulingProblem(period, users, GaussianKernel(sigma=30.0))
+
+
+class TestPerUserGreedy:
+    def test_schedule_feasible(self):
+        schedule = PerUserGreedyScheduler().solve(overlapping_problem())
+        schedule.validate()
+
+    def test_identical_users_get_identical_schedules(self):
+        """Equation (2) is separable: two users with the same window and
+        budget independently pick the same instants."""
+        schedule = PerUserGreedyScheduler().solve(overlapping_problem(num_users=2))
+        assert schedule.assignments["u0"] == schedule.assignments["u1"]
+
+    def test_pooled_greedy_interleaves_instead(self):
+        schedule = GreedyScheduler().solve(overlapping_problem(num_users=2))
+        assert schedule.assignments["u0"] != schedule.assignments["u1"]
+
+    def test_objective_value_is_eq2_total(self):
+        schedule = PerUserGreedyScheduler().solve(overlapping_problem())
+        assert schedule.objective_value == pytest.approx(
+            per_user_sum_value(schedule), rel=1e-9
+        )
+
+    def test_single_user_matches_pooled_greedy(self):
+        """With one user the two objectives coincide (up to float-level
+        tie-breaking between equally good instants)."""
+        problem = overlapping_problem(num_users=1)
+        peruser = PerUserGreedyScheduler().solve(problem)
+        pooled = GreedyScheduler().solve(problem)
+        assert peruser.objective_value == pytest.approx(
+            pooled.objective_value, rel=1e-3
+        )
+
+    def test_each_wins_its_own_metric(self):
+        problem = overlapping_problem()
+        peruser = PerUserGreedyScheduler().solve(problem)
+        pooled = GreedyScheduler().solve(problem)
+        assert per_user_sum_value(peruser) >= per_user_sum_value(pooled) - 1e-9
+        assert average_coverage(pooled) >= average_coverage(peruser) - 1e-9
+
+    def test_budget_respected_and_stops_at_zero_gain(self):
+        period = SchedulingPeriod(0.0, 100.0, 10)
+        users = [MobileUser("u", 0.0, 100.0, 50)]
+        problem = SchedulingProblem(period, users, GaussianKernel(5.0))
+        schedule = PerUserGreedyScheduler().solve(problem)
+        assert len(schedule.assignments["u"]) <= 10

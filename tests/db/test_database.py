@@ -1,0 +1,118 @@
+"""Tests for repro.db.database (DDL + transactions)."""
+
+import pytest
+
+from repro.common.errors import DatabaseError
+from repro.db import Column, ColumnType, Database, Schema, eq
+
+
+def schema(name="t"):
+    return Schema(
+        name=name,
+        columns=(
+            Column("id", ColumnType.INT, nullable=False, auto_increment=True),
+            Column("value", ColumnType.TEXT),
+        ),
+        primary_key="id",
+    )
+
+
+class TestDdl:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.create_table(schema())
+        assert db.has_table("t")
+        assert db.table("t").name == "t"
+
+    def test_duplicate_create_rejected(self):
+        db = Database()
+        db.create_table(schema())
+        with pytest.raises(DatabaseError):
+            db.create_table(schema())
+
+    def test_drop(self):
+        db = Database()
+        db.create_table(schema())
+        db.drop_table("t")
+        assert not db.has_table("t")
+
+    def test_drop_missing_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database().drop_table("nope")
+
+    def test_unknown_table_lookup_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database().table("nope")
+
+    def test_table_names_sorted(self):
+        db = Database()
+        db.create_table(schema("b"))
+        db.create_table(schema("a"))
+        assert db.table_names() == ["a", "b"]
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self):
+        db = Database()
+        db.create_table(schema())
+        with db.transaction():
+            db.table("t").insert({"value": "x"})
+        assert len(db.table("t")) == 1
+
+    def test_rollback_restores_all_tables(self):
+        db = Database()
+        db.create_table(schema("a"))
+        db.create_table(schema("b"))
+        db.table("a").insert({"value": "before"})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.table("a").insert({"value": "during"})
+                db.table("b").insert({"value": "during"})
+                raise RuntimeError("abort")
+        assert len(db.table("a")) == 1
+        assert len(db.table("b")) == 0
+        assert db.table("a").select()[0]["value"] == "before"
+
+    def test_rollback_restores_auto_counter(self):
+        db = Database()
+        db.create_table(schema())
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.table("t").insert({"value": "x"})
+                raise RuntimeError()
+        assert db.table("t").insert({"value": "y"}) == 1
+
+    def test_rollback_drops_tables_created_inside(self):
+        db = Database()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.create_table(schema("fresh"))
+                raise RuntimeError()
+        assert not db.has_table("fresh")
+
+    def test_rollback_restores_indexes(self):
+        db = Database()
+        db.create_table(schema())
+        db.table("t").create_index("value")
+        db.table("t").insert({"value": "keep"})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.table("t").insert({"value": "gone"})
+                raise RuntimeError()
+        assert [r["value"] for r in db.table("t").select(eq("value", "keep"))] == [
+            "keep"
+        ]
+        assert db.table("t").select(eq("value", "gone")) == []
+
+    def test_transactions_do_not_nest(self):
+        db = Database()
+        with db.transaction():
+            with pytest.raises(DatabaseError):
+                with db.transaction():
+                    pass
+
+    def test_exception_propagates(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            with db.transaction():
+                raise ValueError("boom")

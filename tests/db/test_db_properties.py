@@ -1,0 +1,110 @@
+"""Property-based tests for the mini database."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Column, ColumnType, Schema, Table, eq
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x7F),
+    min_size=1,
+    max_size=8,
+)
+
+
+def fresh_table() -> Table:
+    return Table(
+        Schema(
+            name="t",
+            columns=(
+                Column("id", ColumnType.INT, nullable=False, auto_increment=True),
+                Column("key", ColumnType.TEXT, nullable=False),
+                Column("score", ColumnType.INT),
+            ),
+            primary_key="id",
+        )
+    )
+
+
+@given(
+    rows=st.lists(
+        st.tuples(names, st.integers(-100, 100)), min_size=0, max_size=40
+    )
+)
+def test_indexed_select_equals_scan(rows):
+    """A hash index must never change SELECT results."""
+    plain = fresh_table()
+    indexed = fresh_table()
+    indexed.create_index("key")
+    for key, score in rows:
+        plain.insert({"key": key, "score": score})
+        indexed.insert({"key": key, "score": score})
+    keys = {key for key, _ in rows} | {"missing"}
+    for key in keys:
+        scan = sorted(row["id"] for row in plain.select(eq("key", key)))
+        fast = sorted(row["id"] for row in indexed.select(eq("key", key)))
+        assert scan == fast
+
+
+@settings(max_examples=50)
+@given(
+    operations=st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), names, st.integers(-5, 5)),
+            st.tuples(st.just("delete"), names, st.integers(-5, 5)),
+            st.tuples(st.just("update"), names, st.integers(-5, 5)),
+        ),
+        max_size=60,
+    )
+)
+def test_index_consistency_under_mutation(operations):
+    """Interleaved writes keep index and scan results identical."""
+    table = fresh_table()
+    table.create_index("key")
+    seen_keys = set()
+    for op, key, score in operations:
+        seen_keys.add(key)
+        if op == "insert":
+            table.insert({"key": key, "score": score})
+        elif op == "delete":
+            table.delete(eq("key", key))
+        else:
+            table.update(eq("key", key), {"score": score})
+    for key in seen_keys:
+        via_index = table.select(eq("key", key))
+        via_scan = [row for row in table.select() if row["key"] == key]
+        assert sorted(row["id"] for row in via_index) == sorted(
+            row["id"] for row in via_scan
+        )
+
+
+@given(
+    committed=st.lists(st.tuples(names, st.integers()), max_size=10),
+    aborted=st.lists(st.tuples(names, st.integers()), max_size=10),
+)
+def test_transaction_atomicity(committed, aborted):
+    """Nothing from an aborted transaction is ever visible."""
+    from repro.db import Database
+
+    db = Database()
+    db.create_table(
+        Schema(
+            name="t",
+            columns=(
+                Column("id", ColumnType.INT, nullable=False, auto_increment=True),
+                Column("key", ColumnType.TEXT, nullable=False),
+                Column("score", ColumnType.INT),
+            ),
+            primary_key="id",
+        )
+    )
+    for key, score in committed:
+        db.table("t").insert({"key": key, "score": score})
+    before = db.table("t").select()
+    try:
+        with db.transaction():
+            for key, score in aborted:
+                db.table("t").insert({"key": key, "score": score})
+            raise RuntimeError("abort")
+    except RuntimeError:
+        pass
+    assert db.table("t").select() == before

@@ -1,0 +1,134 @@
+"""Tests for database dump/load (durability of the PostgreSQL stand-in)."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import DatabaseError
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    Schema,
+    dump_database,
+    eq,
+    load_database,
+    open_database,
+    save_database,
+)
+
+
+def populated_database():
+    db = Database(name="sor-test")
+    db.create_table(
+        Schema(
+            name="mixed",
+            columns=(
+                Column("id", ColumnType.INT, nullable=False, auto_increment=True),
+                Column("text", ColumnType.TEXT),
+                Column("real", ColumnType.REAL),
+                Column("flag", ColumnType.BOOL),
+                Column("blob", ColumnType.BLOB),
+                Column("doc", ColumnType.JSON),
+            ),
+            primary_key="id",
+            unique=("text",),
+        )
+    )
+    db.table("mixed").insert_many(
+        [
+            {"text": "a", "real": 1.5, "flag": True, "blob": b"\x00\xff\x10",
+             "doc": {"nested": [1, 2]}},
+            {"text": "b", "real": -2.0, "flag": False, "blob": b"", "doc": None},
+            {"text": None, "real": None, "flag": None, "blob": None, "doc": None},
+        ]
+    )
+    db.table("mixed").create_index("flag")
+    return db
+
+
+class TestRoundtrip:
+    def test_rows_preserved_exactly(self):
+        original = populated_database()
+        restored = load_database(dump_database(original))
+        assert restored.table("mixed").select() == original.table("mixed").select()
+
+    def test_name_and_tables_preserved(self):
+        restored = load_database(dump_database(populated_database()))
+        assert restored.name == "sor-test"
+        assert restored.table_names() == ["mixed"]
+
+    def test_indexes_recreated(self):
+        restored = load_database(dump_database(populated_database()))
+        assert restored.table("mixed").indexed_columns == ("flag",)
+        assert len(restored.table("mixed").select(eq("flag", True))) == 1
+
+    def test_auto_counter_continues(self):
+        original = populated_database()
+        original.table("mixed").delete(eq("text", "b"))  # id 2 freed
+        restored = load_database(dump_database(original))
+        new_id = restored.table("mixed").insert({"text": "fresh"})
+        assert new_id == 4  # counter not reset by the deletion
+
+    def test_unique_constraint_survives(self):
+        restored = load_database(dump_database(populated_database()))
+        with pytest.raises(DatabaseError, match="unique"):
+            restored.table("mixed").insert({"text": "a"})
+
+    def test_dump_is_json_serializable(self):
+        dump = dump_database(populated_database())
+        json.dumps(dump)  # must not raise
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(populated_database(), path)
+        restored = open_database(path)
+        assert restored.table("mixed").count() == 3
+
+    def test_open_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatabaseError):
+            open_database(tmp_path / "missing.json")
+
+    def test_open_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        with pytest.raises(DatabaseError):
+            open_database(path)
+
+    def test_wrong_format_version_rejected(self):
+        dump = dump_database(populated_database())
+        dump["format"] = 99
+        with pytest.raises(DatabaseError):
+            load_database(dump)
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(-1000, 1000),
+            st.binary(max_size=20),
+            st.booleans(),
+        ),
+        max_size=25,
+    )
+)
+def test_roundtrip_property(rows):
+    """Arbitrary content round-trips bit-exactly."""
+    db = Database()
+    db.create_table(
+        Schema(
+            name="t",
+            columns=(
+                Column("id", ColumnType.INT, nullable=False, auto_increment=True),
+                Column("n", ColumnType.INT),
+                Column("b", ColumnType.BLOB),
+                Column("f", ColumnType.BOOL),
+            ),
+            primary_key="id",
+        )
+    )
+    for n, b, f in rows:
+        db.table("t").insert({"n": n, "b": b, "f": f})
+    restored = load_database(dump_database(db))
+    assert restored.table("t").select() == db.table("t").select()

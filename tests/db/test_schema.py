@@ -1,0 +1,125 @@
+"""Tests for repro.db.schema."""
+
+import pytest
+
+from repro.common.errors import DatabaseError, ValidationError
+from repro.db import Column, ColumnType, Schema
+
+
+def make_schema(**overrides):
+    defaults = dict(
+        name="t",
+        columns=(
+            Column("id", ColumnType.INT, nullable=False),
+            Column("label", ColumnType.TEXT),
+        ),
+        primary_key="id",
+    )
+    defaults.update(overrides)
+    return Schema(**defaults)
+
+
+class TestColumnType:
+    @pytest.mark.parametrize(
+        "column_type,value",
+        [
+            (ColumnType.INT, 3),
+            (ColumnType.REAL, 2.5),
+            (ColumnType.TEXT, "x"),
+            (ColumnType.BOOL, True),
+            (ColumnType.BLOB, b"\x00"),
+            (ColumnType.JSON, {"a": [1]}),
+        ],
+    )
+    def test_accepts_matching_values(self, column_type, value):
+        assert column_type.validate(value) == value
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(DatabaseError):
+            ColumnType.INT.validate(True)
+
+    def test_real_coerces_int(self):
+        assert ColumnType.REAL.validate(3) == 3.0
+        assert isinstance(ColumnType.REAL.validate(3), float)
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(DatabaseError):
+            ColumnType.REAL.validate(False)
+
+    def test_blob_accepts_bytearray(self):
+        assert ColumnType.BLOB.validate(bytearray(b"ab")) == b"ab"
+
+    def test_none_passes_through(self):
+        assert ColumnType.TEXT.validate(None) is None
+
+    @pytest.mark.parametrize(
+        "column_type,bad",
+        [
+            (ColumnType.INT, "1"),
+            (ColumnType.TEXT, 1),
+            (ColumnType.BOOL, 1),
+            (ColumnType.BLOB, "s"),
+        ],
+    )
+    def test_rejects_mismatched(self, column_type, bad):
+        with pytest.raises(DatabaseError):
+            column_type.validate(bad)
+
+
+class TestColumn:
+    def test_auto_increment_requires_int(self):
+        with pytest.raises(ValidationError):
+            Column("x", ColumnType.TEXT, auto_increment=True)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Column("", ColumnType.INT)
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            make_schema(
+                columns=(
+                    Column("id", ColumnType.INT, nullable=False),
+                    Column("id", ColumnType.TEXT),
+                )
+            )
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(ValidationError):
+            make_schema(primary_key="nope")
+
+    def test_unknown_unique_rejected(self):
+        with pytest.raises(ValidationError):
+            make_schema(unique=("nope",))
+
+    def test_nullable_primary_key_rejected(self):
+        with pytest.raises(ValidationError):
+            make_schema(
+                columns=(Column("id", ColumnType.INT), Column("label", ColumnType.TEXT))
+            )
+
+    def test_column_lookup(self):
+        schema = make_schema()
+        assert schema.column("label").type is ColumnType.TEXT
+        with pytest.raises(DatabaseError):
+            schema.column("missing")
+
+    def test_normalize_fills_defaults(self):
+        schema = make_schema(
+            columns=(
+                Column("id", ColumnType.INT, nullable=False),
+                Column("label", ColumnType.TEXT, default="d"),
+            )
+        )
+        row = schema.normalize_row({"id": 1})
+        assert row == {"id": 1, "label": "d"}
+
+    def test_normalize_rejects_unknown_columns(self):
+        with pytest.raises(DatabaseError):
+            make_schema().normalize_row({"id": 1, "weird": 2})
+
+    def test_normalize_enforces_not_null(self):
+        with pytest.raises(DatabaseError):
+            make_schema().normalize_row({"label": "x"})

@@ -1,0 +1,82 @@
+"""Early departures and phone failures in a full deployment."""
+
+import numpy as np
+import pytest
+
+from repro.server import SORSystem
+from repro.server.participation import ParticipationStatus
+from repro.sim.scenarios import (
+    customer_profiles,
+    shop_feature_pipeline,
+    syracuse_coffee_shops,
+)
+
+
+class TestEarlyDeparture:
+    def test_departing_user_marked_finished(self):
+        system = SORSystem(seed=51)
+        rng = np.random.default_rng(51)
+        shop = syracuse_coffee_shops(rng)[0]
+        system.deploy_place(shop, shop_feature_pipeline())
+        early = system.deploy_phone(
+            shop.place_id,
+            budget=8,
+            depart_time=system.start_time + 3600.0,
+        )
+        stayer = system.deploy_phone(shop.place_id, budget=8)
+        system.run()
+        early_task = system.server.participation.get_task(early.task.task_id)
+        assert early_task["status"] == ParticipationStatus.FINISHED.value
+        # The departing user's schedule never exceeded their stay.
+        assert all(
+            t <= system.start_time + 3600.0 for t in early.task.sensing_times
+        )
+        # Their data still made it to the server before departure.
+        assert early.task.is_done
+        stayer_task = system.server.participation.get_task(stayer.task.task_id)
+        assert stayer_task["status"] in (
+            ParticipationStatus.RUNNING.value,
+            ParticipationStatus.FINISHED.value,
+        )
+
+    def test_departed_data_still_feeds_features(self):
+        system = SORSystem(seed=52)
+        rng = np.random.default_rng(52)
+        shop = syracuse_coffee_shops(rng)[0]
+        system.deploy_place(shop, shop_feature_pipeline())
+        system.deploy_phone(
+            shop.place_id, budget=10, depart_time=system.start_time + 5400.0
+        )
+        system.run()
+        system.server.process_data()
+        features = system.server.compute_all_features()
+        assert shop.place_id in features
+
+
+class TestPhoneFailure:
+    def test_dead_battery_mid_run_does_not_break_deployment(self):
+        system = SORSystem(seed=53)
+        rng = np.random.default_rng(53)
+        shops = syracuse_coffee_shops(rng)
+        pipeline = shop_feature_pipeline()
+        for shop in shops:
+            system.deploy_place(shop, pipeline)
+            for _ in range(4):
+                system.deploy_phone(shop.place_id, budget=10)
+        # Sabotage one phone per shop: the battery dies immediately.
+        for deployed in system.phones[::4]:
+            deployed.phone.battery.drain(
+                deployed.phone.battery.capacity_mj, reason="sabotage"
+            )
+        system.run()
+        reports = system.process_and_rank("coffee_shop", customer_profiles())
+        names = {pid: d.place.name for pid, d in system.places.items()}
+        assert [names[p] for p in reports["Emma"].ranking.items] == [
+            "B&N Cafe", "Tim Hortons", "Starbucks",
+        ]
+        # The sabotaged phones produced nothing.
+        dead = [d for d in system.phones if d.phone.battery.is_dead]
+        assert len(dead) >= 3
+        for deployed in dead:
+            if deployed.task is not None:
+                assert len(deployed.task.bursts) == 0

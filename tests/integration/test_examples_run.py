@@ -1,0 +1,63 @@
+"""Smoke-run every example script — examples must never rot.
+
+Each example runs in a subprocess with reduced workloads where the
+script supports arguments; success means a zero exit code and the
+expected headline strings on stdout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "greedy   average coverage" in out
+        assert "aggregated ranking for Emma" in out
+
+    def test_hiking_trails(self):
+        out = run_example("hiking_trails.py")
+        assert "matches paper: YES" in out
+        assert "Cliff Trail" in out
+
+    def test_coffee_shops_end_to_end(self):
+        out = run_example("coffee_shops_end_to_end.py")
+        assert "Starbucks" in out
+        assert "SOR data acquisition procedure" in out
+        assert "Table II" in out
+
+    def test_scheduling_simulation_one_run(self):
+        out = run_example("scheduling_simulation.py", "1")
+        assert "Fig. 14(a)" in out
+        assert "mean improvement" in out
+
+    def test_custom_deployment(self):
+        out = run_example("custom_deployment.py")
+        assert "Carnegie Reading Room" in out
+        assert "Ranking for Scholar" in out
+
+    def test_hybrid_rankings(self):
+        out = run_example("hybrid_rankings.py")
+        assert "blended ranking" in out
+
+    def test_generate_report(self, tmp_path):
+        out = run_example("generate_report.py", str(tmp_path / "report"), "1")
+        assert "Done:" in out
+        assert (tmp_path / "report" / "report.md").exists()
+        assert (tmp_path / "report" / "fig14a.svg").exists()

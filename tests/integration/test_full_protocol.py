@@ -1,0 +1,163 @@
+"""Integration tests: the full SOR protocol end to end."""
+
+import numpy as np
+import pytest
+
+from repro.net import NetworkConditions
+from repro.server import SORSystem
+from repro.sim.scenarios import (
+    customer_profiles,
+    hiker_profiles,
+    shop_feature_pipeline,
+    syracuse_coffee_shops,
+    syracuse_trails,
+    trail_feature_pipeline,
+)
+
+
+def deploy_shops(system, *, phones=4, budget=10, seed=0):
+    rng = np.random.default_rng(seed)
+    shops = syracuse_coffee_shops(rng)
+    pipeline = shop_feature_pipeline()
+    for shop in shops:
+        system.deploy_place(shop, pipeline)
+        for _ in range(phones):
+            system.deploy_phone(shop.place_id, budget=budget)
+    return shops
+
+
+class TestCoffeeShopDeployment:
+    def test_full_pipeline_produces_paper_rankings(self):
+        system = SORSystem(seed=42)
+        deploy_shops(system, phones=6, budget=20)
+        system.run()
+        reports = system.process_and_rank("coffee_shop", customer_profiles())
+        names = {pid: d.place.name for pid, d in system.places.items()}
+        david = [names[p] for p in reports["David"].ranking.items]
+        emma = [names[p] for p in reports["Emma"].ranking.items]
+        assert david == ["Starbucks", "B&N Cafe", "Tim Hortons"]
+        assert emma == ["B&N Cafe", "Tim Hortons", "Starbucks"]
+
+    def test_feature_data_lands_in_database(self):
+        system = SORSystem(seed=1)
+        deploy_shops(system)
+        system.run()
+        system.server.process_data()
+        system.server.compute_all_features()
+        values = system.feature_values("coffee_shop")
+        assert len(values) == 3
+        for features in values.values():
+            assert set(features) == {"temperature", "brightness", "noise", "wifi"}
+
+    def test_raw_blobs_stored_before_processing(self):
+        system = SORSystem(seed=1)
+        deploy_shops(system, phones=2, budget=5)
+        system.run()
+        raw = system.server.database.table("raw_data")
+        assert raw.count() == 6  # one upload per phone
+        assert all(not row["processed"] for row in raw.select())
+        system.server.process_data()
+        assert all(row["processed"] for row in raw.select())
+
+    def test_schedules_respect_budgets(self):
+        system = SORSystem(seed=2)
+        deploy_shops(system, phones=3, budget=7)
+        system.run()
+        for deployed in system.phones:
+            assert deployed.task is not None
+            assert len(deployed.task.sensing_times) <= 7
+
+    def test_tasks_finish_and_report(self):
+        system = SORSystem(seed=3)
+        deploy_shops(system, phones=2, budget=4)
+        system.run()
+        for deployed in system.phones:
+            assert deployed.task.is_done
+            assert deployed.task.error is None
+
+    def test_phone_energy_consumed(self):
+        system = SORSystem(seed=4)
+        deploy_shops(system, phones=2, budget=4)
+        system.run()
+        for deployed in system.phones:
+            assert deployed.phone.battery.remaining_mj < (
+                deployed.phone.battery.capacity_mj
+            )
+
+    def test_staggered_arrivals_schedule_remaining_window(self):
+        system = SORSystem(seed=5)
+        rng = np.random.default_rng(5)
+        shop = syracuse_coffee_shops(rng)[0]
+        system.deploy_place(shop, shop_feature_pipeline())
+        system.deploy_phone(
+            shop.place_id, budget=10,
+            arrive_time=system.start_time + 3600.0,
+            depart_time=system.start_time + 7200.0,
+        )
+        system.run()
+        task = system.phones[0].task
+        assert task is not None
+        assert all(
+            system.start_time + 3600.0 <= t <= system.start_time + 7200.0
+            for t in task.sensing_times
+        )
+
+
+class TestTrailDeployment:
+    def test_trail_rankings_match_table1(self):
+        system = SORSystem(seed=7)
+        rng = np.random.default_rng(7)
+        for trail in syracuse_trails(rng):
+            system.deploy_place(trail, trail_feature_pipeline())
+            for _ in range(7):
+                system.deploy_phone(trail.place_id, budget=40)
+        system.run()
+        reports = system.process_and_rank("hiking_trail", hiker_profiles())
+        names = {pid: d.place.name for pid, d in system.places.items()}
+        assert [names[p] for p in reports["Alice"].ranking.items] == [
+            "Cliff Trail", "Long Trail", "Green Lake Trail",
+        ]
+        assert [names[p] for p in reports["Bob"].ranking.items] == [
+            "Long Trail", "Cliff Trail", "Green Lake Trail",
+        ]
+        assert [names[p] for p in reports["Chris"].ranking.items] == [
+            "Green Lake Trail", "Long Trail", "Cliff Trail",
+        ]
+
+
+class TestLossyNetwork:
+    def test_system_survives_packet_loss(self):
+        """Some scans fail but the pipeline still produces rankings."""
+        system = SORSystem(
+            seed=11,
+            network_conditions=NetworkConditions(drop_probability=0.15),
+        )
+        deploy_shops(system, phones=8, budget=12, seed=11)
+        system.run()
+        # Not every phone participated, but at least some data flowed.
+        succeeded = [d for d in system.phones if d.task is not None]
+        assert 0 < len(succeeded) <= 24
+        system.server.process_data()
+        features = system.server.compute_all_features()
+        assert len(features) >= 1
+
+    def test_dropped_scan_returns_none(self):
+        system = SORSystem(
+            seed=13,
+            network_conditions=NetworkConditions(drop_probability=1.0),
+        )
+        deploy_shops(system, phones=1, budget=3, seed=13)
+        system.run()
+        assert all(deployed.task is None for deployed in system.phones)
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def run_once():
+            system = SORSystem(seed=99)
+            deploy_shops(system, phones=3, budget=6, seed=99)
+            system.run()
+            system.server.process_data()
+            return system.server.compute_all_features()
+
+        assert run_once() == run_once()

@@ -1,0 +1,80 @@
+"""Multiple sensing servers sharing one database (paper Section II:
+"One or multiple sensing servers need to be deployed")."""
+
+import numpy as np
+import pytest
+
+from repro.server import SORSystem
+from repro.sim.scenarios import (
+    customer_profiles,
+    shop_feature_pipeline,
+    syracuse_coffee_shops,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = SORSystem(seed=33, num_servers=2)
+    rng = np.random.default_rng(33)
+    for shop in syracuse_coffee_shops(rng):
+        system.deploy_place(shop, shop_feature_pipeline())
+        for _ in range(6):
+            system.deploy_phone(shop.place_id, budget=15)
+    system.run()
+    return system
+
+
+class TestMultiServer:
+    def test_two_servers_exist_and_share_database(self, system):
+        assert len(system.servers) == 2
+        assert system.servers[0].database is system.servers[1].database
+
+    def test_places_split_across_servers(self, system):
+        hosts = {
+            deployed.application.app_id: None for deployed in system.places.values()
+        }
+        per_server = [len(server.apps.all_apps()) for server in system.servers]
+        assert sum(per_server) == 3
+        assert all(count >= 1 for count in per_server)
+
+    def test_both_servers_received_traffic(self, system):
+        per_host = system.network.stats.per_host_requests
+        assert all(
+            per_host.get(server.host, 0) > 0 for server in system.servers
+        )
+
+    def test_task_ids_globally_unique(self, system):
+        tasks = system.server.database.table("tasks").select()
+        ids = [task["task_id"] for task in tasks]
+        assert len(ids) == len(set(ids)) == 18
+
+    def test_each_server_processes_only_its_blobs(self, system):
+        for server in system.servers:
+            server.process_data()
+        first, second = system.servers
+        assert first.data_processor.blobs_decoded > 0
+        assert second.data_processor.blobs_decoded > 0
+        assert (
+            first.data_processor.blobs_decoded
+            + second.data_processor.blobs_decoded
+            == 18
+        )
+        assert first.data_processor.blobs_rejected == 0
+        assert second.data_processor.blobs_rejected == 0
+
+    def test_rankings_reproduce_across_the_fleet(self, system):
+        reports = system.process_and_rank("coffee_shop", customer_profiles())
+        names = {pid: d.place.name for pid, d in system.places.items()}
+        assert [names[p] for p in reports["David"].ranking.items] == [
+            "Starbucks", "B&N Cafe", "Tim Hortons",
+        ]
+        assert [names[p] for p in reports["Emma"].ranking.items] == [
+            "B&N Cafe", "Tim Hortons", "Starbucks",
+        ]
+
+    def test_ranker_on_any_server_sees_shared_features(self, system):
+        system.process_and_rank("coffee_shop", customer_profiles())
+        emma = next(p for p in customer_profiles() if p.name == "Emma")
+        from_first = system.servers[0].ranker.rank("coffee_shop", emma)
+        from_second = system.servers[1].ranker.rank("coffee_shop", emma)
+        assert from_first.ranking == from_second.ranking

@@ -1,0 +1,100 @@
+"""Upload retry: data survives transient network loss."""
+
+import numpy as np
+import pytest
+
+from repro.barcode import PlacePayload, encode_place_barcode
+from repro.common.clock import ManualClock
+from repro.common.geo import LatLon
+from repro.core.features import FeaturePipeline, FeatureSpec, MeanExtractor
+from repro.net import NetworkConditions
+from repro.net.transport import Network
+from repro.phone import MobilePhone
+from repro.sensors import ScalarProvider, SensorKind, SensorSpec
+from repro.server import SensingServer
+from repro.server.app_manager import Application
+
+PLACE = LatLon(43.05, -76.15)
+
+
+@pytest.fixture
+def world():
+    clock = ManualClock(start=100.0)
+    network = Network(
+        conditions=NetworkConditions(drop_probability=0.0),
+        rng=np.random.default_rng(0),
+    )
+    server = SensingServer("server", network, clock)
+    server.register_user("alice", "Alice", "tok-a")
+    server.create_application(
+        Application(
+            app_id="app-1",
+            creator="owner",
+            place_id="place-1",
+            place_name="Place One",
+            category="coffee_shop",
+            location=PLACE,
+            script="return get_temperature_readings(2, 1.0)",
+            pipeline=FeaturePipeline(
+                [FeatureSpec("temperature", "temperature", MeanExtractor())]
+            ),
+            period_start=0.0,
+            period_end=10_800.0,
+        )
+    )
+    phone = MobilePhone(user_id="alice", token="tok-a", network=network, clock=clock)
+    phone.set_location_source(lambda t: PLACE)
+    spec = SensorSpec("temperature", SensorKind.EXTERNAL, "F", freshness_s=0.0)
+    phone.add_provider(
+        ScalarProvider(spec, clock, np.random.default_rng(1), lambda t: 70.0)
+    )
+    barcode = encode_place_barcode(
+        PlacePayload("place-1", "Place One", "coffee_shop",
+                     PLACE.latitude, PLACE.longitude, "app-1", "server")
+    )
+    return clock, network, server, phone, barcode
+
+
+class TestUploadRetry:
+    def test_dropped_upload_retried_next_tick(self, world):
+        clock, network, server, phone, barcode = world
+        task = phone.scan_barcode(barcode, budget=2)
+        # Break the network before any upload can happen: sensing still
+        # works (it is local), but every upload attempt is dropped.
+        network.conditions = NetworkConditions(drop_probability=1.0)
+        for sense_time in list(task.sensing_times):
+            if sense_time > clock.now():
+                clock.set(sense_time)
+            phone.tick()
+        clock.advance(1.0)
+        phone.tick()
+        assert task.is_done
+        assert server.database.table("raw_data").count() == 0
+        # Network heals; the next tick retries and succeeds.
+        network.conditions = NetworkConditions(drop_probability=0.0)
+        clock.advance(1.0)
+        phone.tick()
+        assert server.database.table("raw_data").count() == 1
+        # And no duplicate upload afterwards.
+        clock.advance(1.0)
+        phone.tick()
+        assert server.database.table("raw_data").count() == 1
+
+    def test_feature_charts_after_recovery(self, world):
+        clock, network, server, phone, barcode = world
+        task = phone.scan_barcode(barcode, budget=2)
+        for sense_time in list(task.sensing_times):
+            if sense_time > clock.now():
+                clock.set(sense_time)
+            phone.tick()
+        clock.advance(1.0)
+        phone.tick()
+        server.process_data()
+        server.compute_all_features()
+        charts = server.feature_charts("coffee_shop")
+        assert "temperature" in charts
+        assert "place-1" in charts
+
+    def test_charts_empty_category(self, world):
+        *_, server, _, _ = world
+        assert "no feature data" in server.feature_charts("ghost-category")

@@ -1,0 +1,120 @@
+"""Tests for repro.net.codec."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import CodecError
+from repro.net.codec import decode_body, decode_value, encode_body, encode_value
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 127, 128, -128, 2**40, -(2**40), "", "héllo",
+         b"", b"\x00\xff", 0.0, -2.5, 1e300],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_nan_roundtrip(self):
+        assert math.isnan(decode_value(encode_value(float("nan"))))
+
+    def test_inf_roundtrip(self):
+        assert decode_value(encode_value(float("inf"))) == float("inf")
+
+    def test_int_float_distinct(self):
+        assert isinstance(decode_value(encode_value(1)), int)
+        assert isinstance(decode_value(encode_value(1.0)), float)
+
+    def test_bool_int_distinct(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+
+class TestContainers:
+    def test_nested_roundtrip(self):
+        value = {"a": [1, [2, {"b": None}], "x"], "c": {"d": b"\x01"}}
+        assert decode_value(encode_value(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert decode_value(encode_value((1, 2))) == [1, 2]
+
+    def test_empty_containers(self):
+        assert decode_value(encode_value([])) == []
+        assert decode_value(encode_value({})) == {}
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(CodecError):
+            encode_value({1: "x"})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+
+
+class TestBodies:
+    def test_body_roundtrip(self):
+        body = {"type": "x", "payload": {"k": [1.5, "v"]}}
+        assert decode_body(encode_body(body)) == body
+
+    def test_body_requires_dict(self):
+        with pytest.raises(CodecError):
+            encode_body([1, 2])  # type: ignore[arg-type]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError, match="magic"):
+            decode_body(b"XX\x01\x08\x00")
+
+    def test_bad_version_rejected(self):
+        good = bytearray(encode_body({}))
+        good[2] = 99
+        with pytest.raises(CodecError, match="version"):
+            decode_body(bytes(good))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError, match="trailing"):
+            decode_body(encode_body({}) + b"\x00")
+
+    def test_truncated_rejected(self):
+        encoded = encode_body({"key": "a-long-enough-string"})
+        with pytest.raises(CodecError):
+            decode_body(encoded[:-3])
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@given(value=json_like)
+def test_roundtrip_property(value):
+    def normalize(item):
+        if isinstance(item, tuple):
+            return [normalize(sub) for sub in item]
+        if isinstance(item, list):
+            return [normalize(sub) for sub in item]
+        if isinstance(item, dict):
+            return {key: normalize(sub) for key, sub in item.items()}
+        return item
+
+    assert decode_value(encode_value(value)) == normalize(value)
+
+
+@given(garbage=st.binary(max_size=64))
+def test_decode_never_crashes_unexpectedly(garbage):
+    """Arbitrary bytes either decode or raise CodecError — nothing else."""
+    try:
+        decode_body(garbage)
+    except CodecError:
+        pass

@@ -1,0 +1,46 @@
+"""Tests for repro.net.gcm."""
+
+import pytest
+
+from repro.common.errors import TransportError
+from repro.net import CloudMessenger
+
+
+class TestCloudMessenger:
+    def test_push_invokes_callback(self):
+        messenger = CloudMessenger()
+        received = []
+        messenger.register_device("tok", received.append)
+        messenger.push("tok", {"action": "ping"})
+        assert received == [{"action": "ping"}]
+        assert messenger.pushes_delivered == 1
+
+    def test_payload_is_copied(self):
+        messenger = CloudMessenger()
+        received = []
+        messenger.register_device("tok", received.append)
+        payload = {"a": 1}
+        messenger.push("tok", payload)
+        payload["a"] = 2
+        assert received[0]["a"] == 1
+
+    def test_unknown_token_raises(self):
+        messenger = CloudMessenger()
+        with pytest.raises(TransportError):
+            messenger.push("ghost", {})
+        assert messenger.pushes_failed == 1
+
+    def test_reregistration_replaces_callback(self):
+        messenger = CloudMessenger()
+        first, second = [], []
+        messenger.register_device("tok", first.append)
+        messenger.register_device("tok", second.append)
+        messenger.push("tok", {})
+        assert first == [] and second == [{}]
+
+    def test_unregister(self):
+        messenger = CloudMessenger()
+        messenger.register_device("tok", lambda payload: None)
+        messenger.unregister_device("tok")
+        assert not messenger.is_registered("tok")
+        messenger.unregister_device("tok")  # idempotent

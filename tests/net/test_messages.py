@@ -1,0 +1,54 @@
+"""Tests for repro.net.messages."""
+
+import pytest
+
+from repro.common.errors import CodecError
+from repro.net import Envelope, MessageType
+from repro.net.codec import encode_body
+
+
+class TestEnvelope:
+    def make(self):
+        return Envelope(
+            message_type=MessageType.PARTICIPATE,
+            sender="phone-1",
+            recipient="server",
+            payload={"budget": 17, "nested": {"values": [1.0, 2.0]}},
+        )
+
+    def test_roundtrip(self):
+        envelope = self.make()
+        assert Envelope.from_bytes(envelope.to_bytes()) == envelope
+
+    def test_all_message_types_roundtrip(self):
+        for message_type in MessageType:
+            envelope = Envelope(message_type, "a", "b", {})
+            assert Envelope.from_bytes(envelope.to_bytes()).message_type is message_type
+
+    def test_reply_swaps_endpoints(self):
+        reply = self.make().reply(MessageType.ACK, {"ok": True})
+        assert reply.sender == "server"
+        assert reply.recipient == "phone-1"
+        assert reply.message_type is MessageType.ACK
+        assert reply.payload == {"ok": True}
+
+    def test_reply_default_payload_empty(self):
+        assert self.make().reply(MessageType.ACK).payload == {}
+
+    def test_unknown_type_rejected(self):
+        body = encode_body(
+            {"type": "martian", "sender": "a", "recipient": "b", "payload": {}}
+        )
+        with pytest.raises(CodecError):
+            Envelope.from_bytes(body)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(CodecError):
+            Envelope.from_bytes(encode_body({"type": "ack"}))
+
+    def test_non_dict_payload_rejected(self):
+        body = encode_body(
+            {"type": "ack", "sender": "a", "recipient": "b", "payload": [1]}
+        )
+        with pytest.raises(CodecError):
+            Envelope.from_bytes(body)

@@ -1,0 +1,105 @@
+"""Tests for repro.net.transport."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import TransportError, ValidationError
+from repro.net import HttpRequest, HttpResponse, NetworkConditions
+from repro.net.transport import Network
+
+
+class EchoEndpoint:
+    def __init__(self):
+        self.requests = []
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        self.requests.append(request)
+        return HttpResponse(status=200, body=request.body)
+
+
+def make_network(**conditions):
+    network = Network(
+        conditions=NetworkConditions(**conditions),
+        rng=np.random.default_rng(0),
+    )
+    endpoint = EchoEndpoint()
+    network.register("host-a", endpoint)
+    return network, endpoint
+
+
+class TestRouting:
+    def test_delivers_and_returns_response(self):
+        network, endpoint = make_network()
+        response = network.send(HttpRequest("POST", "host-a", "/p", b"hello"))
+        assert response.ok
+        assert response.body == b"hello"
+        assert len(endpoint.requests) == 1
+
+    def test_unknown_host_raises(self):
+        network, _ = make_network()
+        with pytest.raises(TransportError, match="no endpoint"):
+            network.send(HttpRequest("GET", "nowhere", "/"))
+
+    def test_duplicate_registration_rejected(self):
+        network, _ = make_network()
+        with pytest.raises(TransportError):
+            network.register("host-a", EchoEndpoint())
+
+    def test_unregister(self):
+        network, _ = make_network()
+        network.unregister("host-a")
+        assert not network.is_registered("host-a")
+        with pytest.raises(TransportError):
+            network.send(HttpRequest("GET", "host-a", "/"))
+
+    def test_method_uppercased(self):
+        assert HttpRequest("post", "h", "/").method == "POST"
+
+
+class TestImpairments:
+    def test_drops_raise_and_count(self):
+        network, endpoint = make_network(drop_probability=1.0)
+        with pytest.raises(TransportError, match="dropped"):
+            network.send(HttpRequest("POST", "host-a", "/"))
+        assert network.stats.requests_dropped == 1
+        assert endpoint.requests == []
+
+    def test_partial_loss_rate(self):
+        network, _ = make_network(drop_probability=0.5)
+        delivered = 0
+        for _ in range(200):
+            try:
+                network.send(HttpRequest("POST", "host-a", "/"))
+                delivered += 1
+            except TransportError:
+                pass
+        assert 60 < delivered < 140  # ~50% ± noise
+
+    def test_latency_charged_to_manual_clock(self):
+        clock = ManualClock()
+        network = Network(
+            conditions=NetworkConditions(base_latency_s=0.1, jitter_s=0.0),
+            rng=np.random.default_rng(0),
+            clock=clock,
+        )
+        network.register("host-a", EchoEndpoint())
+        network.send(HttpRequest("POST", "host-a", "/"))
+        assert clock.now() == pytest.approx(0.1)
+
+    def test_invalid_conditions_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkConditions(drop_probability=1.5)
+        with pytest.raises(ValidationError):
+            NetworkConditions(base_latency_s=-1.0)
+
+
+class TestStats:
+    def test_byte_and_request_counters(self):
+        network, _ = make_network()
+        network.send(HttpRequest("POST", "host-a", "/", b"abc"))
+        network.send(HttpRequest("POST", "host-a", "/", b"wxyz"))
+        assert network.stats.requests_sent == 2
+        assert network.stats.bytes_sent == 7
+        assert network.stats.bytes_received == 7  # echo
+        assert network.stats.per_host_requests == {"host-a": 2}

@@ -1,0 +1,262 @@
+"""Tests for the mobile frontend components."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import ConfigurationError, SensorError, ValidationError
+from repro.phone import (
+    Battery,
+    LocalPreferenceManager,
+    ProviderRegister,
+    SensorManager,
+    TaskInstance,
+    TaskManager,
+    TaskStatus,
+    WakeLockManager,
+)
+from repro.sensors import ScalarProvider, SensorKind, SensorSpec
+
+
+def make_provider(clock, sensor_type="light", value=500.0, energy=2.0):
+    spec = SensorSpec(
+        sensor_type, SensorKind.EMBEDDED, "lux",
+        energy_per_sample_mj=energy, freshness_s=0.0,
+    )
+    return ScalarProvider(spec, clock, np.random.default_rng(0), lambda t: value)
+
+
+def make_sensor_stack(clock=None, battery=None):
+    clock = clock or ManualClock()
+    battery = battery or Battery()
+    register = ProviderRegister()
+    register.register(make_provider(clock))
+    preferences = LocalPreferenceManager()
+    manager = SensorManager(register, preferences, battery)
+    return manager, register, preferences, battery, clock
+
+
+class TestPreferences:
+    def test_default_allows_everything(self):
+        assert LocalPreferenceManager().is_allowed("gps")
+
+    def test_deny_and_allow(self):
+        prefs = LocalPreferenceManager()
+        prefs.deny("gps")
+        assert not prefs.is_allowed("gps")
+        prefs.allow("gps")
+        assert prefs.is_allowed("gps")
+
+    def test_payload(self):
+        prefs = LocalPreferenceManager()
+        prefs.deny("gps")
+        prefs.deny("microphone")
+        assert prefs.to_payload() == {"denied": ["gps", "microphone"]}
+
+
+class TestBattery:
+    def test_drain_and_level(self):
+        battery = Battery(capacity_mj=100.0)
+        battery.drain(25.0, reason="test")
+        assert battery.remaining_mj == 75.0
+        assert battery.level == 0.75
+        assert battery.drained_by == {"test": 25.0}
+
+    def test_clamps_at_zero(self):
+        battery = Battery(capacity_mj=10.0)
+        battery.drain(50.0, reason="greedy")
+        assert battery.remaining_mj == 0.0
+        assert battery.is_dead
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ValidationError):
+            Battery().drain(-1.0, reason="x")
+
+
+class TestWakeLocks:
+    def test_held_time_drains_battery(self):
+        clock = ManualClock()
+        battery = Battery(capacity_mj=1000.0)
+        locks = WakeLockManager(clock, battery, drain_mw=10.0)
+        locks.acquire("comm")
+        clock.advance(5.0)
+        locks.release("comm")
+        assert battery.remaining_mj == pytest.approx(950.0)
+        assert locks.total_held_s == 5.0
+
+    def test_reentrant(self):
+        clock = ManualClock()
+        battery = Battery()
+        locks = WakeLockManager(clock, battery)
+        locks.acquire("a")
+        locks.acquire("a")
+        locks.release("a")
+        assert locks.is_held
+        locks.release("a")
+        assert not locks.is_held
+
+    def test_release_unheld_rejected(self):
+        locks = WakeLockManager(ManualClock(), Battery())
+        with pytest.raises(ValidationError):
+            locks.release("ghost")
+
+
+class TestProviderRegister:
+    def test_register_and_lookup(self):
+        clock = ManualClock()
+        register = ProviderRegister()
+        register.register(make_provider(clock))
+        assert register.supported_sensors() == ["light"]
+        assert register.provider("light").spec.sensor_type == "light"
+
+    def test_duplicate_rejected(self):
+        clock = ManualClock()
+        register = ProviderRegister()
+        register.register(make_provider(clock))
+        with pytest.raises(ConfigurationError):
+            register.register(make_provider(clock))
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(SensorError):
+            ProviderRegister().provider("ghost")
+
+    def test_acquisition_function_names(self):
+        register = ProviderRegister()
+        assert register.acquisition_function_name("light") == "get_light_readings"
+        assert register.acquisition_function_name("gps") == "get_location"
+
+    def test_unregister(self):
+        clock = ManualClock()
+        register = ProviderRegister()
+        register.register(make_provider(clock))
+        register.unregister("light")
+        assert register.supported_sensors() == []
+        with pytest.raises(ConfigurationError):
+            register.unregister("light")
+
+
+class TestSensorManager:
+    def test_acquire_burst_charges_battery(self):
+        manager, _, _, battery, _ = make_sensor_stack()
+        manager.acquire_burst("light", 3, 0.1)
+        assert battery.capacity_mj - battery.remaining_mj == pytest.approx(6.0)
+
+    def test_denied_sensor_raises(self):
+        manager, _, preferences, _, _ = make_sensor_stack()
+        preferences.deny("light")
+        with pytest.raises(SensorError, match="preferences"):
+            manager.acquire_burst("light", 1, 0.0)
+
+    def test_dead_battery_raises(self):
+        battery = Battery(capacity_mj=1.0)
+        battery.drain(1.0, reason="pre")
+        manager, *_ = make_sensor_stack(battery=battery)
+        with pytest.raises(SensorError, match="battery"):
+            manager.acquire_burst("light", 1, 0.0)
+
+    def test_script_bindings_record_and_return(self):
+        manager, *_ = make_sensor_stack()
+        recorded = []
+        bindings = manager.script_bindings(
+            lambda sensor, burst: recorded.append((sensor, burst))
+        )
+        values = bindings["get_light_readings"](3, 0.1)
+        assert values == [500.0, 500.0, 500.0]
+        assert recorded[0][0] == "light"
+        assert len(recorded[0][1].values) == 3
+
+
+SCRIPT = """
+local readings = get_light_readings(4, 0.5)
+local total = 0
+for i = 1, #readings do total = total + readings[i] end
+return {mean = total / #readings}
+"""
+
+
+class TestTaskInstance:
+    def make_task(self, times, script=SCRIPT, clock=None):
+        manager, *_ = make_sensor_stack(clock=clock)
+        return TaskInstance(
+            task_id="t1",
+            app_id="app",
+            script_source=script,
+            sensing_times=times,
+            sensor_manager=manager,
+        )
+
+    def test_executes_due_instants(self):
+        task = self.make_task([10.0, 20.0, 30.0])
+        assert task.execute_due(15.0) == 1
+        assert task.status is TaskStatus.RUNNING
+        assert task.execute_due(100.0) == 2
+        assert task.status is TaskStatus.FINISHED
+        assert len(task.script_results) == 3
+
+    def test_collects_bursts(self):
+        task = self.make_task([10.0])
+        task.execute_due(10.0)
+        assert len(task.bursts) == 1
+        sensor, burst = task.bursts[0]
+        assert sensor == "light"
+        assert len(burst.values) == 4
+
+    def test_nothing_due_executes_nothing(self):
+        task = self.make_task([100.0])
+        assert task.execute_due(50.0) == 0
+
+    def test_script_error_marks_error(self):
+        task = self.make_task([10.0], script="return undefined_fn()")
+        task.execute_due(10.0)
+        assert task.status is TaskStatus.ERROR
+        assert "not whitelisted" in task.error
+
+    def test_empty_schedule_is_finished(self):
+        task = self.make_task([])
+        assert task.status is TaskStatus.FINISHED
+
+    def test_collected_payload_wire_form(self):
+        task = self.make_task([10.0])
+        task.execute_due(10.0)
+        payload = task.collected_payload()
+        assert payload[0]["sensor"] == "light"
+        assert isinstance(payload[0]["values"][0], float)
+
+    def test_next_sensing_time(self):
+        task = self.make_task([10.0, 20.0])
+        assert task.next_sensing_time() == 10.0
+        task.execute_due(10.0)
+        assert task.next_sensing_time() == 20.0
+        task.execute_due(20.0)
+        assert task.next_sensing_time() is None
+
+
+class TestTaskManager:
+    def test_tracks_and_executes(self):
+        clock = ManualClock()
+        manager_stack, *_ = make_sensor_stack(clock=clock)
+        tasks = TaskManager()
+        first = TaskInstance("t1", "a", SCRIPT, [5.0], manager_stack)
+        second = TaskInstance("t2", "a", SCRIPT, [7.0, 9.0], manager_stack)
+        tasks.add(first)
+        tasks.add(second)
+        assert tasks.next_sensing_time() == 5.0
+        assert tasks.execute_due(8.0) == 2
+        assert tasks.next_sensing_time() == 9.0
+        assert len(tasks.active_tasks()) == 1
+
+    def test_duplicate_id_rejected(self):
+        manager_stack, *_ = make_sensor_stack()
+        tasks = TaskManager()
+        tasks.add(TaskInstance("t1", "a", SCRIPT, [], manager_stack))
+        with pytest.raises(ConfigurationError):
+            tasks.add(TaskInstance("t1", "a", SCRIPT, [], manager_stack))
+
+    def test_finished_unreported(self):
+        manager_stack, *_ = make_sensor_stack()
+        tasks = TaskManager()
+        task = TaskInstance("t1", "a", SCRIPT, [1.0], manager_stack)
+        tasks.add(task)
+        assert tasks.finished_unreported() == []
+        tasks.execute_due(2.0)
+        assert tasks.finished_unreported() == [task]

@@ -1,0 +1,98 @@
+"""Tests for acquisition timeouts and slow sensors."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import SensorError, SensorTimeoutError
+from repro.phone import Battery, LocalPreferenceManager, ProviderRegister, SensorManager
+from repro.sensors import ScalarProvider, SensorKind, SensorSpec
+
+
+def make_manager(*, response_delay_s=0.0, default_timeout_s=120.0):
+    clock = ManualClock()
+    spec = SensorSpec(
+        "gps_like",
+        SensorKind.EMBEDDED,
+        "u",
+        energy_per_sample_mj=5.0,
+        default_timeout_s=default_timeout_s,
+    )
+    provider = ScalarProvider(
+        spec,
+        clock,
+        np.random.default_rng(0),
+        lambda t: 1.0,
+        response_delay_s=response_delay_s,
+    )
+    register = ProviderRegister()
+    register.register(provider)
+    battery = Battery()
+    manager = SensorManager(register, LocalPreferenceManager(), battery)
+    return manager, provider, battery
+
+
+class TestEstimatedDuration:
+    def test_instant_sensor(self):
+        _, provider, _ = make_manager()
+        assert provider.estimated_duration_s(5, 2.0) == 8.0
+
+    def test_slow_sensor_adds_delay(self):
+        _, provider, _ = make_manager(response_delay_s=30.0)
+        assert provider.estimated_duration_s(1, 0.0) == 30.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SensorError):
+            make_manager(response_delay_s=-1.0)
+
+
+class TestTimeoutEnforcement:
+    def test_fast_acquisition_allowed(self):
+        manager, _, _ = make_manager()
+        burst = manager.acquire_burst("gps_like", 5, 1.0)
+        assert len(burst.values) == 5
+
+    def test_slow_acquisition_cancelled(self):
+        manager, _, _ = make_manager(response_delay_s=200.0)
+        with pytest.raises(SensorTimeoutError, match="cancelled"):
+            manager.acquire_burst("gps_like", 1, 0.0)
+        assert manager.acquisitions_cancelled == 1
+
+    def test_long_burst_cancelled_by_explicit_timeout(self):
+        manager, _, _ = make_manager()
+        with pytest.raises(SensorTimeoutError):
+            manager.acquire_burst("gps_like", 100, 2.0, timeout_s=60.0)
+
+    def test_cancelled_acquisition_costs_no_energy(self):
+        manager, _, battery = make_manager(response_delay_s=500.0)
+        with pytest.raises(SensorTimeoutError):
+            manager.acquire_burst("gps_like", 1, 0.0)
+        assert battery.remaining_mj == battery.capacity_mj
+
+    def test_explicit_timeout_overrides_default(self):
+        manager, _, _ = make_manager(response_delay_s=50.0, default_timeout_s=10.0)
+        # Default would cancel; an explicit generous timeout allows it.
+        burst = manager.acquire_burst("gps_like", 1, 0.0, timeout_s=100.0)
+        assert len(burst.values) == 1
+
+    def test_slow_sensor_timestamps_shifted_by_delay(self):
+        manager, provider, _ = make_manager(response_delay_s=5.0)
+        burst = manager.acquire_burst("gps_like", 2, 1.0)
+        assert burst.timestamp == 5.0  # first reading lands after the delay
+
+    def test_timeout_failure_fails_script_task(self):
+        """A cancelled acquisition surfaces as a task error, like any
+        sensor failure."""
+        from repro.phone.task import TaskInstance, TaskStatus
+
+        manager, _, _ = make_manager(response_delay_s=500.0)
+        task = TaskInstance(
+            task_id="t",
+            app_id="a",
+            script_source="return get_gps_like_readings(1, 0)",
+            sensing_times=[0.0],
+            sensor_manager=manager,
+        )
+        task.execute_due(0.0)
+        assert task.status is TaskStatus.ERROR
+        assert "cancelled" in task.error

@@ -1,0 +1,180 @@
+"""Property-based semantic tests for LuaLite.
+
+Random arithmetic/comparison/logic expressions are generated as ASTs,
+rendered to source, executed in the sandbox, and compared against a
+direct Python evaluation of the same AST (the reference model implements
+Lua semantics: float division/modulo/power, truthiness, short-circuit
+operands).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.script import Sandbox
+
+
+# ----------------------------------------------------------------------
+# expression model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+    def render(self) -> str:
+        if self.value < 0:
+            return f"({self.value!r})"
+        return repr(self.value)
+
+    def evaluate(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Bin:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def evaluate(self):
+        a = self.left.evaluate()
+        b = self.right.evaluate()
+        if self.op == "and":
+            return b if _truthy(a) else a
+        if self.op == "or":
+            return a if _truthy(a) else b
+        if self.op == "==":
+            return _num_eq(a, b)
+        if self.op == "~=":
+            return not _num_eq(a, b)
+        if self.op in ("<", "<=", ">", ">="):
+            a, b = _as_num(a), _as_num(b)
+            return {
+                "<": a < b,
+                "<=": a <= b,
+                ">": a > b,
+                ">=": a >= b,
+            }[self.op]
+        a, b = _as_num(a), _as_num(b)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        if self.op == "/":
+            if b == 0:
+                if a == 0:
+                    return math.nan
+                return math.inf if a > 0 else -math.inf
+            return a / b
+        if self.op == "%":
+            if b == 0:
+                return math.nan
+            if math.isinf(a):
+                return math.nan
+            result = math.fmod(a, b)
+            if result != 0 and (result < 0) != (b < 0):
+                result += b
+            return result
+        raise AssertionError(self.op)
+
+
+Expr = "Num | Bin"
+
+
+def _truthy(value) -> bool:
+    return value is not None and value is not False
+
+
+def _num_eq(a, b) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    return float(a) == float(b)
+
+
+def _as_num(value):
+    assert isinstance(value, (int, float)) and not isinstance(value, bool), value
+    return value
+
+
+# Numbers kept small and non-pathological so both evaluators stay exact.
+numbers = st.one_of(
+    st.integers(-20, 20).map(float).map(Num),
+    st.floats(-20, 20, allow_nan=False).map(lambda v: Num(round(v, 3))),
+)
+
+arith_ops = st.sampled_from(["+", "-", "*", "/", "%"])
+
+
+def arith_exprs(depth: int):
+    if depth == 0:
+        return numbers
+    sub = arith_exprs(depth - 1)
+    return st.one_of(
+        numbers,
+        st.builds(Bin, arith_ops, sub, sub),
+    )
+
+
+compare_ops = st.sampled_from(["==", "~=", "<", "<=", ">", ">="])
+logic_ops = st.sampled_from(["and", "or"])
+
+
+@st.composite
+def full_exprs(draw):
+    left = draw(arith_exprs(2))
+    right = draw(arith_exprs(2))
+    comparison = Bin(draw(compare_ops), left, right)
+    if draw(st.booleans()):
+        other = Bin(draw(compare_ops), draw(arith_exprs(1)), draw(arith_exprs(1)))
+        return Bin(draw(logic_ops), comparison, other)
+    return comparison
+
+
+def _same(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return a == pytest.approx(b, rel=1e-12, abs=1e-12)
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return float(a) == pytest.approx(float(b), rel=1e-12, abs=1e-12)
+    return a == b
+
+
+class TestArithmeticFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(expr=arith_exprs(3))
+    def test_arithmetic_matches_reference(self, expr):
+        got = Sandbox().run(f"return {expr.render()}")
+        expected = expr.evaluate()
+        assert _same(got, expected), expr.render()
+
+    @settings(max_examples=150, deadline=None)
+    @given(expr=full_exprs())
+    def test_comparisons_and_logic_match_reference(self, expr):
+        got = Sandbox().run(f"return {expr.render()}")
+        expected = expr.evaluate()
+        assert _same(got, expected), expr.render()
+
+
+class TestRoundTripStability:
+    @settings(max_examples=100, deadline=None)
+    @given(expr=arith_exprs(3))
+    def test_idempotent_across_sandboxes(self, expr):
+        """The same source always evaluates to the same value."""
+        source = f"return {expr.render()}"
+        first = Sandbox().run(source)
+        second = Sandbox().run(source)
+        assert _same(first, second)

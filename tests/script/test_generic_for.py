@@ -1,0 +1,129 @@
+"""Tests for the generic for loop and pairs/ipairs."""
+
+import pytest
+
+from repro.common.errors import ScriptRuntimeError, ScriptSyntaxError
+from repro.script import Sandbox
+from repro.script.parser import parse
+
+
+def run(source):
+    return Sandbox().run(source)
+
+
+class TestParsing:
+    def test_generic_for_parses(self):
+        from repro.script import ast_nodes as ast
+
+        block = parse("for k, v in pairs(t) do f(k) end")
+        statement = block.statements[0]
+        assert isinstance(statement, ast.GenericFor)
+        assert statement.names == ("k", "v")
+
+    def test_single_name_allowed(self):
+        parse("for v in ipairs(t) do f(v) end")
+
+    def test_numeric_for_still_works(self):
+        from repro.script import ast_nodes as ast
+
+        block = parse("for i = 1, 3 do f(i) end")
+        assert isinstance(block.statements[0], ast.NumericFor)
+
+    def test_multiple_names_numeric_rejected(self):
+        with pytest.raises(ScriptSyntaxError):
+            parse("for a, b = 1, 3 do end")
+
+
+class TestIpairs:
+    def test_iterates_array_part_in_order(self):
+        source = """
+        local out = ''
+        for i, v in ipairs({'a', 'b', 'c'}) do
+            out = out .. i .. v
+        end
+        return out
+        """
+        assert run(source) == "1a2b3c"
+
+    def test_stops_at_array_border(self):
+        source = """
+        local t = {'a', 'b'}
+        t[5] = 'z'
+        local count = 0
+        for i, v in ipairs(t) do count = count + 1 end
+        return count
+        """
+        assert run(source) == 2
+
+    def test_single_variable_gets_index(self):
+        assert run("local s = 0 for i in ipairs({9, 9, 9}) do s = s + i end return s") == 6
+
+    def test_break_works(self):
+        source = """
+        local total = 0
+        for i, v in ipairs({1, 2, 3, 4}) do
+            if v == 3 then break end
+            total = total + v
+        end
+        return total
+        """
+        assert run(source) == 3
+
+    def test_non_table_rejected(self):
+        with pytest.raises(ScriptRuntimeError, match="ipairs expects"):
+            run("for i, v in ipairs(42) do end")
+
+
+class TestPairs:
+    def test_visits_every_entry(self):
+        source = """
+        local sum = 0
+        for k, v in pairs({a = 1, b = 2, c = 3}) do
+            sum = sum + v
+        end
+        return sum
+        """
+        assert run(source) == 6
+
+    def test_keys_bound(self):
+        source = """
+        local keys = {}
+        for k in pairs({x = 1, y = 1}) do
+            table.insert(keys, k)
+        end
+        return #keys
+        """
+        assert run(source) == 2
+
+    def test_table_sugar_without_pairs(self):
+        # LuaLite extension: iterating the table directly equals pairs().
+        source = """
+        local sum = 0
+        for k, v in {10, 20, 30} do sum = sum + v end
+        return sum
+        """
+        assert run(source) == 60
+
+    def test_non_iterable_rejected(self):
+        with pytest.raises(ScriptRuntimeError, match="generic for"):
+            run("for k in 5 do end")
+
+
+class TestSensingUseCase:
+    def test_aggregate_readings_by_sensor(self):
+        sandbox = Sandbox()
+        sandbox.register_function(
+            "get_all_sensors", lambda: {"light": [1.0, 3.0], "noise": [5.0]}
+        )
+        source = """
+        local sums = {}
+        for sensor, readings in pairs(get_all_sensors()) do
+            local total = 0
+            for i, value in ipairs(readings) do
+                total = total + value
+            end
+            sums[sensor] = total
+        end
+        return sums
+        """
+        assert sandbox.run_to_python(source) == {"light": 4.0, "noise": 5.0}

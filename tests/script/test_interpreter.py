@@ -1,0 +1,258 @@
+"""Tests for the LuaLite interpreter semantics."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ScriptRuntimeError
+from repro.script import Sandbox
+from repro.script.interpreter import LuaTable
+
+
+def run(source):
+    return Sandbox().run(source)
+
+
+class TestArithmetic:
+    def test_basic_precedence(self):
+        assert run("return 1 + 2 * 3 - 4 / 2") == 5.0
+
+    def test_power_is_float(self):
+        assert run("return 2 ^ 10") == 1024.0
+        assert isinstance(run("return 2 ^ 2"), float)
+
+    def test_lua_modulo_signs(self):
+        assert run("return 7 % 3") == 1
+        assert run("return -7 % 3") == 2
+        assert run("return 7 % -3") == -2
+
+    def test_division_always_float(self):
+        assert run("return 10 / 4") == 2.5
+
+    def test_division_by_zero_is_inf(self):
+        assert run("return 1 / 0") == math.inf
+        assert run("return -1 / 0") == -math.inf
+        assert math.isnan(run("return 0 / 0"))
+
+    def test_unary_minus(self):
+        assert run("return -(3 + 4)") == -7
+
+    def test_arithmetic_on_string_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("return 'a' + 1")
+
+
+class TestTruthinessAndLogic:
+    def test_only_nil_and_false_are_falsy(self):
+        assert run("if 0 then return 'truthy' end") == "truthy"
+        assert run("if '' then return 'truthy' end") == "truthy"
+        assert run("if nil then return 'x' else return 'falsy' end") == "falsy"
+        assert run("if false then return 'x' else return 'falsy' end") == "falsy"
+
+    def test_and_or_return_operands(self):
+        assert run("return 1 and 2") == 2
+        assert run("return nil and 2") is None
+        assert run("return nil or 'fallback'") == "fallback"
+        assert run("return 1 or error_never_called()") == 1
+
+    def test_not(self):
+        assert run("return not nil") is True
+        assert run("return not 0") is False
+
+
+class TestComparison:
+    def test_numeric(self):
+        assert run("return 1 < 2") is True
+        assert run("return 2 <= 2") is True
+        assert run("return 3 > 4") is False
+
+    def test_string_lexicographic(self):
+        assert run("return 'abc' < 'abd'") is True
+
+    def test_mixed_comparison_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("return 1 < 'a'")
+
+    def test_equality_across_types_is_false(self):
+        assert run("return 1 == '1'") is False
+        assert run("return nil == false") is False
+
+    def test_int_float_equality(self):
+        assert run("return 1 == 1.0") is True
+
+
+class TestStrings:
+    def test_concat_numbers(self):
+        assert run("return 'v' .. 1 .. '.' .. 5") == "v1.5"
+
+    def test_float_concat_format(self):
+        assert run("return '' .. 1.0") == "1.0"
+
+    def test_length(self):
+        assert run("return #'hello'") == 5
+
+    def test_concat_table_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("return {} .. 'x'")
+
+
+class TestTables:
+    def test_constructor_and_index(self):
+        assert run("local t = {10, 20, 30} return t[2]") == 20
+
+    def test_named_fields(self):
+        assert run("local t = {a = 1, ['b'] = 2} return t.a + t.b") == 3
+
+    def test_length_border(self):
+        assert run("return #{1, 2, 3}") == 3
+        assert run("local t = {1, 2, 3} t[5] = 5 return #t") == 3
+
+    def test_nil_assignment_deletes(self):
+        assert run("local t = {1, 2, 3} t[3] = nil return #t") == 2
+
+    def test_float_keys_normalize(self):
+        assert run("local t = {} t[1.0] = 'x' return t[1]") == "x"
+
+    def test_nil_index_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("local t = {} t[nil] = 1")
+
+    def test_index_non_table_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("local x = 3 return x.field")
+
+    def test_nested_mutation(self):
+        assert run("local t = {a = {b = 1}} t.a.b = t.a.b + 41 return t.a.b") == 42
+
+    def test_missing_key_is_nil(self):
+        assert run("local t = {} return t.missing") is None
+
+
+class TestControlFlow:
+    def test_while_with_break(self):
+        source = """
+        local total = 0
+        local i = 0
+        while true do
+            i = i + 1
+            if i > 100 then break end
+            total = total + i
+        end
+        return total
+        """
+        assert run(source) == 5050
+
+    def test_numeric_for(self):
+        assert run("local s = 0 for i = 1, 10 do s = s + i end return s") == 55
+
+    def test_for_with_step(self):
+        assert run("local s = 0 for i = 10, 1, -2 do s = s + i end return s") == 30
+
+    def test_for_zero_step_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("for i = 1, 2, 0 do end")
+
+    def test_for_variable_scoped(self):
+        assert run("for i = 1, 3 do end return i") is None
+
+    def test_nested_loops_break_inner_only(self):
+        source = """
+        local count = 0
+        for i = 1, 3 do
+            for j = 1, 10 do
+                if j == 2 then break end
+                count = count + 1
+            end
+        end
+        return count
+        """
+        assert run(source) == 3
+
+    def test_elseif_chain(self):
+        source = """
+        local function grade(x)
+            if x >= 90 then return 'A'
+            elseif x >= 80 then return 'B'
+            elseif x >= 70 then return 'C'
+            else return 'F' end
+        end
+        return grade(85) .. grade(95) .. grade(10)
+        """
+        assert run(source) == "BAF"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        local function fact(n)
+            if n <= 1 then return 1 end
+            return n * fact(n - 1)
+        end
+        return fact(10)
+        """
+        assert run(source) == 3628800
+
+    def test_closures_capture_environment(self):
+        source = """
+        local function counter()
+            local n = 0
+            return function()
+                n = n + 1
+                return n
+            end
+        end
+        local c = counter()
+        c()
+        c()
+        return c()
+        """
+        assert run(source) == 3
+
+    def test_missing_arguments_are_nil(self):
+        assert run("local function f(a, b) return b end return f(1)") is None
+
+    def test_extra_arguments_ignored(self):
+        assert run("local function f(a) return a end return f(1, 2, 3)") == 1
+
+    def test_functions_are_values(self):
+        source = """
+        local function apply(f, x) return f(x) end
+        return apply(function(v) return v * 2 end, 21)
+        """
+        assert run(source) == 42
+
+    def test_calling_non_function_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("local x = 5 return x()")
+
+    def test_global_function_declaration(self):
+        assert run("function g() return 7 end return g()") == 7
+
+
+class TestSafety:
+    def test_step_budget_stops_infinite_loop(self):
+        with pytest.raises(ScriptRuntimeError, match="step budget"):
+            Sandbox(max_steps=5_000).run("while true do end")
+
+    def test_deep_recursion_hits_budget_not_crash(self):
+        source = """
+        local function loop(n) return loop(n + 1) end
+        return loop(0)
+        """
+        with pytest.raises((ScriptRuntimeError, RecursionError)):
+            Sandbox(max_steps=100_000).run(source)
+
+
+class TestLuaTable:
+    def test_to_python_list(self):
+        table = LuaTable({1: "a", 2: "b"})
+        assert table.to_python() == ["a", "b"]
+
+    def test_to_python_dict_when_mixed(self):
+        table = LuaTable({1: "a", "k": "v"})
+        assert table.to_python() == {1: "a", "k": "v"}
+
+    def test_identity_equality(self):
+        assert LuaTable({1: 1}) != LuaTable({1: 1})
+        table = LuaTable()
+        assert table == table

@@ -1,0 +1,105 @@
+"""Tests for the LuaLite lexer."""
+
+import pytest
+
+from repro.common.errors import ScriptSyntaxError
+from repro.script.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == 42
+        assert isinstance(token.value, int)
+
+    def test_float(self):
+        assert tokenize("3.5")[0].value == 3.5
+
+    def test_scientific(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+        assert tokenize("1E+2")[0].value == 100.0
+
+    def test_integer_followed_by_dot_dot(self):
+        # `1..2` is concat of 1 and 2, not a malformed float.
+        assert values("1 .. 2") == [1, "..", 2]
+
+    def test_method_call_not_float(self):
+        assert values("x.y") == ["x", ".", "y"]
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        assert tokenize('"hi"')[0].value == "hi"
+
+    def test_single_quoted(self):
+        assert tokenize("'hi'")[0].value == "hi"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\tc\\d\"e"')[0].value == 'a\nb\tc\\d"e'
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ScriptSyntaxError):
+            tokenize('"open')
+
+    def test_newline_inside_raises(self):
+        with pytest.raises(ScriptSyntaxError):
+            tokenize('"a\nb"')
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(ScriptSyntaxError):
+            tokenize(r'"\q"')
+
+
+class TestNamesAndKeywords:
+    def test_keywords_recognized(self):
+        for word in ("if", "then", "else", "end", "while", "for", "local",
+                     "function", "return", "and", "or", "not", "nil", "true",
+                     "false", "break", "do", "elseif"):
+            assert tokenize(word)[0].kind is TokenKind.KEYWORD
+
+    def test_identifier(self):
+        token = tokenize("get_light_readings")[0]
+        assert token.kind is TokenKind.NAME
+        assert token.value == "get_light_readings"
+
+    def test_identifier_with_digits(self):
+        assert tokenize("x2y")[0].value == "x2y"
+
+
+class TestOperators:
+    def test_multichar_before_single(self):
+        assert values("== ~= <= >= .. =") == ["==", "~=", "<=", ">=", "..", "="]
+
+    def test_all_single_chars(self):
+        source = "+ - * / % ^ # < > ( ) { } [ ] , ; ."
+        assert values(source) == source.split()
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(ScriptSyntaxError):
+            tokenize("@")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert values("1 -- comment here\n2") == [1, 2]
+
+    def test_comment_at_eof(self):
+        assert values("1 -- trailing") == [1]
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_present(self):
+        assert tokenize("")[0].kind is TokenKind.EOF

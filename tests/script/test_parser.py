@@ -1,0 +1,180 @@
+"""Tests for the LuaLite parser."""
+
+import pytest
+
+from repro.common.errors import ScriptSyntaxError
+from repro.script import ast_nodes as ast
+from repro.script.parser import parse
+
+
+def only_statement(source):
+    block = parse(source)
+    assert len(block.statements) == 1
+    return block.statements[0]
+
+
+class TestStatements:
+    def test_local_single(self):
+        statement = only_statement("local x = 1")
+        assert isinstance(statement, ast.LocalAssign)
+        assert statement.names == ("x",)
+
+    def test_local_multiple(self):
+        statement = only_statement("local a, b = 1, 2")
+        assert statement.names == ("a", "b")
+        assert len(statement.values) == 2
+
+    def test_local_without_value(self):
+        statement = only_statement("local x")
+        assert statement.values == ()
+
+    def test_assignment_to_name(self):
+        statement = only_statement("x = 1")
+        assert isinstance(statement, ast.Assign)
+        assert isinstance(statement.targets[0], ast.Name)
+
+    def test_assignment_to_index(self):
+        statement = only_statement("t.x = 1")
+        assert isinstance(statement.targets[0], ast.Index)
+
+    def test_multiple_assignment(self):
+        statement = only_statement("a, b = b, a")
+        assert len(statement.targets) == 2
+
+    def test_call_statement(self):
+        statement = only_statement("f(1)")
+        assert isinstance(statement, ast.ExpressionStatement)
+
+    def test_bare_expression_rejected(self):
+        with pytest.raises(ScriptSyntaxError):
+            parse("1 + 2")
+
+    def test_invalid_assignment_target_rejected(self):
+        with pytest.raises(ScriptSyntaxError):
+            parse("f() = 3")
+
+    def test_if_elseif_else(self):
+        statement = only_statement(
+            "if a then f() elseif b then g() else h() end"
+        )
+        assert isinstance(statement, ast.If)
+        assert len(statement.branches) == 2
+        assert statement.otherwise is not None
+
+    def test_while(self):
+        statement = only_statement("while x < 3 do f() end")
+        assert isinstance(statement, ast.While)
+
+    def test_numeric_for_with_step(self):
+        statement = only_statement("for i = 1, 10, 2 do f() end")
+        assert isinstance(statement, ast.NumericFor)
+        assert statement.step is not None
+
+    def test_numeric_for_without_step(self):
+        assert only_statement("for i = 1, 10 do f() end").step is None
+
+    def test_function_declaration(self):
+        statement = only_statement("function f(a, b) return a end")
+        assert isinstance(statement, ast.FunctionDecl)
+        assert not statement.is_local
+        assert statement.function.parameters == ("a", "b")
+
+    def test_local_function(self):
+        assert only_statement("local function f() end").is_local
+
+    def test_return_value_optional(self):
+        assert only_statement("return").value is None
+        assert only_statement("return 5").value is not None
+
+    def test_break(self):
+        statement = parse("while true do break end").statements[0]
+        assert isinstance(statement.body.statements[0], ast.Break)
+
+    def test_semicolons_tolerated(self):
+        assert len(parse("f(); g();").statements) == 2
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(ScriptSyntaxError):
+            parse("if x then f()")
+
+
+class TestExpressions:
+    def expression(self, source):
+        return only_statement(f"x = {source}").values[0]
+
+    def test_precedence_mul_over_add(self):
+        node = self.expression("1 + 2 * 3")
+        assert node.operator == "+"
+        assert node.right.operator == "*"
+
+    def test_power_right_associative(self):
+        node = self.expression("2 ^ 3 ^ 2")
+        assert node.operator == "^"
+        assert node.right.operator == "^"
+
+    def test_concat_right_associative(self):
+        node = self.expression("'a' .. 'b' .. 'c'")
+        assert node.operator == ".."
+        assert node.right.operator == ".."
+
+    def test_unary_minus_of_power(self):
+        node = self.expression("-2 ^ 2")
+        assert isinstance(node, ast.UnaryOp)
+        assert node.operand.operator == "^"
+
+    def test_comparison_below_concat(self):
+        node = self.expression("'a' .. 'b' == 'ab'")
+        assert node.operator == "=="
+
+    def test_and_or_precedence(self):
+        node = self.expression("a or b and c")
+        assert node.operator == "or"
+        assert node.right.operator == "and"
+
+    def test_parentheses_override(self):
+        node = self.expression("(1 + 2) * 3")
+        assert node.operator == "*"
+        assert node.left.operator == "+"
+
+    def test_dot_index_sugar(self):
+        node = self.expression("t.key")
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.key, ast.StringLiteral)
+        assert node.key.value == "key"
+
+    def test_bracket_index(self):
+        node = self.expression("t[1 + 1]")
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.key, ast.BinaryOp)
+
+    def test_chained_calls_and_indexes(self):
+        node = self.expression("a.b(1).c[2]")
+        assert isinstance(node, ast.Index)
+
+    def test_string_call_sugar(self):
+        node = self.expression("f 'arg'")
+        assert isinstance(node, ast.Call)
+        assert node.arguments[0].value == "arg"
+
+    def test_anonymous_function(self):
+        node = self.expression("function(x) return x end")
+        assert isinstance(node, ast.FunctionExpr)
+
+    def test_table_constructor_forms(self):
+        node = self.expression("{1, x = 2, ['y'] = 3}")
+        assert isinstance(node, ast.TableConstructor)
+        assert len(node.fields) == 3
+        assert node.fields[0].key is None
+
+    def test_table_trailing_separator(self):
+        node = self.expression("{1, 2,}")
+        assert len(node.fields) == 2
+
+    def test_unclosed_table_rejected(self):
+        with pytest.raises(ScriptSyntaxError):
+            parse("x = {1, 2")
+
+    def test_length_operator(self):
+        node = self.expression("#t")
+        assert isinstance(node, ast.UnaryOp)
+        assert node.operator == "#"

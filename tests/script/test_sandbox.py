@@ -1,0 +1,142 @@
+"""Tests for the sandbox: whitelist, stdlib, host bridging."""
+
+import pytest
+
+from repro.common.errors import ScriptRuntimeError, ScriptSecurityError
+from repro.script import Sandbox
+
+
+class TestWhitelist:
+    def test_unknown_global_call_is_security_error(self):
+        with pytest.raises(ScriptSecurityError, match="not whitelisted"):
+            Sandbox().run("return os_execute('rm -rf /')")
+
+    def test_registered_function_callable(self):
+        sandbox = Sandbox()
+        sandbox.register_function("get_answer", lambda: 42)
+        assert sandbox.run("return get_answer()") == 42
+
+    def test_python_none_import_blocked_by_design(self):
+        # There is simply no import/require construct in LuaLite.
+        with pytest.raises(Exception):
+            Sandbox().run("require('os')")
+
+    def test_registered_value_visible(self):
+        sandbox = Sandbox()
+        sandbox.register_value("config", {"samples": 5})
+        assert sandbox.run("return config.samples") == 5
+
+
+class TestBridge:
+    def test_list_return_becomes_lua_table(self):
+        sandbox = Sandbox()
+        sandbox.register_function("get_readings", lambda n: [1.0] * int(n))
+        assert sandbox.run("return #get_readings(4)") == 4
+
+    def test_dict_return_becomes_lua_table(self):
+        sandbox = Sandbox()
+        sandbox.register_function("info", lambda: {"a": 1})
+        assert sandbox.run("return info().a") == 1
+
+    def test_table_argument_becomes_python(self):
+        received = []
+        sandbox = Sandbox()
+        sandbox.register_function("sink", received.append)
+        sandbox.run("sink({1, 2, x = 'y'})")
+        assert received == [{1: 1, 2: 2, "x": "y"}]
+
+    def test_run_to_python_converts(self):
+        assert Sandbox().run_to_python("return {1, {a = 2}}") == [1, {"a": 2}]
+
+    def test_wrong_arity_is_runtime_error(self):
+        sandbox = Sandbox()
+        sandbox.register_function("one_arg", lambda a: a)
+        with pytest.raises(ScriptRuntimeError):
+            sandbox.run("return one_arg(1, 2, 3)")
+
+
+class TestStdlib:
+    def test_math(self):
+        sandbox = Sandbox()
+        assert sandbox.run("return math.floor(3.7)") == 3
+        assert sandbox.run("return math.ceil(3.2)") == 4
+        assert sandbox.run("return math.abs(-5)") == 5
+        assert sandbox.run("return math.sqrt(16)") == 4.0
+        assert sandbox.run("return math.min(3, 1, 2)") == 1
+        assert sandbox.run("return math.max(3, 1, 2)") == 3
+        assert sandbox.run("return math.pi") == pytest.approx(3.14159, abs=1e-4)
+
+    def test_string(self):
+        sandbox = Sandbox()
+        assert sandbox.run("return string.len('abc')") == 3
+        assert sandbox.run("return string.sub('hello', 2, 4)") == "ell"
+        assert sandbox.run("return string.sub('hello', -3)") == "llo"
+        assert sandbox.run("return string.upper('abc')") == "ABC"
+        assert sandbox.run("return string.rep('ab', 3)") == "ababab"
+
+    def test_table_helpers(self):
+        sandbox = Sandbox()
+        source = """
+        local t = {}
+        table.insert(t, 'a')
+        table.insert(t, 'b')
+        table.insert(t, 'c')
+        table.remove(t, 1)
+        return table.concat(t, '-')
+        """
+        assert sandbox.run(source) == "b-c"
+
+    def test_tostring_tonumber(self):
+        sandbox = Sandbox()
+        assert sandbox.run("return tostring(nil)") == "nil"
+        assert sandbox.run("return tostring(true)") == "true"
+        assert sandbox.run("return tonumber('42')") == 42
+        assert sandbox.run("return tonumber('3.5')") == 3.5
+        assert sandbox.run("return tonumber('nope')") is None
+
+    def test_type(self):
+        sandbox = Sandbox()
+        assert sandbox.run("return type(nil)") == "nil"
+        assert sandbox.run("return type(1)") == "number"
+        assert sandbox.run("return type('s')") == "string"
+        assert sandbox.run("return type({})") == "table"
+        assert sandbox.run("return type(print)") == "function"
+
+    def test_print_captured(self):
+        sandbox = Sandbox()
+        sandbox.run("print('hello', 42)")
+        assert sandbox.printed_lines == ["hello\t42"]
+
+    def test_assert(self):
+        sandbox = Sandbox()
+        assert sandbox.run("return assert(42)") == 42
+        with pytest.raises(ScriptRuntimeError, match="custom"):
+            sandbox.run("assert(false, 'custom')")
+
+
+class TestSensingScript:
+    """The shape of script the server actually ships (Fig. 4 style)."""
+
+    def test_full_acquisition_script(self):
+        sandbox = Sandbox()
+        sandbox.register_function(
+            "get_light_readings", lambda n, ms: [500.0 + i for i in range(int(n))]
+        )
+        sandbox.register_function("get_location", lambda: [43.05, -76.15, 120.0])
+        source = """
+        -- take 5 light readings, 100 ms apart
+        local light = get_light_readings(5, 100)
+        local total = 0
+        for i = 1, #light do
+            total = total + light[i]
+        end
+        local loc = get_location()
+        return {
+            mean_light = total / #light,
+            latitude = loc[1],
+            longitude = loc[2],
+        }
+        """
+        result = sandbox.run_to_python(source)
+        assert result["mean_light"] == 502.0
+        assert result["latitude"] == 43.05

@@ -1,0 +1,76 @@
+"""The paper's energy claim: shared buffers cut sensing energy when
+multiple tasks sample the same sensor close together."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.sensors import ScalarProvider, SensorKind, SensorSpec
+
+
+def run_two_tasks(freshness_s: float, *, acquisitions: int = 20) -> float:
+    """Two tasks each take a single-reading burst at the same instants;
+    returns the provider's total energy."""
+    clock = ManualClock()
+    spec = SensorSpec(
+        "temperature",
+        SensorKind.EXTERNAL,
+        "F",
+        energy_per_sample_mj=2.0,
+        freshness_s=freshness_s,
+    )
+    provider = ScalarProvider(
+        spec, clock, np.random.default_rng(0), signal=lambda t: 70.0
+    )
+    for step in range(acquisitions):
+        clock.advance(60.0)
+        provider.acquire_burst(1, 0.0)  # task A
+        provider.acquire_burst(1, 0.0)  # task B, moments later
+    return provider.energy_consumed_mj
+
+
+class TestBufferSharingEnergy:
+    def test_sharing_halves_energy(self):
+        without = run_two_tasks(freshness_s=0.0)
+        with_sharing = run_two_tasks(freshness_s=5.0)
+        assert with_sharing == pytest.approx(without / 2)
+
+    def test_reuse_counted(self):
+        clock = ManualClock()
+        spec = SensorSpec(
+            "light", SensorKind.EMBEDDED, "lux", freshness_s=10.0
+        )
+        provider = ScalarProvider(
+            spec, clock, np.random.default_rng(0), signal=lambda t: 1.0
+        )
+        provider.acquire_burst(1, 0.0)
+        provider.acquire_burst(1, 0.0)
+        assert provider.samples_taken == 1
+        assert provider.samples_reused == 1
+
+    def test_multi_reading_bursts_never_reuse(self):
+        clock = ManualClock()
+        spec = SensorSpec(
+            "light", SensorKind.EMBEDDED, "lux", freshness_s=100.0
+        )
+        provider = ScalarProvider(
+            spec, clock, np.random.default_rng(0), signal=lambda t: 1.0
+        )
+        provider.acquire_burst(5, 0.1)
+        provider.acquire_burst(5, 0.1)
+        assert provider.samples_taken == 10
+        assert provider.samples_reused == 0
+
+    def test_stale_buffer_not_reused(self):
+        clock = ManualClock()
+        spec = SensorSpec(
+            "light", SensorKind.EMBEDDED, "lux", freshness_s=1.0
+        )
+        provider = ScalarProvider(
+            spec, clock, np.random.default_rng(0), signal=lambda t: t
+        )
+        provider.acquire_burst(1, 0.0)
+        clock.advance(10.0)
+        burst = provider.acquire_burst(1, 0.0)
+        assert provider.samples_taken == 2
+        assert burst.values[0] == pytest.approx(10.0)

@@ -1,0 +1,182 @@
+"""Tests for sensor specs, buffers and providers."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import SensorError, ValidationError
+from repro.common.geo import LatLon, haversine_m
+from repro.core.features.types import GpsFix
+from repro.sensors import (
+    NEXUS4_SENSORS,
+    SENSORDRONE_SENSORS,
+    DataBuffer,
+    GpsProvider,
+    ScalarProvider,
+    SensorKind,
+    SensorSpec,
+    VectorProvider,
+)
+from repro.sensors.buffer import BufferedReading
+
+
+class TestSpecs:
+    def test_nexus4_has_paper_sensors(self):
+        for sensor in ("accelerometer", "gps", "light", "microphone", "wifi",
+                       "compass", "gyroscope", "pressure"):
+            assert sensor in NEXUS4_SENSORS
+            assert NEXUS4_SENSORS[sensor].kind is SensorKind.EMBEDDED
+
+    def test_sensordrone_has_environmental_sensors(self):
+        for sensor in ("temperature", "humidity", "drone_light", "gas_co"):
+            assert sensor in SENSORDRONE_SENSORS
+            assert SENSORDRONE_SENSORS[sensor].kind is SensorKind.EXTERNAL
+
+    def test_sensordrone_is_ten_sensors(self):
+        assert len(SENSORDRONE_SENSORS) == 10  # as on the real device
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValidationError):
+            SensorSpec("", SensorKind.EMBEDDED, "u")
+        with pytest.raises(ValidationError):
+            SensorSpec("x", SensorKind.EMBEDDED, "u", noise_std=-1.0)
+
+
+class TestDataBuffer:
+    def test_append_and_latest(self):
+        buffer = DataBuffer()
+        buffer.append(BufferedReading(1.0, "a"))
+        buffer.append(BufferedReading(2.0, "b"))
+        assert buffer.latest().value == "b"
+
+    def test_capacity_evicts_oldest(self):
+        buffer = DataBuffer(capacity=2)
+        for index in range(4):
+            buffer.append(BufferedReading(float(index), index))
+        assert len(buffer) == 2
+        assert buffer.latest().value == 3
+
+    def test_fresh_reading_window(self):
+        buffer = DataBuffer()
+        buffer.append(BufferedReading(10.0, "x"))
+        assert buffer.fresh_reading(10.5, freshness_s=1.0).value == "x"
+        assert buffer.fresh_reading(12.0, freshness_s=1.0) is None
+
+    def test_window_query(self):
+        buffer = DataBuffer()
+        for t in range(5):
+            buffer.append(BufferedReading(float(t), t))
+        assert [r.value for r in buffer.window(1.0, 3.0)] == [1, 2, 3]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DataBuffer(capacity=0)
+
+
+def make_scalar(clock=None, noise=0.0, freshness=1.0, energy=2.0):
+    spec = SensorSpec(
+        "temperature",
+        SensorKind.EXTERNAL,
+        "F",
+        noise_std=noise,
+        energy_per_sample_mj=energy,
+        freshness_s=freshness,
+    )
+    clock = clock or ManualClock()
+    return ScalarProvider(
+        spec, clock, np.random.default_rng(0), signal=lambda t: 70.0 + t
+    ), clock
+
+
+class TestScalarProvider:
+    def test_reads_signal_at_current_time(self):
+        provider, clock = make_scalar()
+        clock.advance(5.0)
+        assert provider.read_now() == pytest.approx(75.0)
+
+    def test_noise_applied(self):
+        provider, _ = make_scalar(noise=1.0)
+        readings = {provider.acquire_burst(20, 0.1).values}
+        values = list(readings.pop())
+        assert np.std(values) > 0.0
+
+    def test_buffer_reuse_saves_energy(self):
+        provider, clock = make_scalar(freshness=10.0)
+        provider.read_now()
+        first_energy = provider.energy_consumed_mj
+        provider.read_now()  # within freshness → reused
+        assert provider.energy_consumed_mj == first_energy
+        assert provider.samples_reused == 1
+        clock.advance(11.0)
+        provider.read_now()  # stale → fresh sample
+        assert provider.energy_consumed_mj == first_energy + 2.0
+
+    def test_burst_timestamps_and_duration(self):
+        provider, clock = make_scalar()
+        clock.advance(100.0)
+        burst = provider.acquire_burst(5, 2.0)
+        assert burst.timestamp == 100.0
+        assert burst.duration_s == 8.0
+        assert len(burst.values) == 5
+        # values sampled along the burst: 170, 172, ...
+        assert burst.values[0] == pytest.approx(170.0)
+        assert burst.values[4] == pytest.approx(178.0)
+
+    def test_burst_charges_per_sample(self):
+        provider, _ = make_scalar()
+        provider.acquire_burst(4, 0.5)
+        assert provider.energy_consumed_mj == pytest.approx(8.0)
+
+    def test_invalid_burst_params(self):
+        provider, _ = make_scalar()
+        with pytest.raises(SensorError):
+            provider.acquire_burst(0, 1.0)
+        with pytest.raises(SensorError):
+            provider.acquire_burst(1, -1.0)
+
+
+class TestVectorProvider:
+    def test_tuple_readings(self):
+        spec = SensorSpec("accelerometer", SensorKind.EMBEDDED, "m/s^2")
+        provider = VectorProvider(
+            spec,
+            ManualClock(),
+            np.random.default_rng(0),
+            signal=lambda t: (0.0, 0.0, 9.81),
+        )
+        burst = provider.acquire_burst(3, 0.1)
+        assert all(len(value) == 3 for value in burst.values)
+        assert burst.values[0][2] == pytest.approx(9.81)
+
+
+class TestGpsProvider:
+    def make(self, fix_error=3.0):
+        spec = SensorSpec("gps", SensorKind.EMBEDDED, "deg", energy_per_sample_mj=25.0)
+        truth = GpsFix(43.05, -76.15, 120.0)
+        provider = GpsProvider(
+            spec,
+            ManualClock(),
+            np.random.default_rng(0),
+            signal=lambda t: truth,
+            fix_error_m=fix_error,
+        )
+        return provider, truth
+
+    def test_fix_error_bounded(self):
+        provider, truth = self.make(fix_error=3.0)
+        burst = provider.acquire_burst(50, 0.1)
+        distances = [
+            haversine_m(
+                LatLon(truth.latitude, truth.longitude),
+                LatLon(fix.latitude, fix.longitude),
+            )
+            for fix in burst.values
+        ]
+        assert 0.5 < float(np.mean(distances)) < 10.0
+
+    def test_zero_error_exact(self):
+        provider, truth = self.make(fix_error=0.0)
+        provider.altitude_error_m = 0.0
+        fix = provider.read_now()
+        assert fix.latitude == pytest.approx(truth.latitude)
+        assert fix.altitude_m == pytest.approx(truth.altitude_m)

@@ -1,0 +1,52 @@
+"""Tests for the CLI entry point and sparkline visualization."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.common.errors import ValidationError
+from repro.server.visualization import sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([0.0, 0.5, 1.0])) == 3
+
+    def test_monotone_values_monotone_glyphs(self):
+        art = sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        levels = "▁▂▃▄▅▆▇█"
+        indices = [levels.index(ch) for ch in art]
+        assert indices == sorted(indices)
+        assert art[-1] == "█"
+
+    def test_resampling_to_width(self):
+        assert len(sparkline(range(100), width=20)) == 20
+
+    def test_all_zero_handled(self):
+        assert sparkline([0.0, 0.0]) == "▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([])
+
+
+class TestCli:
+    def test_parser_accepts_all_artefacts(self):
+        parser = build_parser()
+        for artefact in ("fig6", "fig10", "table1", "table2", "fig14a",
+                         "fig14b", "all"):
+            assert parser.parse_args([artefact]).artefact == artefact
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "matches paper: YES" in out
+
+    def test_fig14a_quick(self, capsys):
+        assert main(["fig14a", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean improvement" in out

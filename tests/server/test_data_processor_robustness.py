@@ -1,0 +1,129 @@
+"""Data Processor robustness: malformed uploads must not poison the
+pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.geo import LatLon
+from repro.core.features import FeaturePipeline, FeatureSpec, MeanExtractor
+from repro.db import Database, eq
+from repro.net import Envelope, MessageType
+from repro.server.app_manager import Application, ApplicationManager
+from repro.server.data_processor import DataProcessor
+from repro.server.participation import ParticipationManager
+from repro.server.schemas import create_all_tables
+from repro.server.user_manager import UserInfoManager
+
+PLACE = LatLon(43.05, -76.15)
+
+
+@pytest.fixture
+def world(clock):
+    database = Database()
+    create_all_tables(database)
+    users = UserInfoManager(database, clock)
+    users.register("alice", "Alice", "tok-a")
+    apps = ApplicationManager(database)
+    apps.create(
+        Application(
+            app_id="app-1",
+            creator="o",
+            place_id="place-1",
+            place_name="P",
+            category="c",
+            location=PLACE,
+            script="return get_temperature_readings(1, 0)",
+            pipeline=FeaturePipeline(
+                [FeatureSpec("temperature", "temperature", MeanExtractor())]
+            ),
+            period_start=0.0,
+            period_end=10_800.0,
+        )
+    )
+    participation = ParticipationManager(database, users, apps, clock)
+    clock.advance(10.0)
+    task_id = participation.create_task(
+        app_id="app-1", user_id="alice", token="tok-a",
+        phone_host="phone-1", location=PLACE, budget=3,
+    )
+    processor = DataProcessor(database, apps, clock)
+    return database, processor, task_id
+
+
+def store_blob(database, body: bytes):
+    database.table("raw_data").insert(
+        {"task_id": "whatever", "received_at": 0.0, "body": body, "processed": False}
+    )
+
+
+def good_envelope(task_id, bursts):
+    return Envelope(
+        MessageType.SENSED_DATA,
+        "phone-1",
+        "server",
+        {"task_id": task_id, "bursts": bursts},
+    ).to_bytes()
+
+
+class TestRobustness:
+    def test_garbage_blob_rejected_and_marked(self, world):
+        database, processor, _ = world
+        store_blob(database, b"\xde\xad\xbe\xef")
+        assert processor.process_pending() == 0
+        assert processor.blobs_rejected == 1
+        assert all(row["processed"] for row in database.table("raw_data").select())
+
+    def test_unknown_task_rejected(self, world):
+        database, processor, _ = world
+        store_blob(database, good_envelope("ghost-task", []))
+        processor.process_pending()
+        assert processor.blobs_rejected == 1
+        assert database.table("readings").count() == 0
+
+    def test_wrong_payload_shape_rejected(self, world):
+        database, processor, task_id = world
+        bad = Envelope(
+            MessageType.SENSED_DATA, "p", "s", {"task_id": task_id, "bursts": "no"}
+        ).to_bytes()
+        store_blob(database, bad)
+        processor.process_pending()
+        assert processor.blobs_rejected == 1
+
+    def test_non_dict_burst_rejected_atomically(self, world):
+        database, processor, task_id = world
+        bad = good_envelope(task_id, [{"sensor": "temperature", "t": 1.0,
+                                       "dt": 0.0, "values": [70.0]}, "junk"])
+        store_blob(database, bad)
+        processor.process_pending()
+        assert processor.blobs_rejected == 1
+        # Atomicity: the valid first burst of the rejected payload must
+        # not have leaked into the readings table.
+        assert database.table("readings").count() == 0
+
+    def test_bad_blob_does_not_block_good_ones(self, world):
+        database, processor, task_id = world
+        store_blob(database, b"garbage")
+        store_blob(
+            database,
+            good_envelope(
+                task_id,
+                [{"sensor": "temperature", "t": 1.0, "dt": 0.0, "values": [70.0]}],
+            ),
+        )
+        assert processor.process_pending() == 1
+        assert processor.blobs_rejected == 1
+        assert database.table("readings").count(eq("sensor", "temperature")) == 1
+
+    def test_reprocessing_is_idempotent(self, world):
+        database, processor, task_id = world
+        store_blob(
+            database,
+            good_envelope(
+                task_id,
+                [{"sensor": "temperature", "t": 1.0, "dt": 0.0, "values": [70.0]}],
+            ),
+        )
+        assert processor.process_pending() == 1
+        assert processor.process_pending() == 0
+        assert database.table("readings").count() == 1

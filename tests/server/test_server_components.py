@@ -1,0 +1,281 @@
+"""Tests for the sensing server's backend components."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import ConfigurationError, ParticipationError
+from repro.common.geo import LatLon, offset_latlon
+from repro.core.features import FeaturePipeline, FeatureSpec, MeanExtractor
+from repro.db import Database, eq
+from repro.net import NetworkConditions
+from repro.net.transport import Network
+from repro.server import SensingServer
+from repro.server.app_manager import Application, ApplicationManager
+from repro.server.participation import ParticipationManager, ParticipationStatus
+from repro.server.schemas import create_all_tables
+from repro.server.scheduler_service import SensingSchedulerService
+from repro.server.user_manager import UserInfoManager
+
+PLACE = LatLon(43.05, -76.15)
+
+
+def simple_pipeline():
+    return FeaturePipeline(
+        [FeatureSpec("temperature", "temperature", MeanExtractor())]
+    )
+
+
+def make_application(**overrides):
+    defaults = dict(
+        app_id="app-1",
+        creator="owner",
+        place_id="place-1",
+        place_name="Place One",
+        category="coffee_shop",
+        location=PLACE,
+        script="return get_temperature_readings(3, 1.0)",
+        pipeline=simple_pipeline(),
+        period_start=0.0,
+        period_end=10_800.0,
+        num_instants=1080,
+    )
+    defaults.update(overrides)
+    return Application(**defaults)
+
+
+@pytest.fixture
+def backend(clock):
+    database = Database()
+    create_all_tables(database)
+    users = UserInfoManager(database, clock)
+    apps = ApplicationManager(database)
+    participation = ParticipationManager(database, users, apps, clock)
+    scheduler = SensingSchedulerService(participation, clock)
+    return database, users, apps, participation, scheduler, clock
+
+
+class TestUserInfoManager:
+    def test_register_and_verify(self, backend):
+        _, users, *_ = backend
+        users.register("alice", "Alice", "tok-a")
+        assert users.is_registered("alice")
+        assert users.verify("alice", "tok-a")
+        assert not users.verify("alice", "wrong")
+        assert not users.verify("ghost", "tok-a")
+
+    def test_token_lookup(self, backend):
+        _, users, *_ = backend
+        users.register("alice", "Alice", "tok-a")
+        assert users.by_token("tok-a")["user_id"] == "alice"
+        assert users.by_token("ghost") is None
+
+    def test_duplicate_token_rejected(self, backend):
+        from repro.common.errors import DatabaseError
+
+        _, users, *_ = backend
+        users.register("alice", "Alice", "tok")
+        with pytest.raises(DatabaseError):
+            users.register("bob", "Bob", "tok")
+
+    def test_preferences(self, backend):
+        _, users, *_ = backend
+        users.register("alice", "Alice", "tok-a")
+        assert users.update_preferences("tok-a", ["gps"])
+        assert users.denied_sensors("alice") == ["gps"]
+        assert not users.update_preferences("ghost", [])
+
+
+class TestApplicationManager:
+    def test_create_and_lookup(self, backend):
+        _, _, apps, *_ = backend
+        apps.create(make_application())
+        assert apps.get("app-1").place_name == "Place One"
+        assert apps.pipeline_for("app-1").feature_names == ["temperature"]
+        assert len(apps.apps_in_category("coffee_shop")) == 1
+
+    def test_duplicate_rejected(self, backend):
+        _, _, apps, *_ = backend
+        apps.create(make_application())
+        with pytest.raises(ConfigurationError):
+            apps.create(make_application())
+
+    def test_unparseable_script_rejected(self, backend):
+        _, _, apps, *_ = backend
+        with pytest.raises(ConfigurationError, match="parse"):
+            apps.create(make_application(script="local local local"))
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_application(period_start=100.0, period_end=50.0)
+
+
+class TestParticipationManager:
+    def setup_participant(self, backend):
+        _, users, apps, participation, _, clock = backend
+        users.register("alice", "Alice", "tok-a")
+        apps.create(make_application())
+        clock.advance(100.0)
+        return participation, clock
+
+    def test_create_task_happy_path(self, backend):
+        participation, _ = self.setup_participant(backend)
+        task_id = participation.create_task(
+            app_id="app-1", user_id="alice", token="tok-a",
+            phone_host="phone-1", location=PLACE, budget=5,
+        )
+        task = participation.get_task(task_id)
+        assert task["status"] == ParticipationStatus.WAITING_FOR_SCHEDULE.value
+        assert task["budget"] == 5
+
+    def test_location_verification_rejects_liar(self, backend):
+        participation, _ = self.setup_participant(backend)
+        far_away = offset_latlon(PLACE, east_m=5000.0, north_m=0.0)
+        with pytest.raises(ParticipationError, match="not at"):
+            participation.create_task(
+                app_id="app-1", user_id="alice", token="tok-a",
+                phone_host="phone-1", location=far_away, budget=5,
+            )
+
+    def test_nearby_location_accepted(self, backend):
+        participation, _ = self.setup_participant(backend)
+        nearby = offset_latlon(PLACE, east_m=200.0, north_m=100.0)
+        participation.create_task(
+            app_id="app-1", user_id="alice", token="tok-a",
+            phone_host="phone-1", location=nearby, budget=5,
+        )
+
+    def test_unknown_user_rejected(self, backend):
+        participation, _ = self.setup_participant(backend)
+        with pytest.raises(ParticipationError, match="user"):
+            participation.create_task(
+                app_id="app-1", user_id="mallory", token="tok-a",
+                phone_host="phone-1", location=PLACE, budget=5,
+            )
+
+    def test_wrong_token_rejected(self, backend):
+        participation, _ = self.setup_participant(backend)
+        with pytest.raises(ParticipationError):
+            participation.create_task(
+                app_id="app-1", user_id="alice", token="stolen",
+                phone_host="phone-1", location=PLACE, budget=5,
+            )
+
+    def test_unknown_app_rejected(self, backend):
+        participation, _ = self.setup_participant(backend)
+        with pytest.raises(ParticipationError, match="application"):
+            participation.create_task(
+                app_id="ghost", user_id="alice", token="tok-a",
+                phone_host="phone-1", location=PLACE, budget=5,
+            )
+
+    def test_outside_period_rejected(self, backend):
+        participation, clock = self.setup_participant(backend)
+        clock.set(20_000.0)
+        with pytest.raises(ParticipationError, match="period"):
+            participation.create_task(
+                app_id="app-1", user_id="alice", token="tok-a",
+                phone_host="phone-1", location=PLACE, budget=5,
+            )
+
+    def test_status_transitions(self, backend):
+        participation, _ = self.setup_participant(backend)
+        task_id = participation.create_task(
+            app_id="app-1", user_id="alice", token="tok-a",
+            phone_host="phone-1", location=PLACE, budget=5,
+        )
+        participation.record_schedule(task_id, [100.0, 200.0])
+        task = participation.get_task(task_id)
+        assert task["status"] == ParticipationStatus.RUNNING.value
+        assert task["schedule_times"] == [100.0, 200.0]
+        participation.mark_status(task_id, ParticipationStatus.ERROR, error="boom")
+        assert participation.get_task(task_id)["error"] == "boom"
+
+    def test_leaving_marks_finished(self, backend):
+        """The paper: status becomes 'finished' when the user leaves."""
+        participation, _ = self.setup_participant(backend)
+        task_id = participation.create_task(
+            app_id="app-1", user_id="alice", token="tok-a",
+            phone_host="phone-1", location=PLACE, budget=5,
+        )
+        participation.record_schedule(task_id, [100.0])
+        far = offset_latlon(PLACE, east_m=10_000.0, north_m=0.0)
+        finished = participation.handle_location_report("tok-a", far)
+        assert finished == [task_id]
+        assert (
+            participation.get_task(task_id)["status"]
+            == ParticipationStatus.FINISHED.value
+        )
+
+    def test_still_present_not_finished(self, backend):
+        participation, _ = self.setup_participant(backend)
+        task_id = participation.create_task(
+            app_id="app-1", user_id="alice", token="tok-a",
+            phone_host="phone-1", location=PLACE, budget=5,
+        )
+        participation.record_schedule(task_id, [100.0])
+        assert participation.handle_location_report("tok-a", PLACE) == []
+
+
+class TestSchedulerService:
+    def test_online_scheduling_respects_budget_and_window(self, backend):
+        _, users, apps, participation, scheduler, clock = backend
+        users.register("alice", "Alice", "tok-a")
+        application = make_application()
+        apps.create(application)
+        clock.advance(1000.0)
+        task_id = participation.create_task(
+            app_id="app-1", user_id="alice", token="tok-a",
+            phone_host="phone-1", location=PLACE, budget=7,
+        )
+        times = scheduler.schedule_task(application, task_id, budget=7)
+        assert len(times) == 7
+        assert all(1000.0 <= t <= 10_800.0 for t in times)
+
+    def test_second_user_avoids_first(self, backend):
+        _, users, apps, participation, scheduler, clock = backend
+        users.register("a", "A", "tok-a")
+        users.register("b", "B", "tok-b")
+        application = make_application(coverage_sigma_s=300.0)
+        apps.create(application)
+        clock.advance(10.0)
+        first_task = participation.create_task(
+            app_id="app-1", user_id="a", token="tok-a",
+            phone_host="p1", location=PLACE, budget=5,
+        )
+        first_times = scheduler.schedule_task(application, first_task, budget=5)
+        second_task = participation.create_task(
+            app_id="app-1", user_id="b", token="tok-b",
+            phone_host="p2", location=PLACE, budget=5,
+        )
+        second_times = scheduler.schedule_task(application, second_task, budget=5)
+        assert not set(first_times) & set(second_times)
+
+    def test_departure_time_clips_schedule(self, backend):
+        _, users, apps, participation, scheduler, clock = backend
+        users.register("a", "A", "tok-a")
+        application = make_application()
+        apps.create(application)
+        clock.advance(10.0)
+        task = participation.create_task(
+            app_id="app-1", user_id="a", token="tok-a",
+            phone_host="p1", location=PLACE, budget=20,
+        )
+        times = scheduler.schedule_task(
+            application, task, budget=20, departure_time=2_000.0
+        )
+        assert all(t <= 2_000.0 for t in times)
+
+    def test_coverage_reported(self, backend):
+        _, users, apps, participation, scheduler, clock = backend
+        users.register("a", "A", "tok-a")
+        application = make_application()
+        apps.create(application)
+        clock.advance(10.0)
+        assert scheduler.coverage_for(application) == 0.0
+        task = participation.create_task(
+            app_id="app-1", user_id="a", token="tok-a",
+            phone_host="p1", location=PLACE, budget=10,
+        )
+        scheduler.schedule_task(application, task, budget=10)
+        assert scheduler.coverage_for(application) > 0.0

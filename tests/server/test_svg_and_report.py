@@ -1,0 +1,90 @@
+"""Tests for SVG chart generation and the report writer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.server.svg_charts import bar_chart_svg, line_chart_svg
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestBarChartSvg:
+    VALUES = {"Tim Hortons": 66.0, "B&N Cafe": 72.0, "Starbucks": 75.0}
+
+    def test_valid_xml_with_title(self):
+        root = parse(bar_chart_svg("Temperature", self.VALUES))
+        assert root.tag.endswith("svg")
+        title = root.find("{http://www.w3.org/2000/svg}title")
+        assert title is not None and title.text == "Temperature"
+
+    def test_one_rect_per_bar_plus_background(self):
+        root = parse(bar_chart_svg("t", self.VALUES))
+        rects = root.findall("{http://www.w3.org/2000/svg}rect")
+        assert len(rects) == 1 + len(self.VALUES)
+
+    def test_labels_escaped(self):
+        svg = bar_chart_svg("a < b & c", {"x<y": 1.0})
+        parse(svg)  # must not raise
+        assert "a &lt; b &amp; c" in svg
+
+    def test_negative_values_supported(self):
+        svg = bar_chart_svg("wifi", {"a": -55.0, "b": -65.0})
+        parse(svg)
+        assert "-55" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart_svg("t", {})
+
+
+class TestLineChartSvg:
+    SERIES = {
+        "greedy": [(10, 0.34), (20, 0.64), (30, 0.81)],
+        "baseline": [(10, 0.15), (20, 0.28), (30, 0.38)],
+    }
+
+    def test_valid_xml(self):
+        root = parse(line_chart_svg("Fig 14", self.SERIES, x_label="users"))
+        assert root.tag.endswith("svg")
+
+    def test_one_path_per_series(self):
+        root = parse(line_chart_svg("t", self.SERIES))
+        paths = root.findall("{http://www.w3.org/2000/svg}path")
+        assert len(paths) == 2
+
+    def test_one_marker_per_point(self):
+        root = parse(line_chart_svg("t", self.SERIES))
+        circles = root.findall("{http://www.w3.org/2000/svg}circle")
+        assert len(circles) == 6
+
+    def test_legend_present(self):
+        svg = line_chart_svg("t", self.SERIES)
+        assert "greedy" in svg and "baseline" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            line_chart_svg("t", {})
+        with pytest.raises(ValidationError):
+            line_chart_svg("t", {"empty": []})
+
+
+class TestReportWriter:
+    def test_writes_all_artifacts(self, tmp_path):
+        from repro.experiments.report import write_report
+
+        report = write_report(tmp_path, sweep_runs=1)
+        names = {path.name for path in tmp_path.iterdir()}
+        assert "report.md" in names
+        assert "fig14a.svg" in names and "fig14b.svg" in names
+        assert "features_trails.csv" in names
+        assert sum(1 for name in names if name.startswith("fig6_")) == 5
+        assert sum(1 for name in names if name.startswith("fig10_")) == 4
+        content = report.read_text()
+        assert "Table I" in content and "Table II" in content
+        assert "❌" not in content  # every row matched
+        for svg in tmp_path.glob("*.svg"):
+            ET.fromstring(svg.read_text())

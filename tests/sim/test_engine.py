@@ -1,0 +1,90 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.sim import Simulator
+from repro.sim.engine import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while len(queue):
+            queue.pop()[1]()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("low"), priority=5)
+        queue.push(1.0, lambda: order.append("high"), priority=0)
+        while len(queue):
+            queue.pop()[1]()
+        assert order == ["high", "low"]
+
+    def test_fifo_for_exact_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append(1))
+        queue.push(1.0, lambda: order.append(2))
+        while len(queue):
+            queue.pop()[1]()
+        assert order == [1, 2]
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_time(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule_at(5.0, lambda: seen.append(simulator.now()))
+        simulator.run()
+        assert seen == [5.0]
+
+    def test_schedule_in_relative(self):
+        simulator = Simulator(start_time=100.0)
+        seen = []
+        simulator.schedule_in(2.5, lambda: seen.append(simulator.now()))
+        simulator.run()
+        assert seen == [102.5]
+
+    def test_events_can_schedule_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            simulator.schedule_in(1.0, lambda: seen.append("second"))
+
+        simulator.schedule_at(1.0, first)
+        simulator.run()
+        assert seen == ["first", "second"]
+
+    def test_run_until_stops_and_advances_clock(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule_at(1.0, lambda: seen.append(1))
+        simulator.schedule_at(10.0, lambda: seen.append(10))
+        simulator.run(until=5.0)
+        assert seen == [1]
+        assert simulator.now() == 5.0
+        simulator.run()
+        assert seen == [1, 10]
+
+    def test_past_scheduling_rejected(self):
+        simulator = Simulator(start_time=10.0)
+        with pytest.raises(ValidationError):
+            simulator.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValidationError):
+            simulator.schedule_in(-1.0, lambda: None)
+
+    def test_step(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        assert simulator.step() is True
+        assert simulator.step() is False
+        assert simulator.events_processed == 1

@@ -1,0 +1,115 @@
+"""Tests for environment signal models."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.sim import (
+    CompositeSignal,
+    ConstantSignal,
+    CrowdNoiseSignal,
+    DiurnalSignal,
+    OrnsteinUhlenbeckSignal,
+    SinusoidSignal,
+)
+
+
+class TestConstant:
+    def test_constant(self):
+        signal = ConstantSignal(5.0)
+        assert signal.value(0) == signal.value(1e6) == 5.0
+
+
+class TestSinusoid:
+    def test_period_and_amplitude(self):
+        signal = SinusoidSignal(offset=10.0, amplitude=2.0, period_s=100.0)
+        assert signal.value(0.0) == pytest.approx(10.0)
+        assert signal.value(25.0) == pytest.approx(12.0)
+        assert signal.value(75.0) == pytest.approx(8.0)
+        assert signal.value(100.0) == pytest.approx(signal.value(0.0))
+
+    def test_invalid_period(self):
+        with pytest.raises(ValidationError):
+            SinusoidSignal(0, 1, 0)
+
+
+class TestDiurnal:
+    def test_peaks_at_peak_hour(self):
+        signal = DiurnalSignal(mean=50.0, amplitude=10.0, peak_hour=15.0)
+        assert signal.value(15 * 3600.0) == pytest.approx(60.0)
+        assert signal.value(3 * 3600.0) == pytest.approx(40.0)
+
+    def test_period_is_24h(self):
+        signal = DiurnalSignal(mean=0.0, amplitude=1.0)
+        assert signal.value(0.0) == pytest.approx(signal.value(24 * 3600.0))
+
+
+class TestOrnsteinUhlenbeck:
+    def test_deterministic_after_construction(self):
+        rng = np.random.default_rng(1)
+        signal = OrnsteinUhlenbeckSignal(50.0, 0.01, 0.1, rng)
+        assert signal.value(500.0) == signal.value(500.0)
+
+    def test_stays_near_mean(self):
+        rng = np.random.default_rng(2)
+        signal = OrnsteinUhlenbeckSignal(
+            50.0, 1.0 / 300.0, 0.05, rng, horizon_s=20_000.0
+        )
+        values = [signal.value(t) for t in np.linspace(0, 20_000, 400)]
+        assert 45.0 < float(np.mean(values)) < 55.0
+
+    def test_interpolates_between_grid_points(self):
+        rng = np.random.default_rng(3)
+        signal = OrnsteinUhlenbeckSignal(0.0, 0.1, 1.0, rng, step_s=10.0)
+        mid = signal.value(15.0)
+        low, high = signal.value(10.0), signal.value(20.0)
+        assert min(low, high) - 1e-9 <= mid <= max(low, high) + 1e-9
+
+    def test_clamps_outside_horizon(self):
+        rng = np.random.default_rng(4)
+        signal = OrnsteinUhlenbeckSignal(0.0, 0.1, 1.0, rng, horizon_s=100.0)
+        assert signal.value(-5.0) == signal.value(0.0)
+        assert signal.value(1e9) == signal.value(1e9 + 1)
+
+    def test_zero_volatility_is_constant_mean(self):
+        rng = np.random.default_rng(5)
+        signal = OrnsteinUhlenbeckSignal(42.0, 0.1, 0.0, rng)
+        assert signal.value(12_345.0) == pytest.approx(42.0)
+
+
+class TestCrowdNoise:
+    def test_base_level_when_quiet(self):
+        rng = np.random.default_rng(6)
+        signal = CrowdNoiseSignal(55.0, 5.0, rng, bursts_per_hour=0.0)
+        assert signal.value(1000.0) == 55.0
+
+    def test_bursts_raise_level(self):
+        rng = np.random.default_rng(7)
+        signal = CrowdNoiseSignal(
+            55.0, 5.0, rng, bursts_per_hour=60.0, mean_burst_s=600.0
+        )
+        values = [signal.value(t) for t in np.linspace(0, 86_400, 2000)]
+        assert max(values) > 55.0
+        assert min(values) >= 55.0
+
+    def test_busier_shop_is_louder_on_average(self):
+        quiet = CrowdNoiseSignal(
+            55.0, 5.0, np.random.default_rng(8), bursts_per_hour=1.0
+        )
+        busy = CrowdNoiseSignal(
+            55.0, 5.0, np.random.default_rng(8), bursts_per_hour=30.0
+        )
+        grid = np.linspace(0, 86_400, 3000)
+        assert np.mean([busy.value(t) for t in grid]) > np.mean(
+            [quiet.value(t) for t in grid]
+        )
+
+
+class TestComposite:
+    def test_sums_components(self):
+        signal = CompositeSignal([ConstantSignal(1.0), ConstantSignal(2.0)])
+        assert signal.value(0.0) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            CompositeSignal([])

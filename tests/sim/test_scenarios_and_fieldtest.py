@@ -1,0 +1,205 @@
+"""Tests for scenario builders, arrivals and the field-test runner."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.scheduling import MobileUser
+from repro.sim.arrivals import poisson_arrivals, uniform_arrivals
+from repro.sim.fieldtest import (
+    BurstSettings,
+    FieldTestConfig,
+    build_providers,
+    run_field_test,
+)
+from repro.sim.places import PlaceProfile
+from repro.sim.scenarios import (
+    FIELD_TEST_END_S,
+    FIELD_TEST_START_S,
+    customer_profiles,
+    hiker_profiles,
+    shop_feature_pipeline,
+    syracuse_coffee_shops,
+    syracuse_trails,
+    trail_feature_pipeline,
+)
+
+
+class TestArrivals:
+    def test_count_and_bounds(self, rng):
+        users = uniform_arrivals(25, 10_800.0, 17, rng)
+        assert len(users) == 25
+        for user in users:
+            assert 0.0 <= user.arrival <= user.departure <= 10_800.0
+            assert user.budget == 17
+
+    def test_unique_ids(self, rng):
+        users = uniform_arrivals(10, 100.0, 1, rng)
+        assert len({user.user_id for user in users}) == 10
+
+    def test_reproducible(self):
+        a = uniform_arrivals(5, 100.0, 1, np.random.default_rng(3))
+        b = uniform_arrivals(5, 100.0, 1, np.random.default_rng(3))
+        assert a == b
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValidationError):
+            uniform_arrivals(0, 100.0, 1, rng)
+        with pytest.raises(ValidationError):
+            uniform_arrivals(1, -5.0, 1, rng)
+
+
+class TestPoissonArrivals:
+    def test_bounds_and_budget(self, rng):
+        users = poisson_arrivals(20.0, 10_800.0, 5, rng)
+        for user in users:
+            assert 0.0 <= user.arrival <= user.departure <= 10_800.0
+            assert user.budget == 5
+
+    def test_rate_scales_count(self):
+        sparse = poisson_arrivals(2.0, 36_000.0, 1, np.random.default_rng(1))
+        dense = poisson_arrivals(40.0, 36_000.0, 1, np.random.default_rng(1))
+        assert len(dense) > len(sparse) * 5
+
+    def test_schedulable(self, rng):
+        """Poisson workloads feed straight into the scheduler."""
+        from repro.core.scheduling import (
+            GaussianKernel,
+            GreedyScheduler,
+            SchedulingPeriod,
+            SchedulingProblem,
+        )
+
+        users = poisson_arrivals(15.0, 10_800.0, 10, rng)
+        assert users, "expected at least one arrival at this rate"
+        problem = SchedulingProblem(
+            SchedulingPeriod(0.0, 10_800.0, 1080), users, GaussianKernel(10.0)
+        )
+        schedule = GreedyScheduler().solve(problem)
+        schedule.validate()
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValidationError):
+            poisson_arrivals(0.0, 100.0, 1, rng)
+        with pytest.raises(ValidationError):
+            poisson_arrivals(1.0, 100.0, 1, rng, mean_dwell_s=0.0)
+
+
+class TestScenarios:
+    def test_three_trails_with_geometry(self, rng):
+        trails = syracuse_trails(rng)
+        assert [t.name for t in trails] == [
+            "Green Lake Trail",
+            "Long Trail",
+            "Cliff Trail",
+        ]
+        for trail in trails:
+            assert trail.category == "hiking_trail"
+            assert trail.trail is not None
+            assert trail.has_signal("temperature")
+            assert trail.has_signal("humidity")
+
+    def test_three_shops_with_signals(self, rng):
+        shops = syracuse_coffee_shops(rng)
+        assert [s.name for s in shops] == ["Tim Hortons", "B&N Cafe", "Starbucks"]
+        for shop in shops:
+            assert shop.trail is None
+            for sensor in ("temperature", "drone_light", "microphone", "wifi"):
+                assert shop.has_signal(sensor)
+
+    def test_ground_truth_orderings(self, rng):
+        """The scenario encodes the paper's qualitative ground truths."""
+        shops = {s.name: s for s in syracuse_coffee_shops(rng)}
+        t = 12 * 3600.0
+        assert (
+            shops["Starbucks"].signal("microphone").value(t)
+            > shops["Tim Hortons"].signal("microphone").value(t)
+        )
+        assert (
+            shops["Tim Hortons"].signal("drone_light").value(t)
+            > shops["B&N Cafe"].signal("drone_light").value(t)
+            > shops["Starbucks"].signal("drone_light").value(t)
+        )
+
+    def test_profiles_cover_their_pipelines(self):
+        trail_features = trail_feature_pipeline().feature_names
+        for profile in hiker_profiles():
+            assert profile.covers(trail_features)
+        shop_features = shop_feature_pipeline().feature_names
+        for profile in customer_profiles():
+            assert profile.covers(shop_features)
+
+    def test_alice_profile_matches_paper(self):
+        alice = next(p for p in hiker_profiles() if p.name == "Alice")
+        for feature in ("roughness", "curvature", "altitude_change"):
+            assert alice.weight(feature) == 5
+
+    def test_place_signal_lookup_errors(self, rng):
+        trail = syracuse_trails(rng)[0]
+        with pytest.raises(ValidationError):
+            trail.signal("geiger_counter")
+
+
+class TestFieldTestConfig:
+    def test_defaults_match_paper_window(self):
+        config = FieldTestConfig()
+        assert config.start_s == FIELD_TEST_START_S
+        assert config.end_s == FIELD_TEST_END_S
+        assert config.end_s - config.start_s == pytest.approx(3 * 3600.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValidationError):
+            FieldTestConfig(start_s=100.0, end_s=50.0)
+        with pytest.raises(ValidationError):
+            FieldTestConfig(phones=0)
+        with pytest.raises(ValidationError):
+            BurstSettings(count=0)
+
+
+class TestRunFieldTest:
+    def test_shop_features_close_to_ground_truth(self, rng):
+        shop = syracuse_coffee_shops(rng)[0]  # Tim Hortons
+        result = run_field_test(
+            shop,
+            shop_feature_pipeline(),
+            FieldTestConfig(phones=4, budget=15),
+            rng,
+        )
+        assert result.features["temperature"] == pytest.approx(66.0, abs=1.5)
+        assert result.features["brightness"] == pytest.approx(800.0, abs=30.0)
+        assert result.features["wifi"] == pytest.approx(-60.0, abs=2.0)
+
+    def test_energy_accounted_per_phone(self, rng):
+        shop = syracuse_coffee_shops(rng)[0]
+        result = run_field_test(
+            shop, shop_feature_pipeline(), FieldTestConfig(phones=3, budget=5), rng
+        )
+        assert len(result.energy_by_phone_mj) == 3
+        assert all(energy > 0 for energy in result.energy_by_phone_mj.values())
+
+    def test_bursts_carry_sources(self, rng):
+        shop = syracuse_coffee_shops(rng)[0]
+        result = run_field_test(
+            shop, shop_feature_pipeline(), FieldTestConfig(phones=2, budget=3), rng
+        )
+        sources = {
+            burst.source
+            for bursts in result.bursts_by_sensor.values()
+            for burst in bursts
+        }
+        assert len(sources) == 2
+
+    def test_schedule_spreads_well(self, rng):
+        shop = syracuse_coffee_shops(rng)[0]
+        result = run_field_test(
+            shop, shop_feature_pipeline(), FieldTestConfig(phones=6, budget=30), rng
+        )
+        assert result.schedule_average_coverage > 0.8
+
+    def test_unknown_sensor_rejected(self, rng, clock):
+        place = PlaceProfile(
+            place_id="p", name="P", category="c",
+            location=syracuse_coffee_shops(rng)[0].location,
+        )
+        with pytest.raises(ValidationError):
+            build_providers(place, {"geiger"}, clock, rng)
