@@ -1,6 +1,21 @@
-"""Benchmark-suite configuration."""
+"""Benchmark-suite configuration.
+
+Every test collected from this directory is auto-marked ``bench`` so the
+tier-1 run (``pytest -x -q``, whose addopts deselect ``-m 'not bench'``)
+never executes benchmarks even when both directories are passed. Run
+them explicitly with ``pytest benchmarks -m bench``.
+
+``--bench-json PATH`` writes a machine-readable summary of every
+benchmark's wall-times after the session, independent of
+pytest-benchmark's own ``--benchmark-json`` (ours is a stable, minimal
+schema the overhead-comparison tooling consumes).
+"""
 
 from __future__ import annotations
+
+import json
+
+import pytest
 
 
 def pytest_addoption(parser):
@@ -12,3 +27,45 @@ def pytest_addoption(parser):
         help="Runs per sweep point for the Fig. 14 reproduction "
         "(the paper uses 10; lower is faster).",
     )
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="Write per-benchmark wall-time statistics (seconds) to PATH "
+        "as JSON after the run.",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark item ``bench`` so default runs skip them."""
+    bench_marker = pytest.mark.bench
+    for item in items:
+        if "benchmarks" in str(item.fspath):
+            item.add_marker(bench_marker)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump benchmark timing stats to the ``--bench-json`` path, if set."""
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None) or []
+    results = {}
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None or not getattr(stats, "rounds", 0):
+            continue
+        results[bench.fullname] = {
+            "mean": stats.mean,
+            "min": stats.min,
+            "max": stats.max,
+            "stddev": stats.stddev,
+            "median": stats.median,
+            "rounds": stats.rounds,
+            "iterations": getattr(bench, "iterations", None),
+        }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")

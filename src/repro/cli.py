@@ -5,11 +5,13 @@ Usage::
     python -m repro table1            # Table I rankings
     python -m repro fig14a --runs 10  # Fig. 14(a) sweep
     python -m repro all               # everything, in paper order
+    python -m repro obs               # end-to-end run + metrics dump
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Callable
 
 from repro.experiments.fig6_trail_features import format_fig6, run_fig6
@@ -53,6 +55,23 @@ def _cmd_fig14b(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_obs(args: argparse.Namespace) -> str:
+    """Run the end-to-end experiment and dump the metrics registry.
+
+    The whole protocol (participation, scheduling, uploads, decoding,
+    ranking) runs against the process-global registry, so the dump shows
+    every instrumented subsystem with real traffic behind it.
+    """
+    from repro.experiments.end_to_end import run_end_to_end
+    from repro.obs import get_metrics, to_dict, to_prometheus_text
+
+    run_end_to_end(seed=args.seed, phones_per_shop=3, budget=10)
+    registry = get_metrics()
+    if args.format == "json":
+        return json.dumps(to_dict(registry), indent=2, sort_keys=True)
+    return to_prometheus_text(registry)
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig6": _cmd_fig6,
     "table1": _cmd_table1,
@@ -60,6 +79,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "table2": _cmd_table2,
     "fig14a": _cmd_fig14a,
     "fig14b": _cmd_fig14b,
+    "obs": _cmd_obs,
 }
 
 
@@ -82,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="runs per sweep point for fig14a/fig14b (paper: 10)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="registry dump format for the obs command (default: text)",
     )
     return parser
 

@@ -75,3 +75,7 @@ class RankingError(ReproError):
 
 class ParticipationError(ReproError):
     """Raised by the participation manager (location check failed, etc.)."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the metrics/tracing subsystem (bad metric name, misuse)."""

@@ -28,6 +28,14 @@ from repro.core.ranking.distances import (
 )
 from repro.core.ranking.mincostflow import MinCostFlow
 from repro.core.ranking.types import Ranking
+from repro.obs import MetricsRegistry, get_metrics
+
+#: Buckets for the total footrule cost of one aggregation — spans the
+#: tiny test instances (< 1) up to paper-scale weighted collections.
+_FOOTRULE_COST_BUCKETS = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0,
+)
 
 
 def _check_inputs(collection: Sequence[Ranking], weights: Sequence[float]) -> None:
@@ -65,17 +73,21 @@ def footrule_cost_matrix(
 
 
 def aggregate_footrule(
-    collection: Sequence[Ranking], weights: Sequence[float]
+    collection: Sequence[Ranking],
+    weights: Sequence[float],
+    *,
+    metrics: MetricsRegistry | None = None,
 ) -> Ranking:
     """The footrule-optimal aggregated ranking via min-cost flow.
 
     Ties between equally good assignments resolve deterministically
     (the flow augments ranks in item order over a fixed graph).
     """
+    registry = metrics if metrics is not None else get_metrics()
     cost, items = footrule_cost_matrix(collection, weights)
     count = len(items)
     # Node layout: 0 = source, 1..N = places, N+1..2N = ranks, 2N+1 = sink.
-    network = MinCostFlow(2 * count + 2)
+    network = MinCostFlow(2 * count + 2, metrics=registry)
     source, sink = 0, 2 * count + 1
     edge_ids: dict[tuple[int, int], int] = {}
     for item_index in range(count):
@@ -90,7 +102,20 @@ def aggregate_footrule(
             )
     for rank_index in range(count):
         network.add_edge(1 + count + rank_index, sink, 1, 0.0)
-    network.solve(source, sink, count)
+    footrule_cost = network.solve(source, sink, count)
+    registry.counter(
+        "sor_ranking_aggregations_total",
+        "footrule aggregations solved via min-cost flow",
+    ).inc()
+    registry.gauge(
+        "sor_ranking_matching_size",
+        "items matched to ranks in the most recent aggregation",
+    ).set(count)
+    registry.histogram(
+        "sor_ranking_footrule_cost",
+        "total weighted footrule cost of each aggregation",
+        buckets=_FOOTRULE_COST_BUCKETS,
+    ).observe(footrule_cost)
     slots: list[Hashable | None] = [None] * count
     for (item_index, rank_index), edge_id in edge_ids.items():
         if network.flow_on(edge_id) > 0:

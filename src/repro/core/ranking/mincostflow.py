@@ -14,6 +14,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.common.errors import RankingError
+from repro.obs import MetricsRegistry, get_metrics
 
 
 @dataclass
@@ -30,12 +31,23 @@ class MinCostFlow:
     Supports non-negative edge costs (all SOR graphs satisfy this).
     """
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(
+        self, num_nodes: int, *, metrics: MetricsRegistry | None = None
+    ) -> None:
         if num_nodes <= 0:
             raise RankingError("network needs at least one node")
         self.num_nodes = num_nodes
         self._edges: list[_Edge] = []
         self._adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._m_iterations = self.metrics.counter(
+            "sor_mincostflow_iterations_total",
+            "shortest-path augmentation iterations (Dijkstra runs)",
+        )
+        self._m_units = self.metrics.counter(
+            "sor_mincostflow_units_routed_total",
+            "flow units routed by MinCostFlow.solve",
+        )
 
     def add_edge(self, source: int, target: int, capacity: int, cost: float) -> int:
         """Add a directed edge; returns its id (for flow inspection)."""
@@ -66,10 +78,13 @@ class MinCostFlow:
             raise RankingError("source and sink must differ")
         total_cost = 0.0
         routed = 0
+        iterations = 0
         potentials = [0.0] * self.num_nodes
         while routed < amount:
             distances, parents = self._dijkstra(source, potentials)
+            iterations += 1
             if distances[sink] == float("inf"):
+                self._m_iterations.inc(iterations)
                 raise RankingError(
                     f"network supports only {routed} of {amount} units"
                 )
@@ -92,6 +107,8 @@ class MinCostFlow:
                 total_cost += bottleneck * self._edges[edge_id].cost
                 node = self._edges[edge_id ^ 1].target
             routed += bottleneck
+        self._m_iterations.inc(iterations)
+        self._m_units.inc(routed)
         return total_cost
 
     def _dijkstra(

@@ -34,6 +34,7 @@ from repro.common.errors import SchedulingError
 from repro.core.scheduling.matroid import BudgetPartitionMatroid
 from repro.core.scheduling.objective import CoverageObjective, coverage_of_instants
 from repro.core.scheduling.problem import Schedule, SchedulingProblem
+from repro.obs import MetricsRegistry, get_metrics
 
 
 class GreedyScheduler:
@@ -45,9 +46,32 @@ class GreedyScheduler:
     matroid to a basis like the paper's literal while-condition.
     """
 
-    def __init__(self, *, lazy: bool = True, min_gain: float = 1e-12) -> None:
+    def __init__(
+        self,
+        *,
+        lazy: bool = True,
+        min_gain: float = 1e-12,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.lazy = lazy
         self.min_gain = min_gain
+        self.metrics = metrics if metrics is not None else get_metrics()
+        # Evaluation counts are accumulated locally inside the loops and
+        # reported once per solve, so instrumentation stays off the
+        # per-iteration hot path.
+        self._m_evaluations = self.metrics.counter(
+            "sor_greedy_evaluations_total",
+            "marginal-gain evaluations performed by GreedyScheduler.solve",
+            labels=("strategy",),
+        )
+        self._m_selected = self.metrics.counter(
+            "sor_greedy_instants_selected_total",
+            "instants committed to schedules by GreedyScheduler.solve",
+        )
+        self._m_coverage = self.metrics.gauge(
+            "sor_greedy_coverage",
+            "average coverage achieved by the most recent solve",
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -66,9 +90,13 @@ class GreedyScheduler:
             user_index: set() for user_index in range(len(problem.users))
         }
         if self.lazy:
-            self._run_lazy(problem, objective, remaining, available, assigned)
+            evaluations = self._run_lazy(
+                problem, objective, remaining, available, assigned
+            )
         else:
-            self._run_naive(problem, objective, remaining, available, assigned)
+            evaluations = self._run_naive(
+                problem, objective, remaining, available, assigned
+            )
         schedule = Schedule(
             problem=problem,
             assignments={
@@ -78,6 +106,11 @@ class GreedyScheduler:
             objective_value=objective.value(),
         )
         schedule.validate()
+        self._m_evaluations.inc(
+            evaluations, strategy="lazy" if self.lazy else "naive"
+        )
+        self._m_selected.inc(sum(len(instants) for instants in assigned.values()))
+        self._m_coverage.set(schedule.average_coverage)
         return schedule
 
     def matroid_for(self, problem: SchedulingProblem) -> BudgetPartitionMatroid:
@@ -149,12 +182,15 @@ class GreedyScheduler:
         remaining: list[int],
         available: np.ndarray,
         assigned: dict[int, set[int]],
-    ) -> None:
+    ) -> int:
+        """Paper-literal loop; returns the number of gain evaluations."""
+        evaluations = 0
         while True:
             gains = objective.gains_all()
+            evaluations += problem.period.num_instants
             feasible_mask = available > 0
             if not feasible_mask.any():
-                return
+                return evaluations
             masked = np.where(feasible_mask, gains, -np.inf)
             # Walk candidates best-first until one has a user that can
             # actually take it (a user may already hold the top instant).
@@ -164,7 +200,7 @@ class GreedyScheduler:
                 if not feasible_mask[candidate]:
                     break  # -inf region reached; nothing feasible left
                 if masked[candidate] < self.min_gain:
-                    return
+                    return evaluations
                 user_index = self._pick_user(
                     problem, int(candidate), remaining, assigned
                 )
@@ -181,7 +217,7 @@ class GreedyScheduler:
                     committed = True
                     break
             if not committed:
-                return
+                return evaluations
 
     # ------------------------------------------------------------------
     # lazy-heap loop
@@ -193,9 +229,11 @@ class GreedyScheduler:
         remaining: list[int],
         available: np.ndarray,
         assigned: dict[int, set[int]],
-    ) -> None:
+    ) -> int:
+        """Lazy-heap loop; returns the number of gain (re-)evaluations."""
         num_instants = problem.period.num_instants
         gains = objective.gains_all()
+        evaluations = num_instants  # the initial full sweep
         # Heap entries: (-gain, instant). Stale entries are re-evaluated
         # on pop; submodularity guarantees true gains never exceed stale
         # ones, so the first up-to-date top is the argmax. Tie-break on
@@ -212,6 +250,7 @@ class GreedyScheduler:
             if available[instant_index] <= 0:
                 continue
             current_gain = objective.gain(instant_index)
+            evaluations += 1
             if heap:
                 next_key, next_index = heap[0]
                 if -current_gain > next_key:
@@ -226,7 +265,7 @@ class GreedyScheduler:
                     heapq.heappush(heap, (-current_gain, instant_index))
                     continue
             if current_gain < self.min_gain:
-                return
+                return evaluations
             user_index = self._pick_user(problem, instant_index, remaining, assigned)
             if user_index is None:
                 # Someone covers this instant but every holder already has
@@ -237,6 +276,7 @@ class GreedyScheduler:
                 problem, objective, instant_index, user_index, remaining, available, assigned
             )
             budget_left -= 1
+        return evaluations
 
 
 def brute_force_optimal(problem: SchedulingProblem) -> tuple[float, Schedule]:

@@ -7,6 +7,7 @@ from typing import Any, Iterator
 from repro.common.errors import DatabaseError
 from repro.db.schema import Schema
 from repro.db.table import Table
+from repro.obs import MetricsRegistry, get_metrics
 
 
 class Transaction:
@@ -53,16 +54,39 @@ class Transaction:
 class Database:
     """A collection of named tables with DDL and transactions."""
 
-    def __init__(self, name: str = "sor") -> None:
+    def __init__(
+        self, name: str = "sor", *, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._active_transaction: Transaction | None = None
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._operations = self.metrics.counter(
+            "sor_db_operations_total",
+            "table operations executed (insert/select/update/delete/count)",
+            labels=("db", "table", "op"),
+        )
+
+    def _make_observer(self, table_name: str):
+        """A per-table operation callback with cached counter children."""
+        children: dict[str, Any] = {}
+        counter = self._operations
+        db_name = self.name
+
+        def observe(op: str) -> None:
+            child = children.get(op)
+            if child is None:
+                child = counter.labels(db=db_name, table=table_name, op=op)
+                children[op] = child
+            child.inc()
+
+        return observe
 
     def create_table(self, schema: Schema) -> Table:
         """Create a table from ``schema``; errors if the name is taken."""
         if schema.name in self._tables:
             raise DatabaseError(f"table {schema.name!r} already exists")
-        table = Table(schema)
+        table = Table(schema, observer=self._make_observer(schema.name))
         self._tables[schema.name] = table
         return table
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import copy
 from collections import defaultdict
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.errors import DatabaseError
 from repro.db.predicates import Predicate
@@ -19,8 +19,16 @@ class Table:
     on the way in for the same reason.
     """
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        observer: Callable[[str], None] | None = None,
+    ) -> None:
         self.schema = schema
+        # Called with the operation name on every insert/select/update/
+        # delete/count; the Database wires this to its metrics counter.
+        self._observer = observer
         self._rows: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, dict[Any, set[Any]]] = {}
         self._unique_values: dict[str, dict[Any, Any]] = {
@@ -77,6 +85,8 @@ class Table:
     # ------------------------------------------------------------------
     def insert(self, row: dict[str, Any]) -> Any:
         """Insert a row; returns the primary key (assigned if auto)."""
+        if self._observer is not None:
+            self._observer("insert")
         normalized = self.schema.normalize_row(dict(row))
         pk_name = self.schema.primary_key
         pk_column = self.schema.column(pk_name)
@@ -114,6 +124,8 @@ class Table:
 
     def update(self, where: Predicate, changes: dict[str, Any]) -> int:
         """Update matching rows in place; returns the number updated."""
+        if self._observer is not None:
+            self._observer("update")
         if self.schema.primary_key in changes:
             raise DatabaseError("updating the primary key is not supported")
         for column in changes:
@@ -145,6 +157,8 @@ class Table:
 
     def delete(self, where: Predicate) -> int:
         """Delete matching rows; returns the number deleted."""
+        if self._observer is not None:
+            self._observer("delete")
         victims = [row[self.schema.primary_key] for row in self._match(where)]
         for pk in victims:
             row = self._rows.pop(pk)
@@ -181,6 +195,8 @@ class Table:
         limit: int | None = None,
     ) -> list[dict[str, Any]]:
         """Return deep copies of matching rows."""
+        if self._observer is not None:
+            self._observer("select")
         rows = self._match(where)
         if order_by is not None:
             self.schema.column(order_by)
@@ -204,6 +220,8 @@ class Table:
 
     def count(self, where: Predicate | None = None) -> int:
         """Count matching rows without copying them."""
+        if self._observer is not None:
+            self._observer("count")
         return len(self._match(where))
 
     # ------------------------------------------------------------------

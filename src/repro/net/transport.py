@@ -19,6 +19,7 @@ from repro.common.clock import Clock, ManualClock
 from repro.common.errors import TransportError, ValidationError
 from repro.common.validation import require_in_range
 from repro.net.http import HttpEndpoint, HttpRequest, HttpResponse
+from repro.obs import MetricsRegistry, get_metrics
 
 
 @dataclass(frozen=True)
@@ -57,12 +58,28 @@ class Network:
         *,
         rng: np.random.Generator | None = None,
         clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.conditions = conditions or NetworkConditions()
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._clock = clock
         self._endpoints: dict[str, HttpEndpoint] = {}
         self.stats = NetworkStats()
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._m_requests = self.metrics.counter(
+            "sor_net_requests_total", "HTTP requests put on the simulated wire"
+        )
+        self._m_bytes_sent = self.metrics.counter(
+            "sor_net_bytes_sent_total", "request body bytes sent"
+        )
+        self._m_bytes_received = self.metrics.counter(
+            "sor_net_bytes_received_total", "response body bytes received"
+        )
+        self._m_failures = self.metrics.counter(
+            "sor_net_failures_total",
+            "requests that never produced a response",
+            labels=("reason",),
+        )
 
     def register(self, host: str, endpoint: HttpEndpoint) -> None:
         """Attach ``endpoint`` at address ``host``."""
@@ -96,16 +113,20 @@ class Network:
         """
         self.stats.requests_sent += 1
         self.stats.bytes_sent += len(request.body)
+        self._m_requests.inc()
+        self._m_bytes_sent.inc(len(request.body))
         self.stats.per_host_requests[request.host] = (
             self.stats.per_host_requests.get(request.host, 0) + 1
         )
         endpoint = self._endpoints.get(request.host)
         if endpoint is None:
+            self._m_failures.inc(reason="unknown_host")
             raise TransportError(f"no endpoint registered at {request.host!r}")
         if self.conditions.drop_probability > 0 and (
             float(self._rng.random()) < self.conditions.drop_probability
         ):
             self.stats.requests_dropped += 1
+            self._m_failures.inc(reason="dropped")
             raise TransportError(f"request to {request.host!r} was dropped")
         latency = self._sample_latency()
         self.stats.total_latency_s += latency
@@ -114,4 +135,5 @@ class Network:
         response = endpoint.handle_request(request)
         self.stats.responses_delivered += 1
         self.stats.bytes_received += len(response.body)
+        self._m_bytes_received.inc(len(response.body))
         return response

@@ -1,0 +1,106 @@
+"""Observability: metrics registry, trace spans, exporters.
+
+Every instrumented component takes ``metrics=`` / ``tracer=`` keyword
+arguments and falls back to the process-global defaults below, so
+
+* production-style runs get one registry for the whole process, exposed
+  over the server's ``GET /metrics`` endpoint and the ``repro obs`` CLI
+  command;
+* tests inject a fresh :class:`MetricsRegistry` (exact assertions) or a
+  :class:`NullRegistry` / :class:`NullTracer` (instrumentation off).
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and the
+conventions for adding new instruments.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.export import CONTENT_TYPE, to_dict, to_prometheus_text
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+)
+from repro.obs.trace import NullTracer, Span, SpanRecord, Tracer
+
+_default_registry = MetricsRegistry()
+_default_tracer = Tracer()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _default_registry
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _default_tracer
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the global registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the global tracer; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily swap the global registry (test isolation)."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily swap the global tracer (test isolation)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Timer",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "set_metrics",
+    "set_tracer",
+    "to_dict",
+    "to_prometheus_text",
+    "use_metrics",
+    "use_tracer",
+]

@@ -1,0 +1,111 @@
+"""Registry exporters: Prometheus text exposition and JSON dicts.
+
+``to_prometheus_text`` implements the subset of the text exposition
+format (version 0.0.4) that counters, gauges and histograms need —
+``# HELP`` / ``# TYPE`` headers, escaped label values, and cumulative
+``_bucket{le=...}`` / ``_sum`` / ``_count`` histogram series. The output
+is byte-stable for a given registry state (metrics sorted by name,
+series sorted by label values), which the tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import (
+    Metric,
+    MetricsRegistry,
+    _CounterChild,
+    _GaugeChild,
+    _HistogramChild,
+)
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _label_block(names: tuple[str, ...], values: tuple[str, ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _metric_lines(metric: Metric) -> list[str]:
+    lines = [
+        f"# HELP {metric.name} {_escape_help(metric.help)}",
+        f"# TYPE {metric.name} {metric.kind}",
+    ]
+    for values, child in metric.series():
+        block = _label_block(metric.label_names, values)
+        if isinstance(child, (_CounterChild, _GaugeChild)):
+            lines.append(f"{metric.name}{block} {_format_value(child.value)}")
+        elif isinstance(child, _HistogramChild):
+            for bound, cumulative in child.cumulative_buckets():
+                bucket_block = _label_block(
+                    metric.label_names, values, (("le", _format_value(bound)),)
+                )
+                lines.append(f"{metric.name}_bucket{bucket_block} {cumulative}")
+            lines.append(f"{metric.name}_sum{block} {_format_value(child.sum)}")
+            lines.append(f"{metric.name}_count{block} {child.count}")
+    return lines
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        lines.extend(_metric_lines(metric))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series_dict(metric: Metric) -> list[dict[str, Any]]:
+    out: list[dict[str, Any]] = []
+    for values, child in metric.series():
+        entry: dict[str, Any] = {
+            "labels": dict(zip(metric.label_names, values)),
+        }
+        if isinstance(child, (_CounterChild, _GaugeChild)):
+            entry["value"] = child.value
+        elif isinstance(child, _HistogramChild):
+            entry["count"] = child.count
+            entry["sum"] = child.sum
+            entry["buckets"] = {
+                _format_value(bound): cumulative
+                for bound, cumulative in child.cumulative_buckets()
+            }
+        out.append(entry)
+    return out
+
+
+def to_dict(registry: MetricsRegistry) -> dict[str, Any]:
+    """The whole registry as a JSON-serialisable dict keyed by name."""
+    snapshot: dict[str, Any] = {}
+    for metric in registry.collect():
+        snapshot[metric.name] = {
+            "type": metric.kind,
+            "help": metric.help,
+            "series": _series_dict(metric),
+        }
+    return snapshot
+
+
+__all__ = ["CONTENT_TYPE", "to_dict", "to_prometheus_text"]

@@ -21,6 +21,7 @@ import numpy as np
 from repro.common.clock import Clock
 from repro.common.errors import SchedulingError
 from repro.core.scheduling import CoverageObjective, GaussianKernel, SchedulingPeriod
+from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
 from repro.server.app_manager import Application
 from repro.server.participation import ParticipationManager
 
@@ -40,17 +41,23 @@ class _AppSchedulerState:
 
     def schedule_user(
         self, user_id: str, *, from_time: float, until_time: float, budget: int
-    ) -> list[int]:
-        """Greedily pick up to ``budget`` instants in the user's window."""
+    ) -> tuple[list[int], int]:
+        """Greedily pick up to ``budget`` instants in the user's window.
+
+        Returns the chosen instants and the number of candidate instants
+        whose marginal gain was evaluated (the service reports it).
+        """
         lo, hi = self.period.window_indices(
             max(from_time, self.period.start), min(until_time, self.period.end)
         )
         if hi <= lo:
-            return []
+            return [], 0
         chosen: list[int] = []
         already: set[int] = set()
+        evaluated = 0
         for _ in range(budget):
             gains = self.objective.gains_fast()[lo:hi]
+            evaluated += hi - lo
             if already:
                 for index in already:
                     gains[index - lo] = -np.inf
@@ -64,7 +71,7 @@ class _AppSchedulerState:
         self.scheduled_counts[user_id] = (
             self.scheduled_counts.get(user_id, 0) + len(chosen)
         )
-        return sorted(chosen)
+        return sorted(chosen), evaluated
 
     @property
     def average_coverage(self) -> float:
@@ -74,10 +81,35 @@ class _AppSchedulerState:
 class SensingSchedulerService:
     """Schedules each participation request as it arrives."""
 
-    def __init__(self, participation: ParticipationManager, clock: Clock) -> None:
+    def __init__(
+        self,
+        participation: ParticipationManager,
+        clock: Clock,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.participation = participation
         self.clock = clock
         self._states: dict[str, _AppSchedulerState] = {}
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._m_tasks = self.metrics.counter(
+            "sor_scheduler_tasks_total", "participation tasks scheduled"
+        )
+        self._m_instants_assigned = self.metrics.counter(
+            "sor_scheduler_instants_assigned_total",
+            "sensing instants handed to phones",
+        )
+        self._m_instants_evaluated = self.metrics.counter(
+            "sor_scheduler_instants_evaluated_total",
+            "candidate instants whose marginal gain was evaluated online",
+        )
+        self._m_coverage = self.metrics.gauge(
+            "sor_scheduler_coverage",
+            "average coverage of the pooled schedule, per application",
+            labels=("app",),
+        )
 
     def state_for(self, application: Application) -> _AppSchedulerState:
         """The per-application incremental coverage state (lazily built)."""
@@ -108,9 +140,17 @@ class SensingSchedulerService:
         task = self.participation.get_task(task_id)
         if task is None:
             raise SchedulingError(f"unknown task {task_id!r}")
-        instants = state.schedule_user(
-            task["user_id"], from_time=now, until_time=until, budget=budget
-        )
+        with self.tracer.span(
+            "scheduler.schedule_task", app_id=application.app_id, budget=budget
+        ) as span:
+            instants, evaluated = state.schedule_user(
+                task["user_id"], from_time=now, until_time=until, budget=budget
+            )
+            span.set_attribute("instants", len(instants))
+        self._m_tasks.inc()
+        self._m_instants_assigned.inc(len(instants))
+        self._m_instants_evaluated.inc(evaluated)
+        self._m_coverage.set(state.average_coverage, app=application.app_id)
         times = [state.period.instant_time(index) for index in instants]
         self.participation.record_schedule(task_id, times)
         return times

@@ -21,6 +21,8 @@ from repro.net import (
     MessageType,
 )
 from repro.net.transport import Network
+from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
+from repro.obs.export import CONTENT_TYPE, to_prometheus_text
 from repro.server.app_manager import Application, ApplicationManager
 from repro.server.data_processor import DataProcessor
 from repro.server.participation import ParticipationManager, ParticipationStatus
@@ -41,22 +43,55 @@ class SensingServer:
         *,
         gcm: CloudMessenger | None = None,
         database: Database | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.host = host
         self.network = network
         self.clock = clock
         self.gcm = gcm
-        self.database = database if database is not None else Database(name=host)
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.database = (
+            database
+            if database is not None
+            else Database(name=host, metrics=self.metrics)
+        )
         create_all_tables(self.database)
         self.users = UserInfoManager(self.database, clock)
         self.apps = ApplicationManager(self.database)
         self.participation = ParticipationManager(
             self.database, self.users, self.apps, clock, id_prefix=f"{host}:"
         )
-        self.scheduler = SensingSchedulerService(self.participation, clock)
+        self.scheduler = SensingSchedulerService(
+            self.participation, clock, metrics=self.metrics, tracer=self.tracer
+        )
         self.data_processor = DataProcessor(self.database, self.apps, clock)
         self.ranker = PersonalizableRanker(self.database)
         self._phone_hosts: dict[str, str] = {}  # token → host
+        self._m_requests = self.metrics.counter(
+            "sor_server_requests_total",
+            "HTTP requests handled, by message type and response status",
+            labels=("type", "status"),
+        )
+        self._m_request_timer = self.metrics.timer(
+            "sor_server_request_seconds",
+            "handle_request latency in clock seconds",
+        )
+        self._m_sensed = self.metrics.counter(
+            "sor_server_sensed_envelopes_total",
+            "sensed-data envelopes stored for later processing",
+        )
+        self._m_ping = self.metrics.counter(
+            "sor_server_ping_total",
+            "phone ping attempts by outcome (http/gcm/failed)",
+            labels=("outcome",),
+        )
+        self._m_push = self.metrics.counter(
+            "sor_server_push_total",
+            "schedule push attempts by outcome",
+            labels=("outcome",),
+        )
         network.register(host, self)
 
     # ------------------------------------------------------------------
@@ -75,10 +110,30 @@ class SensingServer:
     # ------------------------------------------------------------------
     def handle_request(self, request: HttpRequest) -> HttpResponse:
         """Serve one HTTP request (the server-side Message Handler)."""
+        if request.method == "GET" and request.path == "/metrics":
+            return self.metrics_response()
+        with self.tracer.span("server.handle_request", host=self.host) as span:
+            with self._m_request_timer.time():
+                response, message_type = self._dispatch(request)
+            span.set_attribute("type", message_type)
+            span.set_attribute("status", response.status)
+        self._m_requests.inc(type=message_type, status=str(response.status))
+        return response
+
+    def metrics_response(self) -> HttpResponse:
+        """The ``GET /metrics`` Prometheus text exposition."""
+        body = to_prometheus_text(self.metrics).encode("utf-8")
+        return HttpResponse(
+            status=200, body=body, headers={"Content-Type": CONTENT_TYPE}
+        )
+
+    def _dispatch(self, request: HttpRequest) -> tuple[HttpResponse, str]:
+        """Decode and route one envelope; returns (response, type label)."""
         try:
             envelope = Envelope.from_bytes(request.body)
         except CodecError:
-            return HttpResponse(status=400)
+            return HttpResponse(status=400), "undecodable"
+        message_type = envelope.message_type.value
         handlers = {
             MessageType.PARTICIPATE: self._on_participate,
             MessageType.SENSED_DATA: lambda env: self._on_sensed_data(
@@ -90,9 +145,9 @@ class SensingServer:
         }
         handler = handlers.get(envelope.message_type)
         if handler is None:
-            return HttpResponse(status=404)
+            return HttpResponse(status=404), message_type
         reply = handler(envelope)
-        return HttpResponse(status=200, body=reply.to_bytes())
+        return HttpResponse(status=200, body=reply.to_bytes()), message_type
 
     # ------------------------------------------------------------------
     # message handlers
@@ -159,6 +214,7 @@ class SensingServer:
                 "processed": False,
             }
         )
+        self._m_sensed.inc()
         status = payload.get("status")
         if status == "error":
             self.participation.mark_status(
@@ -235,15 +291,19 @@ class SensingServer:
                     HttpRequest("POST", host, "/sor", envelope.to_bytes())
                 )
                 if response.ok:
+                    self._m_ping.inc(outcome="http")
                     return True
             except TransportError:
                 pass
         if self.gcm is not None and self.gcm.is_registered(token):
             try:
                 self.gcm.push(token, {"action": "ping", "server": self.host})
+                self._m_ping.inc(outcome="gcm")
                 return True
             except TransportError:
+                self._m_ping.inc(outcome="failed")
                 return False
+        self._m_ping.inc(outcome="failed")
         return False
 
     def push_schedule(self, task_id: str) -> bool:
@@ -257,9 +317,11 @@ class SensingServer:
         """
         task = self.participation.get_task(task_id)
         if task is None:
+            self._m_push.inc(outcome="unknown_task")
             return False
         application = self.apps.get(task["app_id"])
         if application is None:
+            self._m_push.inc(outcome="unknown_app")
             return False
         host = self._phone_hosts.get(task["token"], task["phone_host"])
         envelope = Envelope(
@@ -278,14 +340,19 @@ class SensingServer:
                 HttpRequest("POST", host, "/sor", envelope.to_bytes())
             )
         except TransportError:
+            self._m_push.inc(outcome="transport_error")
             return False
         if not response.ok or not response.body:
+            self._m_push.inc(outcome="rejected")
             return False
         try:
             reply = Envelope.from_bytes(response.body)
         except CodecError:
+            self._m_push.inc(outcome="undecodable_reply")
             return False
-        return reply.message_type is MessageType.ACK
+        acked = reply.message_type is MessageType.ACK
+        self._m_push.inc(outcome="ok" if acked else "rejected")
+        return acked
 
     def query_phone_location(self, token: str) -> LatLon | None:
         """Ask a phone where it is (used by the participation tracker)."""

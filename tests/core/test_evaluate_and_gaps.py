@@ -6,10 +6,8 @@ import pytest
 from repro.core.scheduling import (
     GaussianKernel,
     GreedyScheduler,
-    MobileUser,
     Schedule,
     SchedulingPeriod,
-    SchedulingProblem,
     average_coverage,
     evaluate_instants,
 )

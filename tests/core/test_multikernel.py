@@ -1,6 +1,5 @@
 """Tests for the multi-kernel (per-feature σ) scheduling extension."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

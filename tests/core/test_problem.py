@@ -1,6 +1,5 @@
 """Tests for scheduling problem data types."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import SchedulingError, ValidationError

@@ -8,7 +8,6 @@ against both the real Table/Database and a trivial in-memory model
 
 from __future__ import annotations
 
-import copy
 
 from hypothesis import settings
 from hypothesis import strategies as st

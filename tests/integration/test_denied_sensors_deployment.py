@@ -2,7 +2,6 @@
 degrade gracefully to the features that exist."""
 
 import numpy as np
-import pytest
 
 from repro.core.ranking import MIN, FeaturePreference, PreferenceProfile
 from repro.server import SORSystem

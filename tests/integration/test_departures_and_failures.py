@@ -1,7 +1,6 @@
 """Early departures and phone failures in a full deployment."""
 
 import numpy as np
-import pytest
 
 from repro.server import SORSystem
 from repro.server.participation import ParticipationStatus

@@ -1,7 +1,6 @@
 """Integration tests: the full SOR protocol end to end."""
 
 import numpy as np
-import pytest
 
 from repro.net import NetworkConditions
 from repro.server import SORSystem

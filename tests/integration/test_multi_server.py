@@ -30,9 +30,6 @@ class TestMultiServer:
         assert system.servers[0].database is system.servers[1].database
 
     def test_places_split_across_servers(self, system):
-        hosts = {
-            deployed.application.app_id: None for deployed in system.places.values()
-        }
         per_server = [len(server.apps.all_apps()) for server in system.servers]
         assert sum(per_server) == 3
         assert all(count >= 1 for count in per_server)

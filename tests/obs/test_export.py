@@ -1,0 +1,94 @@
+"""Exporter formats: Prometheus text exposition and the JSON dict."""
+
+import json
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.obs import CONTENT_TYPE, MetricsRegistry, to_dict, to_prometheus_text
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(clock=ManualClock(start=0.0))
+
+
+class TestPrometheusText:
+    def test_counter_lines(self, registry):
+        counter = registry.counter("sor_req_total", help="Requests handled.")
+        counter.inc(3)
+        text = to_prometheus_text(registry)
+        assert "# HELP sor_req_total Requests handled." in text
+        assert "# TYPE sor_req_total counter" in text
+        assert "sor_req_total 3" in text
+        assert text.endswith("\n")
+
+    def test_labelled_series(self, registry):
+        counter = registry.counter("sor_req_total", labels=("type", "status"))
+        counter.inc(type="ping", status="ok")
+        text = to_prometheus_text(registry)
+        assert 'sor_req_total{type="ping",status="ok"} 1' in text
+
+    def test_label_values_escaped(self, registry):
+        counter = registry.counter("sor_req_total", labels=("path",))
+        counter.inc(path='has "quotes" and \\slash\\ and\nnewline')
+        text = to_prometheus_text(registry)
+        assert '\\"quotes\\"' in text
+        assert "\\\\slash\\\\" in text
+        assert "\\n" in text
+
+    def test_help_escaped(self, registry):
+        registry.counter("sor_a_total", help="line one\nline two").inc()
+        text = to_prometheus_text(registry)
+        assert "# HELP sor_a_total line one\\nline two" in text
+
+    def test_histogram_buckets_sum_count(self, registry):
+        hist = registry.histogram("sor_cost", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = to_prometheus_text(registry)
+        assert 'sor_cost_bucket{le="1"} 1' in text
+        assert 'sor_cost_bucket{le="10"} 2' in text
+        assert 'sor_cost_bucket{le="+Inf"} 2' in text
+        assert "sor_cost_sum 5.5" in text
+        assert "sor_cost_count 2" in text
+
+    def test_empty_registry_is_empty_string(self, registry):
+        assert to_prometheus_text(registry) == ""
+
+    def test_metrics_sorted_by_name(self, registry):
+        registry.counter("sor_b_total").inc()
+        registry.counter("sor_a_total").inc()
+        text = to_prometheus_text(registry)
+        assert text.index("sor_a_total") < text.index("sor_b_total")
+
+    def test_content_type_constant(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestJsonDict:
+    def test_structure_and_serialisable(self, registry):
+        registry.counter("sor_req_total", help="Requests.", labels=("type",)).inc(
+            2, type="ping"
+        )
+        gauge = registry.gauge("sor_coverage")
+        gauge.set(0.9)
+        hist = registry.histogram("sor_cost", buckets=(1.0,))
+        hist.observe(0.5)
+        snapshot = to_dict(registry)
+        json.dumps(snapshot)  # must round-trip through JSON
+
+        counter = snapshot["sor_req_total"]
+        assert counter["type"] == "counter"
+        assert counter["help"] == "Requests."
+        (series,) = counter["series"]
+        assert series == {"labels": {"type": "ping"}, "value": 2.0}
+
+        (gauge_series,) = snapshot["sor_coverage"]["series"]
+        assert gauge_series["value"] == 0.9
+
+        (hist_series,) = snapshot["sor_cost"]["series"]
+        assert hist_series["count"] == 1
+        assert hist_series["sum"] == 0.5
+        assert hist_series["buckets"] == {"1": 1, "+Inf": 1}

@@ -1,0 +1,159 @@
+"""Semantics of counters, gauges, histograms, timers and the registry."""
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import ObservabilityError
+from repro.obs import MetricsRegistry, NullRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(clock=ManualClock(start=100.0))
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("sor_test_total")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("sor_test_total")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1.0)
+
+    def test_labelled_series_are_independent(self, registry):
+        counter = registry.counter("sor_req_total", labels=("type",))
+        counter.inc(type="ping")
+        counter.inc(3, type="push")
+        assert counter.value(type="ping") == 1.0
+        assert counter.value(type="push") == 3.0
+        assert counter.value(type="never") == 0.0
+
+    def test_cached_child_shares_series(self, registry):
+        counter = registry.counter("sor_req_total", labels=("type",))
+        child = counter.labels(type="ping")
+        child.inc()
+        child.inc()
+        assert counter.value(type="ping") == 2.0
+
+    def test_wrong_label_set_rejected(self, registry):
+        counter = registry.counter("sor_req_total", labels=("type",))
+        with pytest.raises(ObservabilityError):
+            counter.inc(kind="ping")
+        with pytest.raises(ObservabilityError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("sor_coverage")
+        gauge.set(0.75)
+        assert gauge.value() == 0.75
+        gauge.inc(0.1)
+        gauge.dec(0.05)
+        assert gauge.value() == pytest.approx(0.8)
+
+    def test_gauges_can_go_negative(self, registry):
+        gauge = registry.gauge("sor_delta")
+        gauge.dec(2.0)
+        assert gauge.value() == -2.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        hist = registry.histogram("sor_cost", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        child = hist.labels()
+        cumulative = dict(child.cumulative_buckets())
+        assert cumulative[1.0] == 1
+        assert cumulative[5.0] == 2
+        assert cumulative[10.0] == 3
+        assert cumulative[float("inf")] == 4
+        assert hist.count() == 4
+        assert hist.total() == pytest.approx(110.5)
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("sor_cost", buckets=(10.0, 1.0, 5.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("sor_dup", buckets=(1.0, 1.0))
+
+    def test_cumulative_counts_never_decrease(self, registry):
+        hist = registry.histogram("sor_cost", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 0.6, 7.0, 20.0):
+            hist.observe(value)
+        counts = [count for _, count in hist.labels().cumulative_buckets()]
+        assert counts == sorted(counts)
+        bounds = [bound for bound, _ in hist.labels().cumulative_buckets()]
+        assert bounds == [1.0, 5.0, 10.0, float("inf")]
+
+
+class TestTimer:
+    def test_records_clock_elapsed_seconds(self, registry):
+        clock = registry.clock
+        timer = registry.timer("sor_step_seconds")
+        with timer.time():
+            clock.advance(0.25)
+        hist = registry.get("sor_step_seconds")
+        assert hist.count() == 1
+        assert hist.total() == pytest.approx(0.25)
+
+    def test_observe_directly(self, registry):
+        timer = registry.timer("sor_step_seconds")
+        timer.observe(1.5)
+        assert registry.get("sor_step_seconds").total() == pytest.approx(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self, registry):
+        assert registry.counter("sor_a_total") is registry.counter("sor_a_total")
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("sor_a_total")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("sor_a_total")
+
+    def test_label_mismatch_rejected(self, registry):
+        registry.counter("sor_a_total", labels=("type",))
+        with pytest.raises(ObservabilityError):
+            registry.counter("sor_a_total", labels=("kind",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("9starts-with-digit")
+        with pytest.raises(ObservabilityError):
+            registry.counter("sor_ok_total", labels=("bad-label",))
+
+    def test_reset_clears_series_keeps_registration(self, registry):
+        counter = registry.counter("sor_a_total")
+        counter.inc(5)
+        registry.reset()
+        assert registry.get("sor_a_total") is counter
+        assert counter.value() == 0.0
+
+    def test_collect_sorted_by_name(self, registry):
+        registry.counter("sor_b_total")
+        registry.counter("sor_a_total")
+        assert [m.name for m in registry.collect()] == ["sor_a_total", "sor_b_total"]
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        null = NullRegistry()
+        counter = null.counter("anything")
+        counter.inc(7, type="x")
+        assert counter.value() == 0.0
+        gauge = null.gauge("g")
+        gauge.set(3)
+        gauge.dec()
+        hist = null.histogram("h")
+        hist.observe(1.0)
+        assert hist.count() == 0
+        timer = null.timer("t")
+        with timer.time():
+            pass

@@ -1,0 +1,168 @@
+"""Integration: GET /metrics reflects real server traffic.
+
+A fresh registry is injected into Network + SensingServer (never the
+process-global one) so these tests stay isolated from each other and
+from the rest of the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.geo import LatLon
+from repro.core.features import FeaturePipeline, FeatureSpec, MeanExtractor
+from repro.net import CloudMessenger, Envelope, HttpRequest, MessageType, NetworkConditions
+from repro.net.transport import Network
+from repro.obs import CONTENT_TYPE, MetricsRegistry
+from repro.server import SensingServer
+from repro.server.app_manager import Application
+
+PLACE = LatLon(43.05, -76.15)
+
+
+@pytest.fixture
+def world():
+    registry = MetricsRegistry(clock=ManualClock(start=0.0))
+    clock = ManualClock(start=10.0)
+    network = Network(
+        conditions=NetworkConditions(),
+        rng=np.random.default_rng(0),
+        metrics=registry,
+    )
+    server = SensingServer(
+        "server", network, clock, gcm=CloudMessenger(), metrics=registry
+    )
+    server.register_user("alice", "Alice", "tok-a")
+    server.create_application(
+        Application(
+            app_id="app-1",
+            creator="owner",
+            place_id="place-1",
+            place_name="Place One",
+            category="coffee_shop",
+            location=PLACE,
+            script="return get_temperature_readings(2, 1.0)",
+            pipeline=FeaturePipeline(
+                [FeatureSpec("temperature", "temperature", MeanExtractor())]
+            ),
+            period_start=0.0,
+            period_end=10_800.0,
+        )
+    )
+    return registry, network, server
+
+
+def scrape(network):
+    response = network.send(HttpRequest("GET", "server", "/metrics"))
+    assert response.ok
+    assert response.headers["Content-Type"] == CONTENT_TYPE
+    return response.body.decode("utf-8")
+
+
+def post(network, envelope):
+    response = network.send(HttpRequest("POST", "server", "/sor", envelope.to_bytes()))
+    assert response.ok
+    return Envelope.from_bytes(response.body)
+
+
+def participate(network, *, budget=5):
+    return post(
+        network,
+        Envelope(
+            MessageType.PARTICIPATE,
+            sender="phone-1",
+            recipient="server",
+            payload={
+                "user_id": "alice",
+                "token": "tok-a",
+                "app_id": "app-1",
+                "place_id": "place-1",
+                "latitude": PLACE.latitude,
+                "longitude": PLACE.longitude,
+                "budget": budget,
+            },
+        ),
+    )
+
+
+def upload(network, task_id):
+    return post(
+        network,
+        Envelope(
+            MessageType.SENSED_DATA,
+            sender="phone-1",
+            recipient="server",
+            payload={
+                "task_id": task_id,
+                "token": "tok-a",
+                "status": "finished",
+                "error": "",
+                "bursts": [
+                    {"sensor": "temperature", "t": 100.0, "dt": 1.0,
+                     "values": [70.0, 72.0]}
+                ],
+            },
+        ),
+    )
+
+
+class TestMetricsEndpoint:
+    def test_scrape_before_traffic_omits_request_series(self, world):
+        registry, network, _ = world
+        text = scrape(network)
+        # /metrics itself is not counted as a sor_server request series
+        assert 'sor_server_requests_total{type="participate"' not in text
+
+    def test_participate_shows_up_in_scrape(self, world):
+        registry, network, _ = world
+        reply = participate(network)
+        assert reply.message_type is MessageType.SCHEDULE
+        text = scrape(network)
+        assert 'sor_server_requests_total{type="participate",status="200"} 1' in text
+        # scheduling ran: instants were evaluated and assigned
+        assert registry.get("sor_scheduler_tasks_total").value() == 1
+        assert registry.get("sor_scheduler_instants_assigned_total").value() == 5
+        assert registry.get("sor_scheduler_instants_evaluated_total").value() > 0
+        # request latency histogram saw exactly one request
+        assert registry.get("sor_server_request_seconds").count() == 1
+
+    def test_counters_increase_with_more_traffic(self, world):
+        registry, network, _ = world
+        task_id = participate(network).payload["task_id"]
+        first = registry.get("sor_server_requests_total").value(
+            type="participate", status="200"
+        )
+        sensed_before = registry.get("sor_server_sensed_envelopes_total").value()
+
+        upload(network, task_id)
+        text = scrape(network)
+        assert registry.get("sor_server_sensed_envelopes_total").value() == (
+            sensed_before + 1
+        )
+        assert 'sor_server_requests_total{type="sensed_data",status="200"} 1' in text
+        assert registry.get("sor_server_requests_total").value(
+            type="participate", status="200"
+        ) == first
+
+    def test_db_and_network_instrumented(self, world):
+        registry, network, _ = world
+        task_id = participate(network).payload["task_id"]
+        upload(network, task_id)
+        ops = registry.get("sor_db_operations_total")
+        assert ops.value(db="server", table="raw_data", op="insert") >= 1
+        assert ops.value(db="server", table="tasks", op="insert") >= 1
+        net_bytes = registry.get("sor_net_bytes_sent_total")
+        assert net_bytes.value() > 0
+
+    def test_scrape_is_valid_prometheus_text(self, world):
+        registry, network, _ = world
+        participate(network)
+        text = scrape(network)
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or " " in line
+        # every series line is "name{labels} value" with a parseable value
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            value = line.rsplit(" ", 1)[1]
+            float(value)  # must parse

@@ -1,0 +1,120 @@
+"""Span lifecycle: nesting, timing, exceptions and the finished ring."""
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import ObservabilityError
+from repro.obs import NullTracer, Tracer
+
+
+@pytest.fixture
+def clock():
+    return ManualClock(start=1_000.0)
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestSpanLifecycle:
+    def test_records_start_end_and_duration(self, tracer, clock):
+        with tracer.span("work"):
+            clock.advance(2.5)
+        (record,) = tracer.finished()
+        assert record.name == "work"
+        assert record.start == 1_000.0
+        assert record.end == 1_002.5
+        assert record.duration == pytest.approx(2.5)
+
+    def test_durations_monotone_under_advancing_clock(self, tracer, clock):
+        for step in (0.1, 0.2, 0.3):
+            with tracer.span("step"):
+                clock.advance(step)
+        records = tracer.finished()
+        durations = [r.duration for r in records]
+        assert durations == sorted(durations)
+        # end times never move backwards either
+        ends = [r.end for r in records]
+        assert ends == sorted(ends)
+
+    def test_attributes_captured(self, tracer):
+        with tracer.span("work", app_id="app-1") as span:
+            span.set_attribute("budget", 30)
+        (record,) = tracer.finished()
+        assert record.attributes == {"app_id": "app-1", "budget": 30}
+
+
+class TestNesting:
+    def test_child_records_parent_id(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.active_span is inner
+            assert tracer.active_span is outer
+        inner_rec, outer_rec = tracer.finished()
+        assert inner_rec.name == "inner"
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert outer_rec.parent_id is None
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.finished()
+        assert a.parent_id == b.parent_id == outer.span_id
+
+    def test_out_of_order_close_rejected(self, tracer):
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError):
+            outer.__exit__(None, None, None)
+
+
+class TestExceptions:
+    def test_exception_recorded_and_reraised(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        (record,) = tracer.finished()
+        assert "boom" in record.attributes["error"]
+
+    def test_stack_unwinds_after_exception(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("x")
+        assert tracer.active_span is None
+        assert len(tracer.finished()) == 2
+
+
+class TestFinishedRing:
+    def test_bounded(self, clock):
+        tracer = Tracer(clock=clock, max_finished=3)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [r.name for r in tracer.finished()]
+        assert names == ["s7", "s8", "s9"]
+
+    def test_export_and_reset(self, tracer, clock):
+        with tracer.span("work", kind="test"):
+            clock.advance(1.0)
+        (exported,) = tracer.export()
+        assert exported["name"] == "work"
+        assert exported["duration"] == pytest.approx(1.0)
+        assert exported["attributes"] == {"kind": "test"}
+        tracer.reset()
+        assert tracer.finished() == ()
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("work") as span:
+            span.set_attribute("k", "v")
+        assert tracer.finished() == ()
+        assert tracer.active_span is None

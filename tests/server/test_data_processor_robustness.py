@@ -1,10 +1,8 @@
 """Data Processor robustness: malformed uploads must not poison the
 pipeline."""
 
-import numpy as np
 import pytest
 
-from repro.common.clock import ManualClock
 from repro.common.geo import LatLon
 from repro.core.features import FeaturePipeline, FeatureSpec, MeanExtractor
 from repro.db import Database, eq

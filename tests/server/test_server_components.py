@@ -1,16 +1,11 @@
 """Tests for the sensing server's backend components."""
 
-import numpy as np
 import pytest
 
-from repro.common.clock import ManualClock
 from repro.common.errors import ConfigurationError, ParticipationError
 from repro.common.geo import LatLon, offset_latlon
 from repro.core.features import FeaturePipeline, FeatureSpec, MeanExtractor
-from repro.db import Database, eq
-from repro.net import NetworkConditions
-from repro.net.transport import Network
-from repro.server import SensingServer
+from repro.db import Database
 from repro.server.app_manager import Application, ApplicationManager
 from repro.server.participation import ParticipationManager, ParticipationStatus
 from repro.server.schemas import create_all_tables

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.common.errors import ValidationError
-from repro.core.scheduling import MobileUser
 from repro.sim.arrivals import poisson_arrivals, uniform_arrivals
 from repro.sim.fieldtest import (
     BurstSettings,
