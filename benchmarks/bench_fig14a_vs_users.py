@@ -7,16 +7,26 @@ users swept 10…50 (step 5), 10 runs per point, baseline = sense every
 toward 50–55 users.
 """
 
+import pytest
+
 from repro.experiments.fig14_scheduling import format_sweep, run_fig14a
 
 
-def test_fig14a_coverage_vs_users(benchmark, request):
+@pytest.mark.parametrize("backend", ["numpy", "reference"])
+def test_fig14a_coverage_vs_users(benchmark, request, backend):
     runs = request.config.getoption("--paper-runs")
     result = benchmark.pedantic(
-        lambda: run_fig14a(runs=runs, seed=0), rounds=1, iterations=1
+        lambda: run_fig14a(runs=runs, seed=0, backend=backend),
+        rounds=1,
+        iterations=1,
     )
     print()
-    print(format_sweep(result, f"Fig. 14(a) — coverage vs users ({runs} runs/point)"))
+    print(
+        format_sweep(
+            result,
+            f"Fig. 14(a) — coverage vs users ({runs} runs/point, {backend})",
+        )
+    )
     for point in result.points:
         assert point.greedy_mean > point.baseline_mean
     benchmark.extra_info["greedy_series"] = result.greedy_series()

@@ -5,16 +5,26 @@ point. Expected shape: both curves rise with budget; greedy dominates by
 a wide margin throughout.
 """
 
+import pytest
+
 from repro.experiments.fig14_scheduling import format_sweep, run_fig14b
 
 
-def test_fig14b_coverage_vs_budget(benchmark, request):
+@pytest.mark.parametrize("backend", ["numpy", "reference"])
+def test_fig14b_coverage_vs_budget(benchmark, request, backend):
     runs = request.config.getoption("--paper-runs")
     result = benchmark.pedantic(
-        lambda: run_fig14b(runs=runs, seed=0), rounds=1, iterations=1
+        lambda: run_fig14b(runs=runs, seed=0, backend=backend),
+        rounds=1,
+        iterations=1,
     )
     print()
-    print(format_sweep(result, f"Fig. 14(b) — coverage vs budget ({runs} runs/point)"))
+    print(
+        format_sweep(
+            result,
+            f"Fig. 14(b) — coverage vs budget ({runs} runs/point, {backend})",
+        )
+    )
     for point in result.points:
         assert point.greedy_mean > point.baseline_mean
     greedy = [point.greedy_mean for point in result.points]

@@ -31,14 +31,30 @@ from repro.core.scheduling.coverage import (
     TriangularKernel,
 )
 from repro.core.scheduling.evaluate import average_coverage, evaluate_instants
-from repro.core.scheduling.greedy import GreedyScheduler, brute_force_optimal
+from repro.core.scheduling.greedy import (
+    GreedyScheduler,
+    argmax_tied_low,
+    brute_force_optimal,
+)
 from repro.core.scheduling.matroid import BudgetPartitionMatroid, Matroid
 from repro.core.scheduling.multikernel import (
     FeatureKernel,
     MultiKernelGreedyScheduler,
     MultiKernelObjective,
 )
-from repro.core.scheduling.objective import CoverageObjective
+from repro.core.scheduling.objective import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    CoverageObjective,
+    clear_kernel_matrix_cache,
+    coverage_of_instants,
+    kernel_matrices,
+    make_objective,
+)
+from repro.core.scheduling.reference import (
+    ReferenceCoverageObjective,
+    reference_coverage_of_instants,
+)
 from repro.core.scheduling.peruser import PerUserGreedyScheduler, per_user_sum_value
 from repro.core.scheduling.problem import (
     MobileUser,
@@ -48,6 +64,8 @@ from repro.core.scheduling.problem import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "BudgetPartitionMatroid",
     "CoverageKernel",
     "CoverageObjective",
@@ -61,12 +79,19 @@ __all__ = [
     "MultiKernelObjective",
     "PerUserGreedyScheduler",
     "PeriodicBaselineScheduler",
+    "ReferenceCoverageObjective",
     "Schedule",
     "SchedulingPeriod",
     "SchedulingProblem",
     "TriangularKernel",
+    "argmax_tied_low",
     "average_coverage",
     "brute_force_optimal",
+    "clear_kernel_matrix_cache",
+    "coverage_of_instants",
     "evaluate_instants",
+    "kernel_matrices",
+    "make_objective",
     "per_user_sum_value",
+    "reference_coverage_of_instants",
 ]

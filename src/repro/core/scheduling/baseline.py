@@ -9,16 +9,23 @@ over the period — which is exactly why the greedy scheduler beats it.
 from __future__ import annotations
 
 from repro.common.validation import require_positive
-from repro.core.scheduling.objective import coverage_of_instants
+from repro.core.scheduling.objective import DEFAULT_BACKEND, coverage_of_instants
 from repro.core.scheduling.problem import Schedule, SchedulingProblem
 
 
 class PeriodicBaselineScheduler:
     """Sense every ``interval_s`` seconds from arrival, budget times."""
 
-    def __init__(self, interval_s: float = 10.0, *, clip_to_departure: bool = True) -> None:
+    def __init__(
+        self,
+        interval_s: float = 10.0,
+        *,
+        clip_to_departure: bool = True,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
         self.interval_s = require_positive(interval_s, "interval_s")
         self.clip_to_departure = clip_to_departure
+        self.backend = backend
 
     def solve(self, problem: SchedulingProblem) -> Schedule:
         """Build the periodic schedule and evaluate its pooled coverage."""
@@ -44,7 +51,9 @@ class PeriodicBaselineScheduler:
         schedule = Schedule(
             problem=problem,
             assignments=assignments,
-            objective_value=coverage_of_instants(period, problem.kernel, pooled),
+            objective_value=coverage_of_instants(
+                period, problem.kernel, pooled, self.backend
+            ),
         )
         schedule.validate()
         return schedule

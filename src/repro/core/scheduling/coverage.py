@@ -34,6 +34,15 @@ class CoverageKernel(Protocol):
         """
         ...
 
+    def cache_key(self) -> tuple:
+        """A hashable identity for the kernel-matrix cache.
+
+        Two kernels with equal keys must map every distance to the same
+        probability; the vectorized objective keys its precomputed
+        |T|×|T| matrices on ``(cache_key, num_instants, spacing)``.
+        """
+        ...
+
 
 class GaussianKernel:
     """``p(d) = exp(-d² / 2σ²)`` — the paper's default."""
@@ -49,6 +58,10 @@ class GaussianKernel:
         # exp(-d²/2σ²) < 1e-9  ⇔  d > σ·sqrt(2·ln 1e9)
         """Distance beyond which the probability drops under 1e-9."""
         return self.sigma * math.sqrt(2.0 * math.log(1e9))
+
+    def cache_key(self) -> tuple:
+        """σ-keyed identity for the kernel-matrix cache."""
+        return ("gaussian", self.sigma)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"GaussianKernel(sigma={self.sigma})"
@@ -68,6 +81,10 @@ class TriangularKernel:
         """The kernel width (exact support)."""
         return self.width
 
+    def cache_key(self) -> tuple:
+        """Width-keyed identity for the kernel-matrix cache."""
+        return ("triangular", self.width)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TriangularKernel(width={self.width})"
 
@@ -85,6 +102,10 @@ class ExponentialKernel:
     def support(self) -> float:
         """Distance beyond which the probability drops under 1e-9."""
         return self.scale * math.log(1e9)
+
+    def cache_key(self) -> tuple:
+        """Scale-keyed identity for the kernel-matrix cache."""
+        return ("exponential", self.scale)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExponentialKernel(scale={self.scale})"

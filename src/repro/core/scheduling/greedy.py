@@ -10,11 +10,23 @@ Two execution strategies produce **identical** schedules:
 
 * ``lazy=False`` — the paper's O(N²) loop: recompute every instant's
   gain each iteration and take the argmax,
-* ``lazy=True`` (default) — lazy evaluation: keep stale gains in a
-  max-heap and only re-evaluate the top; valid because marginal gains
-  only decrease as the solution grows (submodularity). Both variants
-  compute gains with the same code path and break exact ties toward the
-  lower instant index, so their outputs match bitwise.
+* ``lazy=True`` (default) — accelerated evaluation. On the reference
+  backend this is the classic lazy max-heap: keep stale gains and only
+  re-evaluate the top, valid because marginal gains only decrease as
+  the solution grows (submodularity). On the numpy backend the
+  objective *maintains* its gains array incrementally
+  (``maintains_gains``), so re-evaluation is free and the heap is pure
+  overhead — the accelerated path is a dense masked argmax per pick
+  over the maintained array.
+
+All variants read the same maintained/recomputed gain values and break
+exact ties toward the lower instant index, so their outputs match
+bitwise within a backend.
+
+Both strategies run on either coverage backend (``backend="numpy"`` —
+the vectorized default — or ``"reference"``, the scalar specification;
+see docs/SCHEDULING.md). The differential tests pin the two backends to
+identical schedules.
 
 User assignment: when an instant is selected, it is given to the
 feasible user (window contains the instant, budget remaining, instant
@@ -28,13 +40,54 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.common.errors import SchedulingError
 from repro.core.scheduling.matroid import BudgetPartitionMatroid
-from repro.core.scheduling.objective import CoverageObjective, coverage_of_instants
+from repro.core.scheduling.objective import (
+    DEFAULT_BACKEND,
+    CoverageObjective,
+    ReferenceCoverageObjective,
+    coverage_of_instants,
+    make_objective,
+)
 from repro.core.scheduling.problem import Schedule, SchedulingProblem
 from repro.obs import MetricsRegistry, get_metrics
+
+AnyCoverageObjective = CoverageObjective | ReferenceCoverageObjective
+
+#: Sentinel key for infeasible users in the `_pick_user` argmin.
+_INFEASIBLE_KEY = np.iinfo(np.int64).max
+
+
+@dataclass
+class _PickState:
+    """Per-solve user-selection state, maintained by ``_commit``.
+
+    ``window_mask[j, k]`` — instant ``j`` lies in user ``k``'s presence
+    window (static); ``user_key[k] = arrival_rank[k] - remaining[k]·U``
+    (the integer encoding of the (-remaining, arrival, index) selection
+    key); ``budget_ok[k]`` — user ``k`` still has budget.
+    """
+
+    window_mask: np.ndarray
+    user_key: np.ndarray
+    budget_ok: np.ndarray
+
+
+def argmax_tied_low(values: np.ndarray) -> int:
+    """Index of the maximum, breaking exact ties toward the lowest index.
+
+    The explicit tie-break contract every scheduling loop uses: it makes
+    re-runs, the lazy/naive variants and the numpy/reference backends
+    agree on which of several equally good instants is picked. (This is
+    what ``np.argmax`` does — first occurrence — but the contract is
+    load-bearing for the differential tests, so it lives behind a name
+    with a regression test rather than an implementation detail.)
+    """
+    return int(np.argmax(values))
 
 
 class GreedyScheduler:
@@ -51,10 +104,12 @@ class GreedyScheduler:
         *,
         lazy: bool = True,
         min_gain: float = 1e-12,
+        backend: str = DEFAULT_BACKEND,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.lazy = lazy
         self.min_gain = min_gain
+        self.backend = backend
         self.metrics = metrics if metrics is not None else get_metrics()
         # Evaluation counts are accumulated locally inside the loops and
         # reported once per solve, so instrumentation stays off the
@@ -78,24 +133,62 @@ class GreedyScheduler:
     # ------------------------------------------------------------------
     def solve(self, problem: SchedulingProblem) -> Schedule:
         """Compute a schedule for every user of ``problem``."""
-        objective = CoverageObjective(problem.period, problem.kernel)
-        remaining = [user.budget for user in problem.users]
+        objective = make_objective(problem.period, problem.kernel, self.backend)
+        num_users = len(problem.users)
+        remaining = np.array(
+            [user.budget for user in problem.users], dtype=np.int64
+        )
+        # Per-user window bounds and arrivals as arrays: _pick_user is a
+        # handful of vector ops instead of a Python loop over users.
+        user_lo = np.empty(num_users, dtype=np.int64)
+        user_hi = np.empty(num_users, dtype=np.int64)
+        for user_index in range(num_users):
+            user_lo[user_index], user_hi[user_index] = problem.user_window(
+                user_index
+            )
+        # Encode the user-selection key (-remaining, arrival, index) into
+        # one integer per user: arrival_rank orders (arrival, index)
+        # pairs, and remaining shifts by num_users per unit, so an
+        # argmin over ``arrival_rank - remaining * num_users`` picks the
+        # same user as the lexicographic minimum. The key array is
+        # maintained incrementally by _commit (+num_users per pick), and
+        # window membership is precomputed per instant, leaving
+        # _pick_user a mask, a where and an argmin.
+        arrivals = np.array([user.arrival for user in problem.users])
+        arrival_order = np.lexsort((np.arange(num_users), arrivals))
+        arrival_rank = np.empty(num_users, dtype=np.int64)
+        arrival_rank[arrival_order] = np.arange(num_users)
+        window_mask = np.zeros(
+            (problem.period.num_instants, num_users), dtype=bool
+        )
+        for user_index in range(num_users):
+            window_mask[user_lo[user_index] : user_hi[user_index], user_index] = True
+        pick_state = _PickState(
+            window_mask=window_mask,
+            user_key=arrival_rank - remaining * num_users,
+            budget_ok=remaining > 0,
+        )
         # available[j] = number of users that could still take instant j.
         available = np.zeros(problem.period.num_instants, dtype=np.int64)
-        for user_index in range(len(problem.users)):
+        for user_index in range(num_users):
             if remaining[user_index] > 0:
-                lo, hi = problem.user_window(user_index)
-                available[lo:hi] += 1
+                available[user_lo[user_index] : user_hi[user_index]] += 1
         assigned: dict[int, set[int]] = {
-            user_index: set() for user_index in range(len(problem.users))
+            user_index: set() for user_index in range(num_users)
         }
-        if self.lazy:
+        if self.lazy and not getattr(objective, "maintains_gains", False):
             evaluations = self._run_lazy(
-                problem, objective, remaining, available, assigned
+                problem, objective, pick_state, remaining, available, assigned
             )
         else:
-            evaluations = self._run_naive(
-                problem, objective, remaining, available, assigned
+            evaluations = self._run_argmax(
+                problem,
+                objective,
+                pick_state,
+                remaining,
+                available,
+                assigned,
+                dense=self.lazy,
             )
         schedule = Schedule(
             problem=problem,
@@ -128,72 +221,118 @@ class GreedyScheduler:
     # ------------------------------------------------------------------
     @staticmethod
     def _pick_user(
-        problem: SchedulingProblem,
+        pick_state: _PickState,
         instant_index: int,
-        remaining: list[int],
         assigned: dict[int, set[int]],
+        pooled: set[int],
     ) -> int | None:
-        """The feasible user with the most remaining budget, or None."""
-        best: int | None = None
-        for user_index, user in enumerate(problem.users):
-            if remaining[user_index] <= 0:
-                continue
-            if not problem.user_can_sense_at(user_index, instant_index):
-                continue
-            if instant_index in assigned[user_index]:
-                continue
-            if best is None:
-                best = user_index
-                continue
-            current_key = (
-                -remaining[user_index],
-                problem.users[user_index].arrival,
-                user_index,
-            )
-            best_key = (-remaining[best], problem.users[best].arrival, best)
-            if current_key < best_key:
-                best = user_index
-        return best
+        """The feasible user with the most remaining budget, or None.
+
+        Feasible: window contains the instant, budget remaining, instant
+        not already assigned to them. Ties break toward earlier arrival
+        then user order — min of the key (-remaining, arrival, index),
+        encoded as the single maintained integer ``user_key``
+        (``arrival_rank < U``, so any budget difference dominates any
+        rank difference) and resolved with one argmin.
+        """
+        feasible = pick_state.window_mask[instant_index] & pick_state.budget_ok
+        if instant_index in pooled:
+            # Only instants already in the pooled set can be held by a
+            # user; checking membership per feasible user is the rare
+            # path (re-picking an already-chosen instant).
+            for user_index in np.flatnonzero(feasible):
+                if instant_index in assigned[int(user_index)]:
+                    feasible[user_index] = False
+        key = np.where(feasible, pick_state.user_key, _INFEASIBLE_KEY)
+        winner = int(np.argmin(key))
+        if not feasible[winner]:
+            return None
+        return winner
 
     def _commit(
         self,
         problem: SchedulingProblem,
-        objective: CoverageObjective,
+        objective: AnyCoverageObjective,
+        pick_state: _PickState,
         instant_index: int,
         user_index: int,
-        remaining: list[int],
+        remaining: np.ndarray,
         available: np.ndarray,
         assigned: dict[int, set[int]],
-    ) -> None:
+        pooled: set[int],
+    ) -> bool:
+        """Commit a pick; True iff ``available`` changed (user exhausted)."""
         objective.add(instant_index)
         assigned[user_index].add(instant_index)
+        pooled.add(instant_index)
         remaining[user_index] -= 1
+        pick_state.user_key[user_index] += pick_state.budget_ok.shape[0]
         if remaining[user_index] == 0:
+            pick_state.budget_ok[user_index] = False
             lo, hi = problem.user_window(user_index)
             available[lo:hi] -= 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
-    # naive (paper-literal) loop
+    # argmax loop (paper-literal, and the dense maintained-gains path)
     # ------------------------------------------------------------------
-    def _run_naive(
+    def _run_argmax(
         self,
         problem: SchedulingProblem,
-        objective: CoverageObjective,
-        remaining: list[int],
+        objective: AnyCoverageObjective,
+        pick_state: _PickState,
+        remaining: np.ndarray,
         available: np.ndarray,
         assigned: dict[int, set[int]],
+        *,
+        dense: bool,
     ) -> int:
-        """Paper-literal loop; returns the number of gain evaluations."""
+        """Masked argmax per pick; returns the number of gain evaluations.
+
+        ``dense=False`` is the paper-literal loop: every instant's gain
+        is (re)computed each iteration via ``gains_all`` and counted as
+        an evaluation. ``dense=True`` reads the objective's maintained
+        gains array in place — nothing is re-evaluated, so only the one
+        committed read per pick is counted.
+        """
         evaluations = 0
+        pooled: set[int] = set()
+        # ``available`` only changes when a user's budget empties
+        # (_commit reports it), so the feasibility mask is refreshed on
+        # that signal instead of being recomputed every pick.
+        feasible_mask = available > 0
         while True:
-            gains = objective.gains_all()
-            evaluations += problem.period.num_instants
-            feasible_mask = available > 0
-            if not feasible_mask.any():
-                return evaluations
+            if dense:
+                gains = objective.current_gains
+                evaluations += 1
+            else:
+                gains = objective.gains_all()
+                evaluations += problem.period.num_instants
             masked = np.where(feasible_mask, gains, -np.inf)
-            # Walk candidates best-first until one has a user that can
-            # actually take it (a user may already hold the top instant).
+            best = argmax_tied_low(masked)
+            if masked[best] < self.min_gain:
+                return evaluations
+            user_index = self._pick_user(pick_state, best, assigned, pooled)
+            if user_index is not None:
+                if self._commit(
+                    problem,
+                    objective,
+                    pick_state,
+                    best,
+                    user_index,
+                    remaining,
+                    available,
+                    assigned,
+                    pooled,
+                ):
+                    feasible_mask = available > 0
+                continue
+            # The top instant's holders are exhausted — walk candidates
+            # best-first until one has a user that can actually take it.
+            # The stable argsort keeps exact ties in ascending-index
+            # order, extending the same lowest-index tie-break to the
+            # fallback candidates.
             order = np.argsort(-masked, kind="stable")
             committed = False
             for candidate in order:
@@ -202,18 +341,21 @@ class GreedyScheduler:
                 if masked[candidate] < self.min_gain:
                     return evaluations
                 user_index = self._pick_user(
-                    problem, int(candidate), remaining, assigned
+                    pick_state, int(candidate), assigned, pooled
                 )
                 if user_index is not None:
-                    self._commit(
+                    if self._commit(
                         problem,
                         objective,
+                        pick_state,
                         int(candidate),
                         user_index,
                         remaining,
                         available,
                         assigned,
-                    )
+                        pooled,
+                    ):
+                        feasible_mask = available > 0
                     committed = True
                     break
             if not committed:
@@ -225,13 +367,15 @@ class GreedyScheduler:
     def _run_lazy(
         self,
         problem: SchedulingProblem,
-        objective: CoverageObjective,
-        remaining: list[int],
+        objective: AnyCoverageObjective,
+        pick_state: _PickState,
+        remaining: np.ndarray,
         available: np.ndarray,
         assigned: dict[int, set[int]],
     ) -> int:
         """Lazy-heap loop; returns the number of gain (re-)evaluations."""
         num_instants = problem.period.num_instants
+        pooled: set[int] = set()
         gains = objective.gains_all()
         evaluations = num_instants  # the initial full sweep
         # Heap entries: (-gain, instant). Stale entries are re-evaluated
@@ -244,7 +388,7 @@ class GreedyScheduler:
             if available[instant] > 0
         ]
         heapq.heapify(heap)
-        budget_left = sum(remaining)
+        budget_left = int(remaining.sum())
         while budget_left > 0 and heap:
             negative_gain, instant_index = heapq.heappop(heap)
             if available[instant_index] <= 0:
@@ -266,20 +410,32 @@ class GreedyScheduler:
                     continue
             if current_gain < self.min_gain:
                 return evaluations
-            user_index = self._pick_user(problem, instant_index, remaining, assigned)
+            user_index = self._pick_user(
+                pick_state, instant_index, assigned, pooled
+            )
             if user_index is None:
                 # Someone covers this instant but every holder already has
                 # it; it cannot be scheduled again, drop it permanently
                 # (pooled gain of a chosen instant is 0 anyway).
                 continue
             self._commit(
-                problem, objective, instant_index, user_index, remaining, available, assigned
+                problem,
+                objective,
+                pick_state,
+                instant_index,
+                user_index,
+                remaining,
+                available,
+                assigned,
+                pooled,
             )
             budget_left -= 1
         return evaluations
 
 
-def brute_force_optimal(problem: SchedulingProblem) -> tuple[float, Schedule]:
+def brute_force_optimal(
+    problem: SchedulingProblem, *, backend: str = DEFAULT_BACKEND
+) -> tuple[float, Schedule]:
     """Exact optimum by exhaustive search (tiny instances only).
 
     Enumerates pooled instant sets together with a feasibility check via
@@ -321,7 +477,9 @@ def brute_force_optimal(problem: SchedulingProblem) -> tuple[float, Schedule]:
         for candidate in itertools.combinations(all_instants, size):
             if not assignable(candidate):
                 continue
-            value = coverage_of_instants(problem.period, problem.kernel, set(candidate))
+            value = coverage_of_instants(
+                problem.period, problem.kernel, set(candidate), backend
+            )
             if value > best_value + 1e-12:
                 best_value = value
                 best_set = candidate

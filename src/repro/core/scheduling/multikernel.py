@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.core.scheduling.coverage import CoverageKernel
-from repro.core.scheduling.objective import CoverageObjective
+from repro.core.scheduling.greedy import argmax_tied_low
+from repro.core.scheduling.objective import DEFAULT_BACKEND, make_objective
 from repro.core.scheduling.problem import Schedule, SchedulingPeriod, SchedulingProblem
 
 
@@ -49,7 +50,11 @@ class MultiKernelObjective:
     """Weighted sum of per-feature coverage objectives."""
 
     def __init__(
-        self, period: SchedulingPeriod, features: list[FeatureKernel]
+        self,
+        period: SchedulingPeriod,
+        features: list[FeatureKernel],
+        *,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         if not features:
             raise ValidationError("need at least one feature kernel")
@@ -58,8 +63,9 @@ class MultiKernelObjective:
             raise ValidationError("duplicate feature names")
         self.period = period
         self.features = list(features)
+        self.backend = backend
         self._objectives = [
-            CoverageObjective(period, feature.kernel) for feature in features
+            make_objective(period, feature.kernel, backend) for feature in features
         ]
 
     @property
@@ -106,11 +112,18 @@ class MultiKernelObjective:
 class MultiKernelGreedyScheduler:
     """Greedy over the blended objective (same matroid constraint)."""
 
-    def __init__(self, features: list[FeatureKernel], *, min_gain: float = 1e-12) -> None:
+    def __init__(
+        self,
+        features: list[FeatureKernel],
+        *,
+        min_gain: float = 1e-12,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
         if not features:
             raise ValidationError("need at least one feature kernel")
         self.features = list(features)
         self.min_gain = min_gain
+        self.backend = backend
 
     def solve(self, problem: SchedulingProblem) -> Schedule:
         """Schedule ``problem``'s users against the blended objective.
@@ -118,7 +131,9 @@ class MultiKernelGreedyScheduler:
         ``problem.kernel`` is ignored — coverage comes from the feature
         kernels this scheduler was built with.
         """
-        objective = MultiKernelObjective(problem.period, self.features)
+        objective = MultiKernelObjective(
+            problem.period, self.features, backend=self.backend
+        )
         remaining = [user.budget for user in problem.users]
         available = np.zeros(problem.period.num_instants, dtype=np.int64)
         for user_index in range(len(problem.users)):
@@ -131,7 +146,7 @@ class MultiKernelGreedyScheduler:
         while available.max(initial=0) > 0:
             gains = objective.gains_fast()
             masked = np.where(available > 0, gains, -np.inf)
-            best = int(np.argmax(masked))
+            best = argmax_tied_low(masked)
             if masked[best] < self.min_gain:
                 break
             user_index = self._pick_user(problem, best, remaining, assigned)

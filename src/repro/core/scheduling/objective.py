@@ -1,52 +1,296 @@
-"""The submodular coverage objective, maintained incrementally.
+"""The submodular coverage objective — vectorized numpy backend.
 
 ``f(Ψ) = Σ_j p(t_j, Ψ)`` with ``p(t_j, Ψ) = 1 - Π_{t_i∈Ψ}(1 - p_ij)``
-(paper equations (1) and (4)). The implementation keeps, per instant j,
-the survival product ``s_j = Π(1 - p_ij)``, so
+(paper equations (1) and (4)). Two backends implement the same
+incremental interface:
 
-* the objective is ``N - Σ_j s_j`` minus the never-covered remainder —
-  concretely ``Σ_j (1 - s_j)``,
-* the marginal gain of adding instant i is ``Σ_j s_j · p_ij``, non-zero
-  only inside the kernel's support window around i,
-* adding instant i multiplies ``s_j`` by ``(1 - p_ij)`` inside that
-  window.
+* ``"numpy"`` (this module, :class:`CoverageObjective`) — the hot path.
+  It precomputes the |T|×|T| kernel matrix ``P[i,j] = p(|i-j|·Δ)`` once
+  per (kernel, horizon) in a σ-keyed cache, and maintains two coverage
+  representations side by side. The *gain path* keeps the survival
+  products ``s_j = Π_{i∈Ψ}(1 - p_ij)`` directly, updated by windowed
+  elementwise multiplies — bitwise identical to the scalar reference's
+  products, which is what keeps the two backends' exact-tie structure
+  (and therefore their greedy schedules) in lockstep. The *value path*
+  keeps ``ℓ_j = Σ_{i∈Ψ} log1p(-p_ij)`` so :meth:`CoverageObjective.value`
+  evaluates ``Σ_j (1 - exp(ℓ_j))`` in log-space. Adding a measurement
+  is two windowed vector updates plus a banded recompute of the
+  *maintained marginal-gains array* over the (at most) ``4w+1``
+  instants whose gain changed — every operation O(window), none O(|T|).
+  Reading a marginal gain is then O(1), which is what makes the greedy
+  schedulers fast: they stop re-evaluating gains entirely.
+* ``"reference"`` (:mod:`repro.core.scheduling.reference`) — the
+  scalar specification the numpy backend is differentially tested
+  against (values to 1e-9, identical greedy schedules).
 
-Both queries cost O(window), which is what makes the greedy scheduler
-fast (the paper's O(N²) bound is for the naive re-evaluation variant).
+The maintained gains are *recomputed* (not delta-updated) over the
+affected band using a per-element operation sequence that never varies
+with the slice — outward by distance, pairing ``w_d · (s_{j-d} +
+s_{j+d})``. Recomputation keeps untouched plateau stretches bitwise
+equal to freshly computed ones (a delta update would smear rounding
+noise over them and break exact ties); the distance pairing makes
+mirror-symmetric survival profiles produce bitwise-equal mirrored
+gains; a slice-independent reduction tree makes translated copies of
+the same survival pattern produce bitwise-equal gains. These
+properties are what let the lowest-index argmax land on the same
+instant as the reference backend, which pairs its scalar accumulation
+the same way.
+
+Both backends truncate the kernel at its support window (p < 1e-9 ≡ 0),
+so they compute the same mathematical function and differ only in
+floating-point rounding. The log-space error bound: each ``log1p``/
+``exp`` pair is accurate to ~2 ulp, the row-sum over |Ψ| picks adds
+|Ψ|·ulp of relative error to ℓ_j, so ``|s_j^numpy - s_j^ref| ≲
+(|Ψ|+4)·ε·s_j`` with ε = 2⁻⁵² — summed over |T| instants the objective
+values agree to ~|T|·|Ψ|·ε ≈ 1e-9 at far beyond paper scale (|T| =
+1080, |Ψ| ≈ 700 gives ~4e-10).
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.common.errors import SchedulingError
 from repro.core.scheduling.coverage import CoverageKernel
 from repro.core.scheduling.problem import SchedulingPeriod
+from repro.core.scheduling.reference import (
+    ReferenceCoverageObjective,
+    reference_coverage_of_instants,
+)
+from repro.obs import get_metrics
+
+#: The selectable scheduling-core backends.
+BACKENDS = ("numpy", "reference")
+DEFAULT_BACKEND = "numpy"
 
 
+# ----------------------------------------------------------------------
+# kernel-matrix cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelMatrices:
+    """Precomputed per-(kernel, horizon) arrays shared across objectives.
+
+    ``probability`` is the |T|×|T| coverage matrix (Toeplitz: row i is
+    the kernel weights centred on i, zero outside the support window);
+    ``complement`` is ``1 - probability`` (the survival-product update
+    rows — the same ``1 - w_d`` values the scalar reference multiplies
+    by, so the two backends' survival products are bitwise identical);
+    ``log_complement`` is ``log1p(-probability)`` (the log-space add
+    rows, −inf on the diagonal where p = 1). Frozen: objectives must
+    treat the arrays as read-only because they are shared via the cache.
+    """
+
+    window: int
+    weights: np.ndarray
+    probability: np.ndarray
+    complement: np.ndarray
+    log_complement: np.ndarray
+
+
+_MATRIX_CACHE: OrderedDict[tuple, KernelMatrices] = OrderedDict()
+_MATRIX_CACHE_CAPACITY = 16
+
+
+def _build_matrices(period: SchedulingPeriod, kernel: CoverageKernel) -> KernelMatrices:
+    num_instants = period.num_instants
+    spacing = period.spacing
+    window = int(math.ceil(kernel.support() / spacing))
+    window = min(window, num_instants - 1)
+    weights = np.array(
+        [kernel.probability(d * spacing) for d in range(window + 1)]
+    )
+    padded = np.zeros(num_instants)
+    padded[: window + 1] = weights
+    offsets = np.abs(
+        np.arange(num_instants)[:, None] - np.arange(num_instants)[None, :]
+    )
+    probability = padded[offsets]
+    complement = 1.0 - probability
+    with np.errstate(divide="ignore"):
+        log_complement = np.log1p(-probability)
+    probability.setflags(write=False)
+    complement.setflags(write=False)
+    log_complement.setflags(write=False)
+    weights.setflags(write=False)
+    return KernelMatrices(
+        window=window,
+        weights=weights,
+        probability=probability,
+        complement=complement,
+        log_complement=log_complement,
+    )
+
+
+def kernel_matrices(period: SchedulingPeriod, kernel: CoverageKernel) -> KernelMatrices:
+    """The cached |T|×|T| kernel matrices for a (kernel, horizon) pair.
+
+    Keyed on ``(kernel.cache_key(), num_instants, spacing)``; kernels
+    without a ``cache_key`` are built fresh every time (correct, just
+    uncached). The cache is a small LRU so σ-sweeps don't grow memory
+    without bound.
+    """
+    metrics = get_metrics()
+    key_fn = getattr(kernel, "cache_key", None)
+    key = (
+        (key_fn(), period.num_instants, period.spacing)
+        if callable(key_fn)
+        else None
+    )
+    if key is not None:
+        cached = _MATRIX_CACHE.get(key)
+        if cached is not None:
+            _MATRIX_CACHE.move_to_end(key)
+            metrics.counter(
+                "sor_kernel_matrix_cache_hits_total",
+                "kernel-matrix cache hits",
+            ).inc()
+            return cached
+    built = _build_matrices(period, kernel)
+    metrics.counter(
+        "sor_kernel_matrix_builds_total",
+        "|T|x|T| kernel matrices computed (cache misses + uncacheable)",
+    ).inc()
+    if key is not None:
+        _MATRIX_CACHE[key] = built
+        while len(_MATRIX_CACHE) > _MATRIX_CACHE_CAPACITY:
+            _MATRIX_CACHE.popitem(last=False)
+    return built
+
+
+def clear_kernel_matrix_cache() -> None:
+    """Drop every cached kernel matrix (tests and memory pressure)."""
+    _MATRIX_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# vectorized objective
+# ----------------------------------------------------------------------
 class CoverageObjective:
-    """Incremental pooled-coverage objective over a set of instants.
+    """Incremental pooled-coverage objective, numpy backend.
 
     The pooled (set) semantics match the paper's reformulation (4): a
     second measurement at an instant already in the set contributes
     nothing (Ψ is a set of time instants).
+
+    Maintains the full marginal-gains array alongside the survival
+    products: :meth:`add` recomputes the band of gains its pick
+    perturbed (O(window²) element ops, a handful of vector calls) and
+    :meth:`gain` is an O(1) array read. See the module docstring for
+    why the band is *recomputed* in the initial sweep's exact operation
+    order rather than delta-updated — the tie discipline the
+    cross-backend differential tests pin down depends on it.
     """
+
+    backend = "numpy"
+    #: Gains are maintained incrementally; schedulers use this to pick
+    #: the dense argmax loop over the lazy heap (re-evaluation is free).
+    maintains_gains = True
 
     def __init__(self, period: SchedulingPeriod, kernel: CoverageKernel) -> None:
         self.period = period
         self.kernel = kernel
-        spacing = period.spacing
-        window = int(math.ceil(kernel.support() / spacing))
-        window = min(window, period.num_instants - 1)
-        # weights[d] = p(d · spacing); weights[0] is 1 for any sane kernel.
-        self.window = window
-        self.weights = np.array(
-            [kernel.probability(d * spacing) for d in range(window + 1)]
-        )
-        self.survival = np.ones(period.num_instants)
+        matrices = kernel_matrices(period, kernel)
+        self.window = matrices.window
+        self.weights = matrices.weights
+        self._probability = matrices.probability
+        self._complement = matrices.complement
+        self._log_complement = matrices.log_complement
+        num_instants = period.num_instants
+        self._log_survival = np.zeros(num_instants)
+        # Survival products live inside a zero-padded buffer so the
+        # banded gains recompute can shift by ±d without bounds checks:
+        # the padding contributes exact 0.0 terms, which never perturb a
+        # float sum. ``survival`` is a live view of the centre, and is
+        # maintained *multiplicatively* — elementwise vector multiplies
+        # round exactly like the scalar reference's, so the two
+        # backends' survival products (and hence their exact-tie
+        # structure) are bitwise identical given the same picks.
+        self._padded_survival = np.zeros(num_instants + 2 * self.window)
+        self._padded_survival[self.window : self.window + num_instants] = 1.0
+        self.survival = self._padded_survival[
+            self.window : self.window + num_instants
+        ]
         self._chosen: set[int] = set()
+        self._chosen_mask = np.zeros(num_instants, dtype=bool)
+        # Shift views into the padded buffer, built once: row k of
+        # ``shifts`` sees survival shifted by offset (k - window), so a
+        # recompute slices columns instead of re-deriving strides.
+        shifts = np.lib.stride_tricks.sliding_window_view(
+            self._padded_survival, num_instants
+        )
+        self._shift_center = shifts[self.window]
+        self._shift_left = shifts[self.window - 1 :: -1] if self.window else None
+        self._shift_right = shifts[self.window + 1 :] if self.window else None
+        self._gains = np.empty(num_instants)
+        # The recompute walks the band in column blocks so its scratch
+        # rows stay cache-resident across the add/multiply/fold passes
+        # (one (window × band) buffer streamed ~5× per pick is memory
+        # traffic, not compute). Columns are independent in every pass —
+        # the fold tree runs over rows — so blocking never changes a
+        # single float operation. Block width targets ~128 KiB of
+        # scratch; the buffer is allocated once, so the hot path
+        # allocates nothing.
+        if self.window:
+            self._block_columns = max(64, 16384 // self.window)
+            self._terms_buffer = np.empty((self.window, self._block_columns))
+        else:
+            self._block_columns = num_instants
+            self._terms_buffer = None
+        self._recompute_gains(0, num_instants)
+
+    def _recompute_gains(self, lo: int, hi: int) -> None:
+        """Recompute the maintained gains over instants ``[lo, hi)``.
+
+        ``gain(j) = w_0·s_j + fold_d[w_d·(s_{j-d} + s_{j+d})]`` — the
+        summation order is part of the backend contract (see
+        :func:`fold_tree_sum` in the reference module): the neighbour
+        pair at each distance is added first, and the distance terms
+        are folded with the tail-onto-head halving tree. Per element
+        this is the exact operation sequence of the scalar reference
+        ``gain``, so with bitwise-identical survival the two backends'
+        gains are bitwise identical — including every exact tie, which
+        is what the greedy lowest-index tie-break needs to produce
+        identical schedules. The tree depends only on the window, never
+        on the slice bounds, so a recompute also reproduces untouched
+        plateau values bitwise.
+        """
+        if not self.window:
+            segment = self._gains[lo:hi]
+            np.multiply(self._shift_center[lo:hi], self.weights[0], out=segment)
+            np.copyto(segment, 0.0, where=self._chosen_mask[lo:hi])
+            return
+        column_weights = self.weights[1:, np.newaxis]
+        for block_lo in range(lo, hi, self._block_columns):
+            block_hi = min(hi, block_lo + self._block_columns)
+            segment = self._gains[block_lo:block_hi]
+            np.multiply(
+                self._shift_center[block_lo:block_hi], self.weights[0], out=segment
+            )
+            # Row d-1 pairs the two neighbours at distance d; then fold
+            # rows tail-onto-head (``terms[i] += terms[i + rest]``) —
+            # O(log window) vector ops, head/tail slices never overlap.
+            # The scratch buffer keeps this allocation-free; `out=`
+            # changes nothing about the operation order.
+            terms = self._terms_buffer[:, : block_hi - block_lo]
+            np.add(
+                self._shift_left[:, block_lo:block_hi],
+                self._shift_right[:, block_lo:block_hi],
+                out=terms,
+            )
+            np.multiply(terms, column_weights, out=terms)
+            count = self.window
+            while count > 1:
+                half = count // 2
+                rest = count - half
+                terms[:half] += terms[rest:count]
+                count = rest
+            segment += terms[0]
+            np.copyto(segment, 0.0, where=self._chosen_mask[block_lo:block_hi])
 
     # ------------------------------------------------------------------
     # queries
@@ -56,8 +300,16 @@ class CoverageObjective:
         return frozenset(self._chosen)
 
     def value(self) -> float:
-        """Current objective ``Σ_j (1 - s_j)``."""
-        return float(self.period.num_instants - self.survival.sum())
+        """Current objective ``Σ_j (1 - s_j)`` via the log-space state.
+
+        ``s_j = exp(ℓ_j)`` with ``ℓ_j = Σ_{i∈Ψ} log1p(-p_ij)`` — the
+        accumulation whose error bound the module docstring derives.
+        The differential tests check it against the reference backend's
+        plain products to 1e-9.
+        """
+        return float(
+            self.period.num_instants - np.exp(self._log_survival).sum()
+        )
 
     def average_coverage(self) -> float:
         """Objective divided by N (the paper's reported metric)."""
@@ -67,59 +319,63 @@ class CoverageObjective:
         """Per-instant coverage probabilities ``1 - s_j``."""
         return 1.0 - self.survival
 
+    @property
+    def current_gains(self) -> np.ndarray:
+        """The live maintained marginal-gains array (treat as read-only).
+
+        Chosen instants are held at exactly 0.0. Schedulers read this
+        directly — copy before mutating.
+        """
+        return self._gains
+
     def gain(self, instant_index: int) -> float:
-        """Marginal gain of adding ``instant_index`` to the current set."""
+        """Marginal gain of adding ``instant_index``: an O(1) array read."""
         if instant_index in self._chosen:
             return 0.0
-        lo = max(0, instant_index - self.window)
-        hi = min(self.period.num_instants, instant_index + self.window + 1)
-        offsets = np.abs(np.arange(lo, hi) - instant_index)
-        return float(np.dot(self.survival[lo:hi], self.weights[offsets]))
+        return float(self._gains[instant_index])
 
     def gains_all(self) -> np.ndarray:
-        """Marginal gains of every instant (for the naive greedy loop).
+        """Marginal gains of every instant (a copy of the maintained array).
 
-        Computed instant-by-instant with :meth:`gain` so the values are
-        bitwise identical to what the lazy loop re-evaluates — exact ties
-        then resolve the same way in both variants.
+        Bitwise identical to per-instant :meth:`gain` reads by
+        construction, so the lazy/naive greedy variants resolve exact
+        ties the same way.
         """
-        return np.array([self.gain(j) for j in range(self.period.num_instants)])
+        return self._gains.copy()
 
     def gains_fast(self) -> np.ndarray:
-        """Vectorized marginal gains (correlation of survival with kernel).
-
-        Numerically equal to :meth:`gains_all` up to summation order;
-        used by the online scheduler where bitwise tie agreement with the
-        lazy loop does not matter.
-        """
-        n = self.period.num_instants
-        gains = np.zeros(n)
-        for offset in range(-self.window, self.window + 1):
-            weight = self.weights[abs(offset)]
-            lo_dst = max(0, -offset)
-            hi_dst = n - max(0, offset)
-            gains[lo_dst:hi_dst] += (
-                weight * self.survival[lo_dst + offset : hi_dst + offset]
-            )
-        for chosen_index in self._chosen:
-            gains[chosen_index] = 0.0
-        return gains
+        """Same values as :meth:`gains_all` — kept as the historical name
+        for the vectorized path; both are now O(|T|) copies of the
+        maintained array."""
+        return self._gains.copy()
 
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def add(self, instant_index: int) -> float:
-        """Add an instant; returns its realized marginal gain."""
+        """Add an instant; returns its realized marginal gain.
+
+        Two windowed vector updates — the survival products
+        ``s *= 1 - P[i]`` (the gain path, bitwise-pinned to the
+        reference backend) and the log-space state ``ℓ += log1p(-P[i])``
+        (the value path) — followed by the banded recompute of the
+        maintained gains over :meth:`affected_range`. Rows are zero
+        outside the support window, so untouched instants keep s = 1
+        and ℓ = 0 exactly. Everything is O(window), independent of both
+        the horizon length and how many picks came before.
+        """
         if not 0 <= instant_index < self.period.num_instants:
             raise SchedulingError(f"instant index {instant_index} out of range")
-        gain = self.gain(instant_index)
         if instant_index in self._chosen:
             return 0.0
+        gain = float(self._gains[instant_index])
         lo = max(0, instant_index - self.window)
         hi = min(self.period.num_instants, instant_index + self.window + 1)
-        offsets = np.abs(np.arange(lo, hi) - instant_index)
-        self.survival[lo:hi] *= 1.0 - self.weights[offsets]
+        self.survival[lo:hi] *= self._complement[instant_index, lo:hi]
+        self._log_survival[lo:hi] += self._log_complement[instant_index, lo:hi]
         self._chosen.add(instant_index)
+        self._chosen_mask[instant_index] = True
+        self._recompute_gains(*self.affected_range(instant_index))
         return gain
 
     def affected_range(self, instant_index: int) -> tuple[int, int]:
@@ -133,11 +389,50 @@ class CoverageObjective:
         return lo, hi
 
 
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+def make_objective(
+    period: SchedulingPeriod,
+    kernel: CoverageKernel,
+    backend: str = DEFAULT_BACKEND,
+) -> CoverageObjective | ReferenceCoverageObjective:
+    """Construct the coverage objective for the requested backend."""
+    if backend == "numpy":
+        return CoverageObjective(period, kernel)
+    if backend == "reference":
+        return ReferenceCoverageObjective(period, kernel)
+    raise SchedulingError(
+        f"unknown scheduling backend {backend!r}; expected one of {BACKENDS}"
+    )
+
+
 def coverage_of_instants(
-    period: SchedulingPeriod, kernel: CoverageKernel, instants: set[int] | list[int]
+    period: SchedulingPeriod,
+    kernel: CoverageKernel,
+    instants: set[int] | list[int],
+    backend: str = DEFAULT_BACKEND,
 ) -> float:
-    """One-shot objective value of a pooled instant set."""
-    objective = CoverageObjective(period, kernel)
-    for instant_index in set(instants):
+    """One-shot objective value of a pooled instant set.
+
+    Instants are added in sorted order so both backends accumulate
+    rounding identically run-to-run.
+    """
+    objective = make_objective(period, kernel, backend)
+    for instant_index in sorted(set(instants)):
         objective.add(instant_index)
     return objective.value()
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "CoverageObjective",
+    "KernelMatrices",
+    "ReferenceCoverageObjective",
+    "clear_kernel_matrix_cache",
+    "coverage_of_instants",
+    "kernel_matrices",
+    "make_objective",
+    "reference_coverage_of_instants",
+]

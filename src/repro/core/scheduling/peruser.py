@@ -23,16 +23,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.scheduling.objective import CoverageObjective
+from repro.core.scheduling.greedy import argmax_tied_low
+from repro.core.scheduling.objective import DEFAULT_BACKEND, make_objective
 from repro.core.scheduling.problem import Schedule, SchedulingProblem
 
 
-def per_user_sum_value(schedule: Schedule) -> float:
+def per_user_sum_value(schedule: Schedule, *, backend: str = DEFAULT_BACKEND) -> float:
     """Evaluate a schedule under equation (2): Σ_k f(Φ_k)."""
     problem = schedule.problem
     total = 0.0
     for user in problem.users:
-        objective = CoverageObjective(problem.period, problem.kernel)
+        objective = make_objective(problem.period, problem.kernel, backend)
         for instant in schedule.assignments.get(user.user_id, []):
             objective.add(instant)
         total += objective.value()
@@ -48,8 +49,9 @@ class PerUserGreedyScheduler:
     interleaving — the behaviour the pooled objective avoids.
     """
 
-    def __init__(self, *, min_gain: float = 1e-12) -> None:
+    def __init__(self, *, min_gain: float = 1e-12, backend: str = DEFAULT_BACKEND) -> None:
         self.min_gain = min_gain
+        self.backend = backend
 
     def solve(self, problem: SchedulingProblem) -> Schedule:
         """Schedule every user independently; returns the combined plan.
@@ -60,7 +62,7 @@ class PerUserGreedyScheduler:
         total = 0.0
         for user_index, user in enumerate(problem.users):
             lo, hi = problem.user_window(user_index)
-            objective = CoverageObjective(problem.period, problem.kernel)
+            objective = make_objective(problem.period, problem.kernel, self.backend)
             chosen: list[int] = []
             for _ in range(user.budget):
                 if hi <= lo:
@@ -68,7 +70,7 @@ class PerUserGreedyScheduler:
                 gains = objective.gains_fast()[lo:hi]
                 for instant in chosen:
                     gains[instant - lo] = -np.inf
-                best = int(np.argmax(gains))
+                best = argmax_tied_low(gains)
                 if gains[best] < self.min_gain:
                     break
                 objective.add(lo + best)

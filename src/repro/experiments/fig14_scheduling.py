@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.scheduling import (
+    DEFAULT_BACKEND,
     GaussianKernel,
     GreedyScheduler,
     PeriodicBaselineScheduler,
@@ -81,11 +82,12 @@ class SweepResult:
 
 
 def _one_point(
-    *, users_count: int, budget: int, runs: int, seed: int
+    *, users_count: int, budget: int, runs: int, seed: int,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepPoint:
     period = SchedulingPeriod(0.0, PERIOD_S, NUM_INSTANTS)
     kernel = GaussianKernel(sigma=SIGMA_S)
-    greedy = GreedyScheduler()
+    greedy = GreedyScheduler(backend=backend)
     baseline = PeriodicBaselineScheduler(interval_s=BASELINE_INTERVAL_S)
     greedy_values = []
     baseline_values = []
@@ -104,24 +106,36 @@ def _one_point(
     )
 
 
-def run_fig14a(*, runs: int = DEFAULT_RUNS, seed: int = 0) -> SweepResult:
+def run_fig14a(
+    *, runs: int = DEFAULT_RUNS, seed: int = 0, backend: str = DEFAULT_BACKEND
+) -> SweepResult:
     """Fig. 14(a): average coverage vs number of mobile users."""
     result = SweepResult(x_label="number of mobile users")
     for users_count in USER_SWEEP:
         result.points.append(
             _one_point(
-                users_count=users_count, budget=FIXED_BUDGET, runs=runs, seed=seed
+                users_count=users_count,
+                budget=FIXED_BUDGET,
+                runs=runs,
+                seed=seed,
+                backend=backend,
             )
         )
     return result
 
 
-def run_fig14b(*, runs: int = DEFAULT_RUNS, seed: int = 0) -> SweepResult:
+def run_fig14b(
+    *, runs: int = DEFAULT_RUNS, seed: int = 0, backend: str = DEFAULT_BACKEND
+) -> SweepResult:
     """Fig. 14(b): average coverage vs sensing budget."""
     result = SweepResult(x_label="budget")
     for budget in BUDGET_SWEEP:
         point = _one_point(
-            users_count=FIXED_USERS, budget=budget, runs=runs, seed=seed
+            users_count=FIXED_USERS,
+            budget=budget,
+            runs=runs,
+            seed=seed,
+            backend=backend,
         )
         point.x = budget
         result.points.append(point)

@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.common.clock import Clock
 from repro.common.errors import SchedulingError
-from repro.core.scheduling import CoverageObjective, GaussianKernel, SchedulingPeriod
+from repro.core.scheduling import (
+    DEFAULT_BACKEND,
+    GaussianKernel,
+    SchedulingPeriod,
+    argmax_tied_low,
+    make_objective,
+)
 from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
 from repro.server.app_manager import Application
 from repro.server.participation import ParticipationManager
@@ -29,14 +35,15 @@ from repro.server.participation import ParticipationManager
 class _AppSchedulerState:
     """Per-application incremental coverage state."""
 
-    def __init__(self, application: Application) -> None:
+    def __init__(self, application: Application, backend: str = DEFAULT_BACKEND) -> None:
         self.period = SchedulingPeriod(
             application.period_start,
             application.period_end,
             application.num_instants,
         )
         self.kernel = GaussianKernel(sigma=application.coverage_sigma_s)
-        self.objective = CoverageObjective(self.period, self.kernel)
+        self.backend = backend
+        self.objective = make_objective(self.period, self.kernel, backend)
         self.scheduled_counts: dict[str, int] = {}
 
     def schedule_user(
@@ -61,7 +68,7 @@ class _AppSchedulerState:
             if already:
                 for index in already:
                     gains[index - lo] = -np.inf
-            best_offset = int(np.argmax(gains))
+            best_offset = argmax_tied_low(gains)
             if gains[best_offset] <= 1e-12:
                 break
             instant = lo + best_offset
@@ -86,11 +93,13 @@ class SensingSchedulerService:
         participation: ParticipationManager,
         clock: Clock,
         *,
+        backend: str = DEFAULT_BACKEND,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         self.participation = participation
         self.clock = clock
+        self.backend = backend
         self._states: dict[str, _AppSchedulerState] = {}
         self.metrics = metrics if metrics is not None else get_metrics()
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -115,7 +124,7 @@ class SensingSchedulerService:
         """The per-application incremental coverage state (lazily built)."""
         state = self._states.get(application.app_id)
         if state is None:
-            state = _AppSchedulerState(application)
+            state = _AppSchedulerState(application, self.backend)
             self._states[application.app_id] = state
         return state
 

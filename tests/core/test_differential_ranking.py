@@ -1,0 +1,128 @@
+"""Differential tests pinning the ranking aggregation to scipy.
+
+The footrule aggregation is a min-cost perfect matching solved by our
+successive-shortest-paths flow solver; scipy's
+``linear_sum_assignment`` (Jonker–Volgenant) solves the same assignment
+problem by a completely different algorithm, which makes it an ideal
+cross-implementation oracle:
+
+* on random cost matrices, the flow solver's total cost must equal the
+  scipy optimum,
+* on random ranking collections, the aggregate produced by
+  :func:`aggregate_footrule` must *achieve* the scipy-optimal footrule
+  cost (not just approximate it — the constraint matrix is totally
+  unimodular, so the LP optimum is integral and attained),
+* the footrule aggregate's weighted Kemeny distance stays within the
+  theoretical 2× of the exact (brute-force) Kemeny optimum on ≤6
+  places.
+
+Run with ``--hypothesis-seed=0`` in CI for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.ranking import (
+    Ranking,
+    aggregate_footrule,
+    brute_force_kemeny,
+    weighted_kemeny_distance,
+)
+from repro.core.ranking.aggregate import footrule_cost_matrix
+from repro.core.ranking.distances import weighted_footrule_distance
+from repro.core.ranking.mincostflow import MinCostFlow
+
+
+def _flow_assignment_cost(cost: np.ndarray) -> float:
+    """Total cost of a min-cost perfect matching via our flow solver.
+
+    Same graph shape as :func:`aggregate_footrule`: source → rows →
+    columns → sink, all capacities 1.
+    """
+    count = cost.shape[0]
+    network = MinCostFlow(2 * count + 2)
+    source, sink = 0, 2 * count + 1
+    for row in range(count):
+        network.add_edge(source, 1 + row, 1, 0.0)
+        for column in range(count):
+            network.add_edge(1 + row, 1 + count + column, 1, float(cost[row, column]))
+    for column in range(count):
+        network.add_edge(1 + count + column, sink, 1, 0.0)
+    return network.solve(source, sink, count)
+
+
+def cost_matrices(max_size: int = 7):
+    @st.composite
+    def build(draw):
+        size = draw(st.integers(min_value=1, max_value=max_size))
+        values = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=size * size,
+                max_size=size * size,
+            )
+        )
+        return np.array(values).reshape(size, size)
+
+    return build()
+
+
+def ranking_collections(max_items: int = 6, max_rankings: int = 5):
+    @st.composite
+    def build(draw):
+        num_items = draw(st.integers(min_value=1, max_value=max_items))
+        num_rankings = draw(st.integers(min_value=1, max_value=max_rankings))
+        items = [f"place-{index}" for index in range(num_items)]
+        collection = []
+        for _ in range(num_rankings):
+            order = draw(st.permutations(items))
+            collection.append(Ranking(order))
+        weights = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=9),
+                min_size=num_rankings,
+                max_size=num_rankings,
+            )
+        )
+        return collection, [float(weight) for weight in weights]
+
+    return build()
+
+
+class TestFlowMatchesScipy:
+    @given(cost=cost_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_min_cost_matching_equals_linear_sum_assignment(self, cost):
+        rows, columns = linear_sum_assignment(cost)
+        scipy_cost = float(cost[rows, columns].sum())
+        assert _flow_assignment_cost(cost) == pytest.approx(
+            scipy_cost, rel=1e-9, abs=1e-9
+        )
+
+    @given(case=ranking_collections())
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_achieves_scipy_optimal_footrule_cost(self, case):
+        collection, weights = case
+        cost, _ = footrule_cost_matrix(collection, weights)
+        rows, columns = linear_sum_assignment(cost)
+        optimum = float(cost[rows, columns].sum())
+        aggregate = aggregate_footrule(collection, weights)
+        achieved = weighted_footrule_distance(aggregate, collection, weights)
+        assert achieved == pytest.approx(optimum, rel=1e-9, abs=1e-9)
+
+
+class TestKemenyGuarantee:
+    @given(case=ranking_collections(max_items=6, max_rankings=4))
+    @settings(max_examples=25, deadline=None)
+    def test_footrule_within_twice_brute_force_kemeny(self, case):
+        collection, weights = case
+        optimum = brute_force_kemeny(collection, weights)
+        optimum_value = weighted_kemeny_distance(optimum, collection, weights)
+        aggregate = aggregate_footrule(collection, weights)
+        achieved = weighted_kemeny_distance(aggregate, collection, weights)
+        assert achieved <= 2.0 * optimum_value + 1e-9

@@ -123,3 +123,52 @@ class TestMinGain:
         problem = SchedulingProblem(period, users, GaussianKernel(5.0))
         schedule = GreedyScheduler().solve(problem)
         assert len(schedule.assignments["u"]) <= 10
+
+
+class TestTieBreaking:
+    """The explicit lowest-index tie-break contract (regression tests).
+
+    Both backends and both strategies must land on the same instant when
+    marginal gains tie exactly — otherwise cross-backend schedules
+    diverge on the first plateau (uniform gains at step 0 are the
+    everyday case: every instant of an empty schedule gains w_0).
+    """
+
+    def test_argmax_tied_low_picks_first_of_exact_ties(self):
+        from repro.core.scheduling import argmax_tied_low
+
+        assert argmax_tied_low(np.array([0.0, 3.5, 3.5, 1.0])) == 1
+        assert argmax_tied_low(np.array([2.0, 2.0, 2.0])) == 0
+        assert argmax_tied_low(np.array([-np.inf, -np.inf])) == 0
+        assert argmax_tied_low(np.array([1.0, np.nextafter(1.0, 2.0)])) == 1
+
+    def test_uniform_plateau_schedules_lowest_instants_first(self):
+        # A kernel so narrow no two instants interact: every gain ties
+        # at w_0 forever, so greedy must walk indices left to right.
+        period = SchedulingPeriod(0.0, 1000.0, 10)
+        users = [MobileUser("u", 0, 1000, 4)]
+        problem = SchedulingProblem(period, users, GaussianKernel(sigma=1e-6))
+        for backend in ("numpy", "reference"):
+            for lazy in (True, False):
+                schedule = GreedyScheduler(backend=backend, lazy=lazy).solve(
+                    problem
+                )
+                assert schedule.assignments["u"] == [0, 1, 2, 3], (backend, lazy)
+
+    def test_symmetric_problem_is_deterministic_across_variants(self):
+        # Mirror-symmetric setup: gains tie in symmetric pairs at every
+        # step. All four scheduler variants and a re-run must agree.
+        period = SchedulingPeriod(0.0, 600.0, 24)
+        users = [
+            MobileUser("a", 0, 600, 3),
+            MobileUser("b", 0, 600, 3),
+        ]
+        problem = SchedulingProblem(period, users, GaussianKernel(sigma=60.0))
+        schedules = [
+            GreedyScheduler(backend=backend, lazy=lazy).solve(problem)
+            for backend in ("numpy", "reference")
+            for lazy in (True, False)
+        ]
+        schedules.append(GreedyScheduler().solve(problem))
+        for other in schedules[1:]:
+            assert other.assignments == schedules[0].assignments

@@ -14,6 +14,7 @@ from repro.experiments import (
 )
 from repro.experiments.ablations import (
     run_aggregation_ablation,
+    run_backend_ablation,
     run_lazy_ablation,
     run_multikernel_ablation,
     run_online_ablation,
@@ -113,9 +114,18 @@ class TestAblations:
             assert point.greedy_coverage >= point.baseline_coverage
 
     def test_lazy_identical_and_faster_at_scale(self):
+        # Reference backend: the lazy heap vs the paper's O(N²) loop.
         points = run_lazy_ablation(instant_counts=(360, 1080))
         assert all(point.identical_schedules for point in points)
         assert points[-1].speedup > 2.0
+
+    def test_backend_identical_and_numpy_faster_at_scale(self):
+        # Correctness tier asserts identity plus a conservative speedup
+        # margin; the ≥10× headline gate lives in the benchmark suite
+        # where timing noise is controlled.
+        points = run_backend_ablation(instant_counts=(360, 1000))
+        assert all(point.identical_schedules for point in points)
+        assert points[-1].speedup > 1.5
 
     def test_aggregation_quality_ordering(self):
         stats = run_aggregation_ablation(instances=15, num_items=5)
