@@ -32,6 +32,14 @@ class TransportError(ReproError):
     """Raised by the simulated network transport (drops, unknown endpoints)."""
 
 
+class DeadlineExceededError(TransportError):
+    """A resilient send ran out of its per-request deadline."""
+
+
+class CircuitOpenError(TransportError):
+    """A resilient send was rejected because the host's circuit is open."""
+
+
 class BarcodeError(ReproError):
     """Raised when a 2D barcode cannot be encoded or decoded."""
 

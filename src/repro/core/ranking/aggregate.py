@@ -52,23 +52,62 @@ def _check_inputs(collection: Sequence[Ranking], weights: Sequence[float]) -> No
         first.require_same_items(other)
 
 
+def _position_matrix(
+    collection: Sequence[Ranking],
+) -> tuple[np.ndarray, tuple[Hashable, ...]]:
+    """``P[j, i] = π(item_i, R_j)`` and the shared item order."""
+    items = collection[0].items
+    positions = np.array(
+        [[ranking.position(item) for item in items] for ranking in collection],
+        dtype=float,
+    )
+    return positions, items
+
+
 def footrule_cost_matrix(
     collection: Sequence[Ranking], weights: Sequence[float]
 ) -> tuple[np.ndarray, tuple[Hashable, ...]]:
-    """Cost[i][r] = Σ_j w_j · |π(item_i, R_j) − (r+1)| and the item order."""
+    """Cost[i][r] = Σ_j w_j · |π(item_i, R_j) − (r+1)| and the item order.
+
+    One broadcasted ``w_j · |P[j, i] − r|`` tensor reduced over the
+    ranking axis with :func:`np.add.reduce`, whose slice-by-slice
+    accumulation order matches the scalar reference's ``total += …``
+    loop — the two are bitwise identical (pinned by the differential
+    suite), like the scheduling backends.
+    """
     _check_inputs(collection, weights)
-    items = collection[0].items
+    positions, items = _position_matrix(collection)
     count = len(items)
+    ranks = np.arange(1, count + 1, dtype=float)
+    weight_vector = np.asarray(weights, dtype=float)
+    # terms[j, i, r] = w_j · |π(item_i, R_j) − r|
+    terms = weight_vector[:, None, None] * np.abs(
+        positions[:, :, None] - ranks[None, None, :]
+    )
+    return np.add.reduce(terms, axis=0), items
+
+
+def footrule_cost_matrix_reference(
+    collection: Sequence[Ranking], weights: Sequence[float]
+) -> tuple[np.ndarray, tuple[Hashable, ...]]:
+    """The O(N²·J) scalar spec of :func:`footrule_cost_matrix`.
+
+    Kept as the oracle for the differential test; the vectorized path
+    must reproduce it bitwise.
+    """
+    _check_inputs(collection, weights)
+    positions, items = _position_matrix(collection)
+    count = len(items)
+    weight_vector = [float(weight) for weight in weights]
     cost = np.zeros((count, count))
-    for item_index, item in enumerate(items):
-        positions = np.array(
-            [ranking.position(item) for ranking in collection], dtype=float
-        )
-        weight_vector = np.asarray(weights, dtype=float)
+    for item_index in range(count):
         for rank_index in range(count):
-            cost[item_index, rank_index] = float(
-                np.dot(weight_vector, np.abs(positions - (rank_index + 1)))
-            )
+            total = 0.0
+            for ranking_index, weight in enumerate(weight_vector):
+                total += weight * abs(
+                    positions[ranking_index, item_index] - float(rank_index + 1)
+                )
+            cost[item_index, rank_index] = total
     return cost, items
 
 

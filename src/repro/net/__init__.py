@@ -11,7 +11,11 @@ an HTTP message"). This package provides:
 * :mod:`repro.net.messages` — the SOR message envelope and message types,
 * :mod:`repro.net.http` — minimal HTTP request/response objects and the
   endpoint protocol,
-* :mod:`repro.net.transport` — a simulated network with latency and loss,
+* :mod:`repro.net.transport` — a simulated network with latency, loss on
+  either leg, per-host impairments and scripted outage windows,
+* :mod:`repro.net.resilience` — the resilient client: bounded retries
+  with decorrelated jitter, per-request deadlines, per-host circuit
+  breakers, and the idempotency cache endpoints dedupe replays with,
 * :mod:`repro.net.gcm` — a Google-Cloud-Messaging-like push channel the
   server uses to re-ping phones it has lost track of.
 """
@@ -20,18 +24,33 @@ from repro.net.codec import decode_body, decode_value, encode_body, encode_value
 from repro.net.gcm import CloudMessenger
 from repro.net.http import HttpEndpoint, HttpRequest, HttpResponse
 from repro.net.messages import Envelope, MessageType
-from repro.net.transport import Network, NetworkConditions, NetworkStats
+from repro.net.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitState,
+    IdempotencyCache,
+    ResilientClient,
+    RetryPolicy,
+)
+from repro.net.transport import Network, NetworkConditions, NetworkStats, OutageWindow
 
 __all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitState",
     "CloudMessenger",
     "Envelope",
     "HttpEndpoint",
     "HttpRequest",
     "HttpResponse",
+    "IdempotencyCache",
     "MessageType",
     "Network",
     "NetworkConditions",
     "NetworkStats",
+    "OutageWindow",
+    "ResilientClient",
+    "RetryPolicy",
     "decode_body",
     "decode_value",
     "encode_body",

@@ -9,7 +9,8 @@ payload dictionary, serialized to an opaque binary body with
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.common.errors import CodecError
@@ -31,25 +32,44 @@ class MessageType(enum.Enum):
     ERROR = "error"  # either direction: failure notice
 
 
+def _sort_keys(value: Any) -> Any:
+    """Recursively sort dict keys so equal content hashes equally."""
+    if isinstance(value, dict):
+        return {key: _sort_keys(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_sort_keys(item) for item in value]
+    return value
+
+
 @dataclass(frozen=True)
 class Envelope:
-    """A single SOR protocol message."""
+    """A single SOR protocol message.
+
+    ``idempotency_key`` makes retried delivery safe: the receiving
+    endpoint caches the response it served for a key and replays it for
+    duplicates instead of re-running the handler (so a schedule is never
+    registered twice and a sensor upload is never ingested twice when
+    only the response leg was lost). ``None`` means "not retry-safe";
+    the message handlers stamp :meth:`content_key` before sending.
+    """
 
     message_type: MessageType
     sender: str
     recipient: str
     payload: dict[str, Any] = field(default_factory=dict)
+    idempotency_key: str | None = None
 
     def to_bytes(self) -> bytes:
         """Serialize to the opaque binary body carried inside HTTP."""
-        return codec.encode_body(
-            {
-                "type": self.message_type.value,
-                "sender": self.sender,
-                "recipient": self.recipient,
-                "payload": self.payload,
-            }
-        )
+        body = {
+            "type": self.message_type.value,
+            "sender": self.sender,
+            "recipient": self.recipient,
+            "payload": self.payload,
+        }
+        if self.idempotency_key is not None:
+            body["idem"] = self.idempotency_key
+        return codec.encode_body(body)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Envelope":
@@ -60,17 +80,47 @@ class Envelope:
             sender = body["sender"]
             recipient = body["recipient"]
             payload = body.get("payload", {})
+            idempotency_key = body.get("idem")
         except (KeyError, ValueError) as exc:
             raise CodecError(f"malformed envelope: {exc}") from exc
         if not isinstance(sender, str) or not isinstance(recipient, str):
             raise CodecError("envelope sender/recipient must be strings")
         if not isinstance(payload, dict):
             raise CodecError("envelope payload must be a dict")
+        if idempotency_key is not None and not isinstance(idempotency_key, str):
+            raise CodecError("envelope idempotency key must be a string")
         return cls(
             message_type=message_type,
             sender=sender,
             recipient=recipient,
             payload=payload,
+            idempotency_key=idempotency_key,
+        )
+
+    def content_key(self) -> str:
+        """A deterministic idempotency key derived from the content.
+
+        Two envelopes with the same type, parties and payload hash to
+        the same key, so an application-level re-send of identical
+        content (a phone re-uploading a finished task on its next tick)
+        dedupes exactly like a transport-level retry. The digest is over
+        a key-sorted binary encoding *without* any key already set, so
+        dict insertion order never changes the key.
+        """
+        canonical = codec.encode_body(
+            {
+                "type": self.message_type.value,
+                "sender": self.sender,
+                "recipient": self.recipient,
+                "payload": _sort_keys(self.payload),
+            }
+        )
+        return "ck-" + hashlib.sha256(canonical).hexdigest()[:24]
+
+    def with_idempotency_key(self, key: str | None = None) -> "Envelope":
+        """A copy carrying ``key`` (default: the derived content key)."""
+        return replace(
+            self, idempotency_key=key if key is not None else self.content_key()
         )
 
     def reply(

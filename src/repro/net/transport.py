@@ -2,11 +2,24 @@
 
 The network delivers :class:`~repro.net.http.HttpRequest` objects to
 registered endpoints synchronously (HTTP is request/response), while
-modelling the two impairments that matter to SOR's protocol logic:
-latency (recorded, and charged to the simulation clock when one is
-attached) and message loss (a dropped request surfaces as a
-:class:`~repro.common.errors.TransportError`, which the sender handles
-exactly as it would a timed-out HTTP call).
+modelling the impairments that matter to SOR's protocol logic:
+
+* latency — base plus uniform jitter, with optional heavy-tailed
+  *spikes*; recorded, and charged to the simulation clock when one is
+  attached;
+* request-leg loss — the request never reaches the endpoint;
+* response-leg loss — the endpoint **does** handle the request, but the
+  response never makes it back, so the sender sees the same
+  :class:`~repro.common.errors.TransportError` as a timeout while the
+  server has already acted (the delivered-but-unacked case idempotency
+  keys exist for);
+* per-host impairment overrides — one flaky cell link on an otherwise
+  healthy network;
+* scripted outage windows — a host (or the whole network) is dark for
+  ``[start_s, end_s)`` of simulated time.
+
+A dropped leg surfaces as a :class:`TransportError`, which the sender
+handles exactly as it would a timed-out HTTP call.
 """
 
 from __future__ import annotations
@@ -16,7 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.clock import Clock, ManualClock
-from repro.common.errors import TransportError, ValidationError
+from repro.common.errors import ConfigurationError, TransportError, ValidationError
 from repro.common.validation import require_in_range
 from repro.net.http import HttpEndpoint, HttpRequest, HttpResponse
 from repro.obs import MetricsRegistry, get_metrics
@@ -24,25 +37,69 @@ from repro.obs import MetricsRegistry, get_metrics
 
 @dataclass(frozen=True)
 class NetworkConditions:
-    """Impairment model for a simulated link."""
+    """Impairment model for a simulated link.
+
+    ``drop_probability`` is the *request-leg* loss rate;
+    ``response_drop_probability`` drops the response after the endpoint
+    has handled the request. Latency spikes replace the sampled latency
+    with ``latency_spike_s`` with probability
+    ``latency_spike_probability`` (a crude heavy tail).
+    """
 
     base_latency_s: float = 0.05
     jitter_s: float = 0.02
     drop_probability: float = 0.0
+    response_drop_probability: float = 0.0
+    latency_spike_probability: float = 0.0
+    latency_spike_s: float = 2.0
 
     def __post_init__(self) -> None:
-        if self.base_latency_s < 0 or self.jitter_s < 0:
+        if self.base_latency_s < 0 or self.jitter_s < 0 or self.latency_spike_s < 0:
             raise ValidationError("latency parameters must be non-negative")
         require_in_range(self.drop_probability, "drop_probability", 0.0, 1.0)
+        require_in_range(
+            self.response_drop_probability, "response_drop_probability", 0.0, 1.0
+        )
+        require_in_range(
+            self.latency_spike_probability, "latency_spike_probability", 0.0, 1.0
+        )
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A scripted interval during which a host (or everyone) is dark."""
+
+    start_s: float
+    end_s: float
+    host: str | None = None  # None = the whole network
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValidationError("outage must end after it starts")
+
+    def covers(self, now: float, host: str) -> bool:
+        """Whether this window silences ``host`` at time ``now``."""
+        if self.host is not None and self.host != host:
+            return False
+        return self.start_s <= now < self.end_s
 
 
 @dataclass
 class NetworkStats:
-    """Counters the tests and benchmarks read back."""
+    """Counters the tests and benchmarks read back.
+
+    ``requests_sent``/``bytes_sent``/``per_host_requests`` count only
+    requests that reached a wire (a registered host); sends to unknown
+    hosts are tallied separately in ``unknown_host_sends`` so per-host
+    stats are never skewed by traffic that was never transmitted.
+    """
 
     requests_sent: int = 0
     requests_dropped: int = 0
+    responses_dropped: int = 0
     responses_delivered: int = 0
+    unknown_host_sends: int = 0
+    outage_drops: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
     total_latency_s: float = 0.0
@@ -58,12 +115,18 @@ class Network:
         *,
         rng: np.random.Generator | None = None,
         clock: Clock | None = None,
+        time_source: Clock | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.conditions = conditions or NetworkConditions()
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._clock = clock
+        # Outage windows are evaluated against simulated time; a clock
+        # used purely as a time source does not get latency charged.
+        self._time_source = time_source if time_source is not None else clock
         self._endpoints: dict[str, HttpEndpoint] = {}
+        self._host_conditions: dict[str, NetworkConditions] = {}
+        self._outages: list[OutageWindow] = []
         self.stats = NetworkStats()
         self.metrics = metrics if metrics is not None else get_metrics()
         self._m_requests = self.metrics.counter(
@@ -97,20 +160,72 @@ class Network:
         """Whether an endpoint is registered at ``host``."""
         return host in self._endpoints
 
-    def _sample_latency(self) -> float:
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def set_host_conditions(self, host: str, conditions: NetworkConditions) -> None:
+        """Override the impairments of the link to one host."""
+        self._host_conditions[host] = conditions
+
+    def clear_host_conditions(self, host: str) -> None:
+        """Drop a per-host override; the host reverts to the defaults."""
+        self._host_conditions.pop(host, None)
+
+    def schedule_outage(
+        self, start_s: float, end_s: float, *, host: str | None = None
+    ) -> OutageWindow:
+        """Script an outage of ``host`` (or everyone) for ``[start_s, end_s)``.
+
+        Outages are evaluated against simulated time, so the network
+        needs a clock (or ``time_source``) to honour them.
+        """
+        if self._time_source is None:
+            raise ConfigurationError(
+                "outage windows need a clock or time_source on the network"
+            )
+        window = OutageWindow(start_s=start_s, end_s=end_s, host=host)
+        self._outages.append(window)
+        return window
+
+    def conditions_for(self, host: str) -> NetworkConditions:
+        """The impairments currently in force for the link to ``host``."""
+        return self._host_conditions.get(host, self.conditions)
+
+    def _in_outage(self, host: str) -> bool:
+        if not self._outages or self._time_source is None:
+            return False
+        now = self._time_source.now()
+        return any(window.covers(now, host) for window in self._outages)
+
+    def _sample_latency(self, conditions: NetworkConditions) -> float:
+        if conditions.latency_spike_probability > 0 and (
+            float(self._rng.random()) < conditions.latency_spike_probability
+        ):
+            return conditions.latency_spike_s
         jitter = (
-            float(self._rng.uniform(0.0, self.conditions.jitter_s))
-            if self.conditions.jitter_s > 0
+            float(self._rng.uniform(0.0, conditions.jitter_s))
+            if conditions.jitter_s > 0
             else 0.0
         )
-        return self.conditions.base_latency_s + jitter
+        return conditions.base_latency_s + jitter
 
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
     def send(self, request: HttpRequest) -> HttpResponse:
         """Deliver ``request`` to its host and return the response.
 
-        Raises :class:`TransportError` if the host is unknown or the
-        (request or response) leg is dropped.
+        Raises :class:`TransportError` if the host is unknown, the host
+        is inside a scripted outage window, or either the request or the
+        response leg is dropped. On a response-leg drop the endpoint
+        **has already handled** the request — exactly the
+        delivered-but-unacked case retries must be idempotent against.
         """
+        endpoint = self._endpoints.get(request.host)
+        if endpoint is None:
+            self.stats.unknown_host_sends += 1
+            self._m_failures.inc(reason="unknown_host")
+            raise TransportError(f"no endpoint registered at {request.host!r}")
         self.stats.requests_sent += 1
         self.stats.bytes_sent += len(request.body)
         self._m_requests.inc()
@@ -118,21 +233,30 @@ class Network:
         self.stats.per_host_requests[request.host] = (
             self.stats.per_host_requests.get(request.host, 0) + 1
         )
-        endpoint = self._endpoints.get(request.host)
-        if endpoint is None:
-            self._m_failures.inc(reason="unknown_host")
-            raise TransportError(f"no endpoint registered at {request.host!r}")
-        if self.conditions.drop_probability > 0 and (
-            float(self._rng.random()) < self.conditions.drop_probability
+        if self._in_outage(request.host):
+            self.stats.outage_drops += 1
+            self._m_failures.inc(reason="outage")
+            raise TransportError(f"host {request.host!r} is inside an outage window")
+        conditions = self.conditions_for(request.host)
+        if conditions.drop_probability > 0 and (
+            float(self._rng.random()) < conditions.drop_probability
         ):
             self.stats.requests_dropped += 1
-            self._m_failures.inc(reason="dropped")
+            self._m_failures.inc(reason="request_dropped")
             raise TransportError(f"request to {request.host!r} was dropped")
-        latency = self._sample_latency()
+        latency = self._sample_latency(conditions)
         self.stats.total_latency_s += latency
         if isinstance(self._clock, ManualClock):
             self._clock.advance(latency)
         response = endpoint.handle_request(request)
+        if conditions.response_drop_probability > 0 and (
+            float(self._rng.random()) < conditions.response_drop_probability
+        ):
+            self.stats.responses_dropped += 1
+            self._m_failures.inc(reason="response_dropped")
+            raise TransportError(
+                f"response from {request.host!r} was dropped (request delivered)"
+            )
         self.stats.responses_delivered += 1
         self.stats.bytes_received += len(response.body)
         self._m_bytes_received.inc(len(response.body))

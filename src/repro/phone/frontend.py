@@ -11,6 +11,7 @@ from repro.common.clock import Clock
 from repro.common.errors import ParticipationError
 from repro.common.geo import LatLon
 from repro.net import CloudMessenger, Envelope, HttpRequest, HttpResponse, MessageType
+from repro.net.resilience import ResilientClient
 from repro.net.transport import Network
 from repro.phone.message_handler import PhoneMessageHandler
 from repro.phone.power import Battery, WakeLockManager
@@ -40,6 +41,7 @@ class MobilePhone:
         gcm: CloudMessenger | None = None,
         battery_capacity_mj: float = 40_000.0,
         rng: np.random.Generator | None = None,
+        client: ResilientClient | None = None,
     ) -> None:
         self.user_id = user_id
         self.token = token
@@ -55,7 +57,8 @@ class MobilePhone:
         )
         self.task_manager = TaskManager()
         self.message_handler = PhoneMessageHandler(
-            self.host, network, self.wake_locks, gcm=gcm, gcm_token=token
+            self.host, network, self.wake_locks, gcm=gcm, gcm_token=token,
+            client=client,
         )
         self.message_handler.on(MessageType.SCHEDULE, self._on_schedule)
         self.message_handler.on(MessageType.PING, self._on_ping)
@@ -64,6 +67,7 @@ class MobilePhone:
         self._location_source: Callable[[float], LatLon] | None = None
         self._last_server: str | None = None
         self._uploaded_tasks: set[str] = set()
+        self._scan_counter = 0
         network.register(self.host, self)
 
     # ------------------------------------------------------------------
@@ -119,12 +123,16 @@ class MobilePhone:
         }
         if departure_time is not None:
             message_payload["departure_time"] = float(departure_time)
+        # Each scan is a fresh user operation: a per-scan nonce key means
+        # transport retries of this scan dedupe server-side, while a
+        # deliberate re-scan (identical content) still creates a new task.
+        self._scan_counter += 1
         envelope = Envelope(
             message_type=MessageType.PARTICIPATE,
             sender=self.host,
             recipient=payload.server_host,
             payload=message_payload,
-        )
+        ).with_idempotency_key(f"{self.host}:scan:{self._scan_counter}")
         reply = self.message_handler.send(payload.server_host, envelope)
         if reply is None or reply.message_type is not MessageType.SCHEDULE:
             return None

@@ -5,6 +5,12 @@ the mobile frontend and a sensing server … It is responsible for
 encoding/decoding the message body", dispatches incoming messages, can
 talk to a Google (Cloud Messaging) server, and holds a wake lock during
 communications so the phone does not sleep mid-transfer.
+
+Outbound envelopes are stamped with an idempotency key and (when a
+:class:`~repro.net.resilience.ResilientClient` is attached) retried
+through the resilient path; inbound server-initiated requests are
+deduped against a bounded :class:`~repro.net.resilience.IdempotencyCache`
+so a re-pushed schedule is acked without being re-applied.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Any, Callable
 
 from repro.common.errors import CodecError, TransportError
 from repro.net import CloudMessenger, Envelope, HttpRequest, HttpResponse, MessageType
+from repro.net.resilience import IdempotencyCache, ResilientClient
 from repro.net.transport import Network
 from repro.phone.power import WakeLockManager
 
@@ -28,13 +35,18 @@ class PhoneMessageHandler:
         *,
         gcm: CloudMessenger | None = None,
         gcm_token: str | None = None,
+        client: ResilientClient | None = None,
+        dedupe_capacity: int = 256,
     ) -> None:
         self.host = host
         self.network = network
         self.wake_locks = wake_locks
+        self.client = client
         self._dispatch: dict[MessageType, Callable[[Envelope], Envelope | None]] = {}
+        self._dedupe = IdempotencyCache(capacity=dedupe_capacity)
         self.messages_sent = 0
         self.messages_failed = 0
+        self.duplicates_ignored = 0
         if gcm is not None and gcm_token is not None:
             gcm.register_device(gcm_token, self._on_push)
         self._push_handler: Callable[[dict[str, Any]], None] | None = None
@@ -58,21 +70,31 @@ class PhoneMessageHandler:
     def send(self, server_host: str, envelope: Envelope) -> Envelope | None:
         """POST an envelope to a server; returns the reply envelope.
 
-        Holds a wake lock for the duration. Transport drops return
-        ``None`` (the caller retries or gives up, as a real phone would
-        on an HTTP timeout).
+        Holds a wake lock for the duration. The envelope is stamped with
+        its content-derived idempotency key (unless the caller already
+        set one), so transport retries and next-tick re-sends of the
+        same content are deduped server-side. Failures — transport drops
+        *and* HTTP-rejected or empty-bodied responses — return ``None``
+        and count into ``messages_failed``, so ``messages_sent −
+        messages_failed`` is the number of successful exchanges.
         """
         self.wake_locks.acquire("communication")
         try:
+            if envelope.idempotency_key is None:
+                envelope = envelope.with_idempotency_key()
             request = HttpRequest(
                 method="POST",
                 host=server_host,
                 path="/sor",
                 body=envelope.to_bytes(),
             )
-            response = self.network.send(request)
+            if self.client is not None:
+                response = self.client.send(request)
+            else:
+                response = self.network.send(request)
             self.messages_sent += 1
             if not response.ok or not response.body:
+                self.messages_failed += 1
                 return None
             return Envelope.from_bytes(response.body)
         except (TransportError, CodecError):
@@ -82,15 +104,28 @@ class PhoneMessageHandler:
             self.wake_locks.release("communication")
 
     def handle_request(self, request: HttpRequest) -> HttpResponse:
-        """Serve a server-initiated HTTP request (dispatching by type)."""
+        """Serve a server-initiated HTTP request (dispatching by type).
+
+        Envelopes carrying an idempotency key already seen replay the
+        original response without re-invoking the handler.
+        """
         try:
             envelope = Envelope.from_bytes(request.body)
         except CodecError:
             return HttpResponse(status=400)
+        if envelope.idempotency_key is not None:
+            cached = self._dedupe.get(envelope.idempotency_key)
+            if cached is not None:
+                self.duplicates_ignored += 1
+                return cached
         handler = self._dispatch.get(envelope.message_type)
         if handler is None:
             return HttpResponse(status=404)
         reply = handler(envelope)
         if reply is None:
-            return HttpResponse(status=200)
-        return HttpResponse(status=200, body=reply.to_bytes())
+            response = HttpResponse(status=200)
+        else:
+            response = HttpResponse(status=200, body=reply.to_bytes())
+        if envelope.idempotency_key is not None:
+            self._dedupe.put(envelope.idempotency_key, response)
+        return response

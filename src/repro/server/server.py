@@ -20,6 +20,7 @@ from repro.net import (
     HttpResponse,
     MessageType,
 )
+from repro.net.resilience import IdempotencyCache, ResilientClient
 from repro.net.transport import Network
 from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
 from repro.obs.export import CONTENT_TYPE, to_prometheus_text
@@ -45,11 +46,15 @@ class SensingServer:
         database: Database | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        client: ResilientClient | None = None,
+        dedupe_capacity: int = 4096,
     ) -> None:
         self.host = host
         self.network = network
         self.clock = clock
         self.gcm = gcm
+        self.client = client
+        self._dedupe = IdempotencyCache(capacity=dedupe_capacity)
         self.metrics = metrics if metrics is not None else get_metrics()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.database = (
@@ -92,7 +97,18 @@ class SensingServer:
             "schedule push attempts by outcome",
             labels=("outcome",),
         )
+        self._m_duplicates = self.metrics.counter(
+            "sor_server_duplicate_envelopes_total",
+            "replayed envelopes served from the idempotency cache",
+            labels=("type",),
+        )
         network.register(host, self)
+
+    def _transport_send(self, request: HttpRequest) -> HttpResponse:
+        """Outbound send, through the resilient client when attached."""
+        if self.client is not None:
+            return self.client.send(request)
+        return self.network.send(request)
 
     # ------------------------------------------------------------------
     # administration
@@ -128,12 +144,24 @@ class SensingServer:
         )
 
     def _dispatch(self, request: HttpRequest) -> tuple[HttpResponse, str]:
-        """Decode and route one envelope; returns (response, type label)."""
+        """Decode and route one envelope; returns (response, type label).
+
+        Envelopes carrying an already-seen idempotency key replay the
+        response served the first time without re-running the handler:
+        a retried PARTICIPATE cannot register a second task and a
+        retried SENSED_DATA upload cannot double-ingest readings, even
+        when only the original response leg was lost.
+        """
         try:
             envelope = Envelope.from_bytes(request.body)
         except CodecError:
             return HttpResponse(status=400), "undecodable"
         message_type = envelope.message_type.value
+        if envelope.idempotency_key is not None:
+            cached = self._dedupe.get(envelope.idempotency_key)
+            if cached is not None:
+                self._m_duplicates.inc(type=message_type)
+                return cached, message_type
         handlers = {
             MessageType.PARTICIPATE: self._on_participate,
             MessageType.SENSED_DATA: lambda env: self._on_sensed_data(
@@ -147,7 +175,10 @@ class SensingServer:
         if handler is None:
             return HttpResponse(status=404), message_type
         reply = handler(envelope)
-        return HttpResponse(status=200, body=reply.to_bytes()), message_type
+        response = HttpResponse(status=200, body=reply.to_bytes())
+        if envelope.idempotency_key is not None:
+            self._dedupe.put(envelope.idempotency_key, response)
+        return response, message_type
 
     # ------------------------------------------------------------------
     # message handlers
@@ -286,8 +317,9 @@ class SensingServer:
                 recipient=host,
                 payload={},
             )
+            envelope = envelope.with_idempotency_key()
             try:
-                response = self.network.send(
+                response = self._transport_send(
                     HttpRequest("POST", host, "/sor", envelope.to_bytes())
                 )
                 if response.ok:
@@ -296,8 +328,15 @@ class SensingServer:
             except TransportError:
                 pass
         if self.gcm is not None and self.gcm.is_registered(token):
+            push_payload = {"action": "ping", "server": self.host}
             try:
-                self.gcm.push(token, {"action": "ping", "server": self.host})
+                if self.client is not None:
+                    self.client.call(
+                        f"gcm:{token}",
+                        lambda: self.gcm.push(token, push_payload),
+                    )
+                else:
+                    self.gcm.push(token, push_payload)
                 self._m_ping.inc(outcome="gcm")
                 return True
             except TransportError:
@@ -335,8 +374,9 @@ class SensingServer:
                 "times": list(task["schedule_times"]),
             },
         )
+        envelope = envelope.with_idempotency_key()
         try:
-            response = self.network.send(
+            response = self._transport_send(
                 HttpRequest("POST", host, "/sor", envelope.to_bytes())
             )
         except TransportError:
@@ -366,7 +406,7 @@ class SensingServer:
             payload={},
         )
         try:
-            response = self.network.send(
+            response = self._transport_send(
                 HttpRequest("POST", host, "/sor", envelope.to_bytes())
             )
         except TransportError:

@@ -18,6 +18,7 @@ from repro.common.rng import RngRegistry
 from repro.core.features import FeaturePipeline
 from repro.core.ranking import PreferenceProfile
 from repro.net import CloudMessenger, NetworkConditions
+from repro.net.resilience import BreakerPolicy, ResilientClient, RetryPolicy
 from repro.net.transport import Network
 from repro.phone import MobilePhone
 from repro.phone.task import TaskInstance
@@ -99,6 +100,9 @@ class SORSystem:
         network_conditions: NetworkConditions | None = None,
         server_host: str = "sor-server",
         num_servers: int = 1,
+        resilient: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("need at least one sensing server")
@@ -110,15 +114,49 @@ class SORSystem:
             conditions=network_conditions or NetworkConditions(drop_probability=0.0),
             rng=self.rngs.generator("network"),
             clock=None,  # HTTP latency is negligible at field-test scale
+            time_source=self.simulator.clock,  # outage windows follow sim time
         )
         self.gcm = CloudMessenger()
+        # With ``resilient`` every phone↔server exchange goes through a
+        # ResilientClient. Backoff waits are *not* charged to the shared
+        # simulation clock (the event queue owns that timeline), so the
+        # retry budget is bounded by max_attempts rather than the deadline.
+        self.resilient = resilient
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=8, base_backoff_s=0.1, max_backoff_s=5.0)
+        )
+        self.breaker_policy = (
+            breaker_policy
+            if breaker_policy is not None
+            else BreakerPolicy(failure_threshold=32, recovery_timeout_s=60.0)
+        )
+
+        def make_client(stream: str) -> ResilientClient | None:
+            if not resilient:
+                return None
+            return ResilientClient(
+                self.network,
+                policy=self.retry_policy,
+                breaker_policy=self.breaker_policy,
+                clock=self.simulator.clock,
+                rng=self.rngs.generator("resilience", stream),
+                sleep=lambda seconds: None,  # virtual waits; see note above
+            )
+
+        self._make_client = make_client
         # "One or multiple sensing servers need to be deployed": with
         # several servers they share one database, like app servers over
         # one PostgreSQL instance. Places are assigned round-robin.
         if num_servers == 1:
             self.servers = [
                 SensingServer(
-                    server_host, self.network, self.simulator.clock, gcm=self.gcm
+                    server_host,
+                    self.network,
+                    self.simulator.clock,
+                    gcm=self.gcm,
+                    client=make_client(f"server:{server_host}"),
                 )
             ]
         else:
@@ -132,6 +170,7 @@ class SORSystem:
                     self.simulator.clock,
                     gcm=self.gcm,
                     database=shared,
+                    client=make_client(f"server:{index + 1}"),
                 )
                 for index in range(num_servers)
             ]
@@ -239,6 +278,7 @@ class SORSystem:
             clock=self.simulator.clock,
             gcm=self.gcm,
             rng=self.rngs.generator("phone", user_id),
+            client=self._make_client(f"phone:{user_id}"),
         )
         walker = None
         if place.trail is not None:

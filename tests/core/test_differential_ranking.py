@@ -33,7 +33,10 @@ from repro.core.ranking import (
     brute_force_kemeny,
     weighted_kemeny_distance,
 )
-from repro.core.ranking.aggregate import footrule_cost_matrix
+from repro.core.ranking.aggregate import (
+    footrule_cost_matrix,
+    footrule_cost_matrix_reference,
+)
 from repro.core.ranking.distances import weighted_footrule_distance
 from repro.core.ranking.mincostflow import MinCostFlow
 
@@ -92,6 +95,52 @@ def ranking_collections(max_items: int = 6, max_rankings: int = 5):
         return collection, [float(weight) for weight in weights]
 
     return build()
+
+
+def weighted_ranking_collections(max_items: int = 6, max_rankings: int = 5):
+    """Like :func:`ranking_collections` but with irrational-ish float
+    weights, so any accumulation-order difference between the vectorized
+    cost matrix and the scalar reference would actually show up."""
+
+    @st.composite
+    def build(draw):
+        collection, _ = draw(ranking_collections(max_items, max_rankings))
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=10.0, allow_nan=False,
+                          allow_infinity=False),
+                min_size=len(collection),
+                max_size=len(collection),
+            )
+        )
+        return collection, weights
+
+    return build()
+
+
+class TestVectorizedCostMatrixBitwise:
+    """The vectorized footrule cost matrix is pinned *bitwise* to the
+    scalar reference loop — same contract as the scheduling backends."""
+
+    @given(case=weighted_ranking_collections())
+    @settings(max_examples=80, deadline=None)
+    def test_vectorized_equals_reference_bitwise(self, case):
+        collection, weights = case
+        vectorized, items_v = footrule_cost_matrix(collection, weights)
+        reference, items_r = footrule_cost_matrix_reference(collection, weights)
+        assert items_v == items_r
+        assert np.array_equal(vectorized, reference)  # bitwise, not approx
+
+    def test_known_small_instance(self):
+        collection = [Ranking(["a", "b", "c"]), Ranking(["c", "a", "b"])]
+        weights = [0.3, 0.7]
+        vectorized, items = footrule_cost_matrix(collection, weights)
+        reference, _ = footrule_cost_matrix_reference(collection, weights)
+        assert items == ("a", "b", "c")
+        assert np.array_equal(vectorized, reference)
+        # Spot-check one entry by hand: item "a" at rank 1 costs
+        # 0.3·|1−1| + 0.7·|2−1| = 0.7.
+        assert vectorized[0, 0] == pytest.approx(0.7)
 
 
 class TestFlowMatchesScipy:

@@ -52,3 +52,62 @@ class TestEnvelope:
         )
         with pytest.raises(CodecError):
             Envelope.from_bytes(body)
+
+
+class TestIdempotencyKeys:
+    def make(self, **payload):
+        return Envelope(
+            message_type=MessageType.SENSED_DATA,
+            sender="phone-1",
+            recipient="server",
+            payload=payload or {"task_id": "t-1", "executed": 3},
+        )
+
+    def test_key_survives_the_wire(self):
+        stamped = self.make().with_idempotency_key("k-123")
+        decoded = Envelope.from_bytes(stamped.to_bytes())
+        assert decoded.idempotency_key == "k-123"
+        assert decoded == stamped
+
+    def test_unstamped_envelope_has_no_key_on_the_wire(self):
+        decoded = Envelope.from_bytes(self.make().to_bytes())
+        assert decoded.idempotency_key is None
+
+    def test_content_key_is_deterministic(self):
+        assert self.make().content_key() == self.make().content_key()
+
+    def test_content_key_ignores_payload_insertion_order(self):
+        forward = self.make(a=1, b=2)
+        backward = self.make(b=2, a=1)
+        assert forward.content_key() == backward.content_key()
+
+    def test_content_key_changes_with_content(self):
+        assert self.make(x=1).content_key() != self.make(x=2).content_key()
+
+    def test_content_key_independent_of_stamped_key(self):
+        plain = self.make()
+        stamped = plain.with_idempotency_key("nonce-7")
+        assert stamped.content_key() == plain.content_key()
+
+    def test_with_idempotency_key_defaults_to_content_key(self):
+        envelope = self.make()
+        assert envelope.with_idempotency_key().idempotency_key == (
+            envelope.content_key()
+        )
+
+    def test_reply_carries_no_key(self):
+        stamped = self.make().with_idempotency_key("k-1")
+        assert stamped.reply(MessageType.ACK).idempotency_key is None
+
+    def test_non_string_key_on_the_wire_rejected(self):
+        body = encode_body(
+            {
+                "type": "ack",
+                "sender": "a",
+                "recipient": "b",
+                "payload": {},
+                "idem": 7,
+            }
+        )
+        with pytest.raises(CodecError):
+            Envelope.from_bytes(body)

@@ -1,0 +1,260 @@
+"""Tests for repro.net.resilience: retries, deadlines, breaker, dedupe."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    TransportError,
+    ValidationError,
+)
+from repro.net import HttpRequest, HttpResponse
+from repro.net.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitState,
+    IdempotencyCache,
+    ResilientClient,
+    RetryPolicy,
+)
+from repro.obs import MetricsRegistry
+from repro.obs.export import to_prometheus_text
+
+
+class ScriptedNetwork:
+    """Fails the first ``failures`` sends, then succeeds forever."""
+
+    def __init__(self, failures=0):
+        self.failures = failures
+        self.attempts = 0
+
+    def send(self, request):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise TransportError("scripted drop")
+        return HttpResponse(status=200, body=b"ok")
+
+
+def make_client(network, *, policy=None, breaker=None, seed=0, sleeps=None):
+    clock = ManualClock()
+    client = ResilientClient(
+        network,
+        policy=policy or RetryPolicy(max_attempts=4, base_backoff_s=0.1,
+                                     max_backoff_s=5.0, deadline_s=60.0),
+        breaker_policy=breaker or BreakerPolicy(failure_threshold=3,
+                                                recovery_timeout_s=10.0),
+        clock=clock,
+        rng=np.random.default_rng(seed),
+        sleep=sleeps.append if sleeps is not None else None,
+        metrics=MetricsRegistry(),
+    )
+    return client, clock
+
+
+REQUEST = HttpRequest("POST", "host-a", "/sor", b"payload")
+
+
+class TestRetries:
+    def test_transient_failures_are_retried(self):
+        network = ScriptedNetwork(failures=2)
+        client, _ = make_client(network)
+        response = client.send(REQUEST)
+        assert response.ok
+        assert network.attempts == 3
+        assert client.metrics.get("sor_net_retries_total").value(host="host-a") == 2
+
+    def test_exhausted_attempts_raise_transport_error(self):
+        network = ScriptedNetwork(failures=100)
+        client, _ = make_client(
+            network,
+            breaker=BreakerPolicy(failure_threshold=50, recovery_timeout_s=10.0))
+        with pytest.raises(TransportError, match="after 4 attempts"):
+            client.send(REQUEST)
+        assert network.attempts == 4
+
+    def test_success_resets_breaker_and_counts(self):
+        network = ScriptedNetwork(failures=1)
+        client, _ = make_client(network)
+        client.send(REQUEST)
+        breaker = client.breaker_for("host-a")
+        assert breaker.state is CircuitState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_backoff_sleeps_respect_the_decorrelated_jitter_formula(self):
+        sleeps = []
+        network = ScriptedNetwork(failures=3)
+        client, _ = make_client(network, sleeps=sleeps,
+                                breaker=BreakerPolicy(failure_threshold=50,
+                                                      recovery_timeout_s=10.0))
+        client.send(REQUEST)
+        assert len(sleeps) == 3
+        policy = client.policy
+        previous = policy.base_backoff_s
+        rng = np.random.default_rng(0)
+        for observed in sleeps:
+            expected = min(
+                policy.max_backoff_s,
+                float(rng.uniform(policy.base_backoff_s,
+                                  max(policy.base_backoff_s, 3.0 * previous))),
+            )
+            assert observed == expected
+            previous = expected
+
+    def test_backoff_schedule_deterministic_under_fixed_seed(self):
+        def schedule(seed):
+            sleeps = []
+            client, _ = make_client(
+                ScriptedNetwork(failures=3), sleeps=sleeps, seed=seed,
+                breaker=BreakerPolicy(failure_threshold=50,
+                                      recovery_timeout_s=10.0))
+            client.send(REQUEST)
+            return sleeps
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_default_sleep_advances_manual_clock(self):
+        network = ScriptedNetwork(failures=1)
+        client, clock = make_client(network)
+        client.send(REQUEST)
+        assert clock.now() > 0.0
+
+
+class TestDeadline:
+    def test_retry_storm_under_total_loss_respects_deadline(self):
+        policy = RetryPolicy(max_attempts=10_000, base_backoff_s=0.5,
+                             max_backoff_s=4.0, deadline_s=10.0)
+        network = ScriptedNetwork(failures=10**9)
+        client, clock = make_client(
+            network, policy=policy,
+            breaker=BreakerPolicy(failure_threshold=10**9,
+                                  recovery_timeout_s=1.0))
+        with pytest.raises(DeadlineExceededError):
+            client.send(REQUEST)
+        # Never sleeps past the deadline: the clock stays within
+        # deadline (the next backoff that would overrun aborts instead).
+        assert clock.now() <= policy.deadline_s
+        assert network.attempts < 100  # bounded, not a storm
+
+    def test_deadline_error_is_a_transport_error(self):
+        assert issubclass(DeadlineExceededError, TransportError)
+        assert issubclass(CircuitOpenError, TransportError)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fails_fast(self):
+        network = ScriptedNetwork(failures=100)
+        client, _ = make_client(
+            network,
+            policy=RetryPolicy(max_attempts=3, base_backoff_s=0.1,
+                               max_backoff_s=1.0, deadline_s=60.0),
+            breaker=BreakerPolicy(failure_threshold=3, recovery_timeout_s=10.0))
+        with pytest.raises(TransportError):
+            client.send(REQUEST)
+        assert client.breaker_for("host-a").state is CircuitState.OPEN
+        attempts_before = network.attempts
+        with pytest.raises(CircuitOpenError):
+            client.send(REQUEST)
+        assert network.attempts == attempts_before  # no wire traffic
+        gauge = client.metrics.get("sor_net_circuit_state")
+        assert gauge.value(host="host-a") == CircuitState.OPEN.value
+
+    def test_half_open_probe_recovers(self):
+        network = ScriptedNetwork(failures=3)
+        client, clock = make_client(
+            network,
+            policy=RetryPolicy(max_attempts=3, base_backoff_s=0.1,
+                               max_backoff_s=1.0, deadline_s=60.0),
+            breaker=BreakerPolicy(failure_threshold=3, recovery_timeout_s=10.0))
+        with pytest.raises(TransportError):
+            client.send(REQUEST)
+        assert client.breaker_for("host-a").state is CircuitState.OPEN
+        clock.advance(10.0)  # recovery timeout elapses; next send probes
+        response = client.send(REQUEST)
+        assert response.ok
+        assert client.breaker_for("host-a").state is CircuitState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2, recovery_timeout_s=5.0),
+            ManualClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        breaker.clock.advance(5.0)
+        assert breaker.allow()  # transitions to HALF_OPEN
+        assert breaker.state is CircuitState.HALF_OPEN
+        breaker.record_failure()  # probe failed: straight back to OPEN
+        assert breaker.state is CircuitState.OPEN
+
+    def test_breakers_are_per_host(self):
+        client, _ = make_client(ScriptedNetwork())
+        assert client.breaker_for("a") is not client.breaker_for("b")
+        assert client.breaker_for("a") is client.breaker_for("a")
+
+
+class TestGenericCall:
+    def test_call_retries_arbitrary_operations(self):
+        calls = []
+
+        def sometimes():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransportError("push lost")
+            return "delivered"
+
+        client, _ = make_client(ScriptedNetwork())
+        assert client.call("gcm:token-1", sometimes) == "delivered"
+        assert len(calls) == 3
+
+
+class TestMetricsExposition:
+    def test_retry_and_circuit_metrics_appear_in_prometheus_text(self):
+        network = ScriptedNetwork(failures=1)
+        client, _ = make_client(network)
+        client.send(REQUEST)
+        text = to_prometheus_text(client.metrics)
+        assert "sor_net_retries_total" in text
+        assert "sor_net_circuit_state" in text
+        assert "sor_net_retry_backoff_seconds" in text
+        assert "sor_net_resilient_sends_total" in text
+
+
+class TestPolicies:
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_backoff_s=0.0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_backoff_s=2.0, max_backoff_s=1.0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ValidationError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            BreakerPolicy(recovery_timeout_s=0.0)
+
+
+class TestIdempotencyCache:
+    def test_get_put_and_hit_miss_counts(self):
+        cache = IdempotencyCache(capacity=2)
+        assert cache.get("k1") is None
+        response = HttpResponse(status=200, body=b"r1")
+        cache.put("k1", response)
+        assert cache.get("k1") is response
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_fifo_eviction_at_capacity(self):
+        cache = IdempotencyCache(capacity=2)
+        for index in range(3):
+            cache.put(f"k{index}", HttpResponse(status=200))
+        assert len(cache) == 2
+        assert cache.get("k0") is None  # oldest evicted
+        assert cache.get("k2") is not None
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValidationError):
+            IdempotencyCache(capacity=0)

@@ -1,0 +1,127 @@
+"""Tests for PhoneMessageHandler: failure accounting and inbound dedupe."""
+
+import numpy as np
+
+from repro.common.clock import ManualClock
+from repro.net import Envelope, HttpRequest, HttpResponse, MessageType, NetworkConditions
+from repro.net.transport import Network
+from repro.phone.message_handler import PhoneMessageHandler
+from repro.phone.power import Battery, WakeLockManager
+
+
+class ScriptedServer:
+    """Serves whatever HttpResponse the test scripted, recording requests."""
+
+    def __init__(self, response=None):
+        self.response = response
+        self.requests = []
+
+    def handle_request(self, request):
+        self.requests.append(request)
+        if self.response is not None:
+            return self.response
+        envelope = Envelope.from_bytes(request.body)
+        return HttpResponse(status=200, body=envelope.reply(MessageType.ACK).to_bytes())
+
+
+def make_handler(server=None, **conditions):
+    network = Network(
+        conditions=NetworkConditions(**conditions), rng=np.random.default_rng(0)
+    )
+    server = server if server is not None else ScriptedServer()
+    network.register("server", server)
+    clock = ManualClock()
+    handler = PhoneMessageHandler(
+        "phone-t1", network, WakeLockManager(clock, Battery())
+    )
+    network.register("phone-t1", handler)
+    return handler, server
+
+
+def make_envelope(**payload):
+    return Envelope(
+        message_type=MessageType.PREFERENCES,
+        sender="phone-t1",
+        recipient="server",
+        payload=payload or {"user_id": "u1"},
+    )
+
+
+class TestSendAccounting:
+    def test_successful_exchange_counts_clean(self):
+        handler, _ = make_handler()
+        reply = handler.send("server", make_envelope())
+        assert reply is not None and reply.message_type is MessageType.ACK
+        assert handler.messages_sent == 1
+        assert handler.messages_failed == 0
+
+    def test_transport_drop_counts_failed(self):
+        handler, _ = make_handler(drop_probability=1.0)
+        assert handler.send("server", make_envelope()) is None
+        assert handler.messages_failed == 1
+
+    def test_http_rejected_response_counts_failed(self):
+        """Regression: a 5xx used to return None without touching
+        messages_failed, so sent − failed over-counted successes."""
+        handler, _ = make_handler(server=ScriptedServer(HttpResponse(status=503)))
+        assert handler.send("server", make_envelope()) is None
+        assert handler.messages_sent == 1
+        assert handler.messages_failed == 1
+
+    def test_empty_body_response_counts_failed(self):
+        handler, _ = make_handler(
+            server=ScriptedServer(HttpResponse(status=200, body=b""))
+        )
+        assert handler.send("server", make_envelope()) is None
+        assert handler.messages_failed == 1
+
+    def test_outbound_envelopes_are_stamped_with_content_key(self):
+        handler, server = make_handler()
+        envelope = make_envelope()
+        handler.send("server", envelope)
+        sent = Envelope.from_bytes(server.requests[0].body)
+        assert sent.idempotency_key == envelope.content_key()
+
+    def test_caller_provided_key_is_preserved(self):
+        handler, server = make_handler()
+        handler.send("server", make_envelope().with_idempotency_key("nonce-1"))
+        assert Envelope.from_bytes(server.requests[0].body).idempotency_key == "nonce-1"
+
+
+class TestInboundDedupe:
+    def make_request(self, envelope):
+        return HttpRequest("POST", "phone-t1", "/sor", envelope.to_bytes())
+
+    def test_duplicate_envelope_acked_but_not_reapplied(self):
+        handler, _ = make_handler()
+        seen = []
+        handler.on(MessageType.PING, lambda env: seen.append(env) or env.reply(
+            MessageType.PONG, {"n": len(seen)}
+        ))
+        ping = Envelope(
+            MessageType.PING, "server", "phone-t1", {}
+        ).with_idempotency_key("push-1")
+        first = handler.handle_request(self.make_request(ping))
+        second = handler.handle_request(self.make_request(ping))
+        assert len(seen) == 1  # the handler ran once
+        assert second.body == first.body  # the original reply was replayed
+        assert handler.duplicates_ignored == 1
+
+    def test_distinct_keys_both_dispatch(self):
+        handler, _ = make_handler()
+        seen = []
+        handler.on(MessageType.PING, lambda env: seen.append(env) or None)
+        base = Envelope(MessageType.PING, "server", "phone-t1", {})
+        handler.handle_request(self.make_request(base.with_idempotency_key("a")))
+        handler.handle_request(self.make_request(base.with_idempotency_key("b")))
+        assert len(seen) == 2
+        assert handler.duplicates_ignored == 0
+
+    def test_unstamped_envelopes_are_never_deduped(self):
+        handler, _ = make_handler()
+        seen = []
+        handler.on(MessageType.PING, lambda env: seen.append(env) or None)
+        plain = Envelope(MessageType.PING, "server", "phone-t1", {})
+        handler.handle_request(self.make_request(plain))
+        handler.handle_request(self.make_request(plain))
+        assert len(seen) == 2
