@@ -72,6 +72,39 @@ def _cmd_obs(args: argparse.Namespace) -> str:
     return to_prometheus_text(registry)
 
 
+def _cmd_crash(args: argparse.Namespace) -> str:
+    """Run the crash-injection scenario and report what survived.
+
+    With durability on (the default) the report should end ``data
+    intact``; pass ``--no-durability`` to watch the same kills destroy
+    acknowledged state.
+    """
+    import tempfile
+
+    from repro.sim.crash import CrashSpec, run_crash_scenario
+
+    spec = CrashSpec(
+        kills=args.kills, seed=args.seed, durability=not args.no_durability
+    )
+    if args.durability_dir is not None:
+        report = run_crash_scenario(spec, args.durability_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="sor-crash-") as tmp:
+            report = run_crash_scenario(spec, tmp)
+    lines = [
+        f"kills executed      : {report.kills_executed}",
+        f"acked schedules     : {report.acked_schedules}"
+        f" (lost {report.lost_acked_schedules})",
+        f"acked uploads       : {report.acked_uploads}"
+        f" (lost {report.lost_acked_uploads})",
+        f"duplicate tasks     : {report.duplicate_tasks}",
+        f"duplicate uploads   : {report.duplicate_uploads}",
+        f"WAL records replayed: {report.records_replayed}",
+        f"verdict             : data {'intact' if report.data_intact else 'LOST'}",
+    ]
+    return "\n".join(lines)
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig6": _cmd_fig6,
     "table1": _cmd_table1,
@@ -80,6 +113,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig14a": _cmd_fig14a,
     "fig14b": _cmd_fig14b,
     "obs": _cmd_obs,
+    "crash": _cmd_crash,
 }
 
 
@@ -108,6 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="registry dump format for the obs command (default: text)",
+    )
+    parser.add_argument(
+        "--kills",
+        type=int,
+        default=2,
+        help="server kills for the crash command (default 2)",
+    )
+    parser.add_argument(
+        "--durability-dir",
+        default=None,
+        help="where the crash command keeps WAL + checkpoints "
+        "(default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--no-durability",
+        action="store_true",
+        help="run the crash command without the durability layer "
+        "(demonstrates data loss)",
     )
     return parser
 

@@ -24,6 +24,19 @@ class DatabaseError(ReproError):
     """Raised by the mini relational database substrate."""
 
 
+class RecoveryError(DatabaseError):
+    """Durable state on disk is corrupted beyond what recovery tolerates."""
+
+
+class SimulatedCrashError(ReproError):
+    """An armed crash-injection hook fired (see :mod:`repro.sim.crash`).
+
+    Deliberately *not* a :class:`TransportError`: a simulated kill must
+    tear the whole process down in the harness, not be absorbed by a
+    retry loop on the request path.
+    """
+
+
 class CodecError(ReproError):
     """Raised when encoding or decoding a binary message body fails."""
 

@@ -32,12 +32,21 @@ from repro.db.predicates import (
 )
 from repro.db.schema import Column, ColumnType, Schema
 from repro.db.table import Table
+from repro.db.wal import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveryReport,
+    open_durable_database,
+)
 
 __all__ = [
     "Column",
     "ColumnType",
     "Database",
+    "DurabilityConfig",
+    "DurabilityManager",
     "Predicate",
+    "RecoveryReport",
     "Schema",
     "Table",
     "Transaction",
@@ -55,6 +64,7 @@ __all__ = [
     "ne",
     "not_",
     "open_database",
+    "open_durable_database",
     "or_",
     "save_database",
 ]

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.common.errors import DatabaseError
 from repro.db.schema import Schema
 from repro.db.table import Table
 from repro.obs import MetricsRegistry, get_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.wal import DurabilityManager
 
 
 class Transaction:
@@ -22,6 +25,12 @@ class Transaction:
     If the block raises, every table is restored to its pre-transaction
     state. Transactions do not nest (the sensing server never needs it,
     and PostgreSQL's savepoints are out of scope).
+
+    With durability attached, the transaction's mutations hit the
+    write-ahead log as one atomic batch when the block exits cleanly; a
+    rolled-back transaction leaves no WAL trace. If the WAL append itself
+    fails, the in-memory state is rolled back too, so memory never runs
+    ahead of disk.
     """
 
     def __init__(self, database: "Database") -> None:
@@ -37,16 +46,28 @@ class Transaction:
         self._database._active_transaction = self
         return self
 
+    def _roll_back(self) -> None:
+        assert self._snapshots is not None
+        for name, snapshot in self._snapshots.items():
+            self._database._tables[name].restore(snapshot)
+        # Tables created during the failed transaction are dropped.
+        created = set(self._database._tables) - set(self._snapshots)
+        for name in created:
+            del self._database._tables[name]
+
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         assert self._snapshots is not None
         self._database._active_transaction = None
+        pending = self._database._pending
+        self._database._pending = []
         if exc_type is not None:
-            for name, snapshot in self._snapshots.items():
-                self._database._tables[name].restore(snapshot)
-            # Tables created during the failed transaction are dropped.
-            created = set(self._database._tables) - set(self._snapshots)
-            for name in created:
-                del self._database._tables[name]
+            self._roll_back()
+        elif pending and self._database._durability is not None:
+            try:
+                self._database._durability.commit(pending, transactional=True)
+            except BaseException:
+                self._roll_back()
+                raise
         self._snapshots = None
         return False  # never swallow the exception
 
@@ -60,6 +81,8 @@ class Database:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._active_transaction: Transaction | None = None
+        self._durability: "DurabilityManager | None" = None
+        self._pending: list[dict[str, Any]] = []
         self.metrics = metrics if metrics is not None else get_metrics()
         self._operations = self.metrics.counter(
             "sor_db_operations_total",
@@ -82,12 +105,77 @@ class Database:
 
         return observe
 
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def durability(self) -> "DurabilityManager | None":
+        return self._durability
+
+    def attach_durability(self, manager: "DurabilityManager") -> None:
+        """Route every committed mutation through ``manager``.
+
+        Attach happens *after* recovery has replayed the on-disk state,
+        so the replay itself is never re-logged.
+        """
+        if self._durability is not None:
+            raise DatabaseError(
+                f"database {self.name!r} already has durability attached"
+            )
+        self._durability = manager
+        for table in self._tables.values():
+            table.mutation_listener = self._on_mutation
+
+    def _encode_event(self, event: dict[str, Any]) -> dict[str, Any]:
+        # Local import: persistence imports Database for dump/load.
+        from repro.db import persistence
+
+        op = event["op"]
+        if op in ("insert", "update"):
+            schema = self._tables[event["table"]].schema
+            record = {
+                "op": op,
+                "table": event["table"],
+                "row": persistence.encode_row(schema, event["row"]),
+            }
+            if op == "update":
+                record["pk"] = record["row"][schema.primary_key]
+            return record
+        if op == "delete":
+            schema = self._tables[event["table"]].schema
+            pk_column = schema.column(schema.primary_key)
+            return {
+                "op": "delete",
+                "table": event["table"],
+                "pk": persistence.encode_cell(pk_column, event["pk"]),
+            }
+        return dict(event)
+
+    def _on_mutation(self, event: dict[str, Any]) -> None:
+        if self._durability is None:
+            return
+        record = self._encode_event(event)
+        if self._active_transaction is not None:
+            self._pending.append(record)
+        else:
+            self._durability.commit([record])
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
     def create_table(self, schema: Schema) -> Table:
         """Create a table from ``schema``; errors if the name is taken."""
         if schema.name in self._tables:
             raise DatabaseError(f"table {schema.name!r} already exists")
         table = Table(schema, observer=self._make_observer(schema.name))
         self._tables[schema.name] = table
+        if self._durability is not None:
+            table.mutation_listener = self._on_mutation
+            from repro.db import persistence
+
+            self._on_mutation(
+                {"op": "create_table", "schema": persistence.schema_to_dict(schema)}
+            )
         return table
 
     def drop_table(self, name: str) -> None:
@@ -95,6 +183,7 @@ class Database:
         if name not in self._tables:
             raise DatabaseError(f"no such table {name!r}")
         del self._tables[name]
+        self._on_mutation({"op": "drop_table", "table": name})
 
     def table(self, name: str) -> Table:
         """Return the table named ``name``; errors if it does not exist."""

@@ -7,18 +7,26 @@ property: :func:`dump_database` serializes schemas, rows, auto-increment
 counters and index definitions to a JSON-compatible dict (blobs are
 base64-encoded), and :func:`load_database` reconstructs an identical
 database.
+
+:func:`save_database` writes atomically (temp file + fsync +
+``os.replace``), so a crash mid-dump can never leave a truncated,
+unloadable file where a good one used to be — the write-ahead log
+(:mod:`repro.db.wal`) builds its checkpoints on the same primitive.
 """
 
 from __future__ import annotations
 
 import base64
+import binascii
 import json
+import os
 from pathlib import Path
 from typing import Any
 
 from repro.common.errors import DatabaseError
 from repro.db.database import Database
 from repro.db.schema import Column, ColumnType, Schema
+from repro.obs import MetricsRegistry
 
 _FORMAT_VERSION = 1
 
@@ -35,11 +43,37 @@ def _decode_cell(column: Column, value: Any) -> Any:
     if value is None:
         return None
     if column.type is ColumnType.BLOB:
-        return base64.b64decode(value.encode("ascii"))
+        if not isinstance(value, str):
+            raise DatabaseError(
+                f"blob cell for column {column.name!r} is not base64 text"
+            )
+        try:
+            return base64.b64decode(value.encode("ascii"), validate=True)
+        except (binascii.Error, UnicodeEncodeError) as exc:
+            raise DatabaseError(
+                f"corrupt base64 blob in column {column.name!r}: {exc}"
+            ) from exc
     return value
 
 
-def _schema_to_dict(schema: Schema) -> dict[str, Any]:
+def encode_row(schema: Schema, row: dict[str, Any]) -> dict[str, Any]:
+    """One stored row in JSON-compatible wire form (blobs base64'd)."""
+    return {
+        column.name: _encode_cell(column, row[column.name])
+        for column in schema.columns
+    }
+
+
+def decode_row(schema: Schema, row: dict[str, Any]) -> dict[str, Any]:
+    """Invert :func:`encode_row` back to storable Python values."""
+    return {
+        column.name: _decode_cell(column, row.get(column.name))
+        for column in schema.columns
+    }
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """A schema in JSON-compatible form (for dumps and WAL records)."""
     return {
         "name": schema.name,
         "primary_key": schema.primary_key,
@@ -49,7 +83,9 @@ def _schema_to_dict(schema: Schema) -> dict[str, Any]:
                 "name": column.name,
                 "type": column.type.value,
                 "nullable": column.nullable,
-                "default": column.default,
+                # Blob defaults (e.g. b"") need the same base64 treatment
+                # as blob cells to survive the JSON round trip.
+                "default": _encode_cell(column, column.default),
                 "auto_increment": column.auto_increment,
             }
             for column in schema.columns
@@ -57,22 +93,51 @@ def _schema_to_dict(schema: Schema) -> dict[str, Any]:
     }
 
 
-def _schema_from_dict(data: dict[str, Any]) -> Schema:
-    return Schema(
-        name=data["name"],
-        primary_key=data["primary_key"],
-        unique=tuple(data.get("unique", [])),
-        columns=tuple(
-            Column(
+def schema_from_dict(data: dict[str, Any]) -> Schema:
+    """Invert :func:`schema_to_dict` (raises DatabaseError on bad input)."""
+    try:
+        columns = []
+        for column in data["columns"]:
+            parsed = Column(
                 name=column["name"],
                 type=ColumnType(column["type"]),
                 nullable=column["nullable"],
-                default=column.get("default"),
+                default=None,
                 auto_increment=column.get("auto_increment", False),
             )
-            for column in data["columns"]
-        ),
-    )
+            default = _decode_cell(parsed, column.get("default"))
+            if default is not None:
+                parsed = Column(
+                    name=parsed.name,
+                    type=parsed.type,
+                    nullable=parsed.nullable,
+                    default=default,
+                    auto_increment=parsed.auto_increment,
+                )
+            columns.append(parsed)
+        return Schema(
+            name=data["name"],
+            primary_key=data["primary_key"],
+            unique=tuple(data.get("unique", [])),
+            columns=tuple(columns),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatabaseError(f"malformed schema in dump: {exc!r}") from exc
+
+
+def encode_cell(column: Column, value: Any) -> Any:
+    """One cell in JSON-compatible wire form (blobs base64'd)."""
+    return _encode_cell(column, value)
+
+
+def decode_cell(column: Column, value: Any) -> Any:
+    """Invert :func:`encode_cell` back to a storable Python value."""
+    return _decode_cell(column, value)
+
+
+# Backwards-compatible aliases (pre-WAL internal names).
+_schema_to_dict = schema_to_dict
+_schema_from_dict = schema_from_dict
 
 
 def dump_database(database: Database) -> dict[str, Any]:
@@ -81,17 +146,12 @@ def dump_database(database: Database) -> dict[str, Any]:
     for name in database.table_names():
         table = database.table(name)
         snapshot = table.snapshot()
-        columns = table.schema.columns
         rows = [
-            {
-                column.name: _encode_cell(column, row[column.name])
-                for column in columns
-            }
-            for row in snapshot["rows"].values()
+            encode_row(table.schema, row) for row in snapshot["rows"].values()
         ]
         tables.append(
             {
-                "schema": _schema_to_dict(table.schema),
+                "schema": schema_to_dict(table.schema),
                 "rows": rows,
                 "auto_counter": snapshot["auto_counter"],
                 "indexes": list(snapshot["indexed"]),
@@ -100,36 +160,104 @@ def dump_database(database: Database) -> dict[str, Any]:
     return {"format": _FORMAT_VERSION, "name": database.name, "tables": tables}
 
 
-def load_database(data: dict[str, Any]) -> Database:
-    """Reconstruct a database from :func:`dump_database` output."""
+def load_database(
+    data: dict[str, Any], *, metrics: MetricsRegistry | None = None
+) -> Database:
+    """Reconstruct a database from :func:`dump_database` output.
+
+    Every malformed input — unknown format version, missing keys, rows
+    that do not fit their schema, base64-corrupt blob cells — raises
+    :class:`DatabaseError` (never a bare ``KeyError``/``ValueError``),
+    so callers can treat "this dump is unusable" as one failure mode.
+    """
+    if not isinstance(data, dict):
+        raise DatabaseError(f"database dump is not an object: {type(data).__name__}")
     if data.get("format") != _FORMAT_VERSION:
         raise DatabaseError(f"unsupported dump format {data.get('format')!r}")
-    database = Database(name=data.get("name", "restored"))
-    for table_data in data["tables"]:
-        schema = _schema_from_dict(table_data["schema"])
-        table = database.create_table(schema)
-        for row in table_data["rows"]:
-            decoded = {
-                column.name: _decode_cell(column, row.get(column.name))
-                for column in schema.columns
-            }
-            table.insert(decoded)
-        # Restore the counter even past the highest inserted key.
-        table._auto_counter = max(table._auto_counter, table_data["auto_counter"])
-        for column_name in table_data["indexes"]:
-            table.create_index(column_name)
+    name = data.get("name", "restored")
+    if not isinstance(name, str):
+        raise DatabaseError(f"dump name is not a string: {name!r}")
+    database = Database(name=name, metrics=metrics)
+    try:
+        table_dumps = list(data["tables"])
+    except (KeyError, TypeError) as exc:
+        raise DatabaseError(f"dump has no table list: {exc!r}") from exc
+    for table_data in table_dumps:
+        if not isinstance(table_data, dict):
+            raise DatabaseError("table entry in dump is not an object")
+        try:
+            schema = schema_from_dict(table_data["schema"])
+            table = database.create_table(schema)
+            for row in table_data["rows"]:
+                table.insert(decode_row(schema, row))
+            # Restore the counter even past the highest inserted key.
+            table._auto_counter = max(
+                table._auto_counter, int(table_data["auto_counter"])
+            )
+            for column_name in table_data["indexes"]:
+                table.create_index(column_name)
+        except DatabaseError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise DatabaseError(
+                f"malformed table entry in dump: {exc!r}"
+            ) from exc
     return database
 
 
+def atomic_write_json(path: str | Path, data: Any) -> int:
+    """Write ``data`` as JSON to ``path`` atomically; returns bytes written.
+
+    The payload lands in a same-directory temp file which is fsynced and
+    then ``os.replace``d over the target, so readers observe either the
+    old complete file or the new complete file — never a torn prefix.
+    The directory entry is fsynced too (best effort; not all platforms
+    allow opening directories).
+    """
+    target = Path(path)
+    payload = json.dumps(data).encode("utf-8")
+    tmp = target.with_name(f".{target.name}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except OSError as exc:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise DatabaseError(f"cannot write {target}: {exc}") from exc
+    fsync_directory(target.parent)
+    return len(payload)
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to disk (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_database(database: Database, path: str | Path) -> None:
-    """Write a database dump to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(dump_database(database)), encoding="utf-8")
+    """Write a database dump to ``path`` as JSON, atomically."""
+    atomic_write_json(path, dump_database(database))
 
 
-def open_database(path: str | Path) -> Database:
+def open_database(
+    path: str | Path, *, metrics: MetricsRegistry | None = None
+) -> Database:
     """Load a database previously written by :func:`save_database`."""
     try:
         data = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise DatabaseError(f"cannot open database dump {path}: {exc}") from exc
-    return load_database(data)
+    return load_database(data, metrics=metrics)

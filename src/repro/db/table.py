@@ -29,6 +29,9 @@ class Table:
         # Called with the operation name on every insert/select/update/
         # delete/count; the Database wires this to its metrics counter.
         self._observer = observer
+        # Called with a mutation event dict after each successful write;
+        # the Database wires this to the write-ahead log. None = no log.
+        self.mutation_listener: Callable[[dict[str, Any]], None] | None = None
         self._rows: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, dict[Any, set[Any]]] = {}
         self._unique_values: dict[str, dict[Any, Any]] = {
@@ -65,6 +68,10 @@ class Table:
         for pk, row in self._rows.items():
             index[row[column]].add(pk)
         self._indexes[column] = index
+        if self.mutation_listener is not None:
+            self.mutation_listener(
+                {"op": "create_index", "table": self.name, "column": column}
+            )
 
     def _index_add(self, row: dict[str, Any]) -> None:
         pk = row[self.schema.primary_key]
@@ -116,6 +123,10 @@ class Table:
         for column, seen in self._unique_values.items():
             if stored[column] is not None:
                 seen[stored[column]] = pk
+        if self.mutation_listener is not None:
+            self.mutation_listener(
+                {"op": "insert", "table": self.name, "row": stored}
+            )
         return pk
 
     def insert_many(self, rows: Iterable[dict[str, Any]]) -> list[Any]:
@@ -152,6 +163,10 @@ class Table:
             for column, seen in self._unique_values.items():
                 if stored[column] is not None:
                     seen[stored[column]] = pk
+            if self.mutation_listener is not None:
+                self.mutation_listener(
+                    {"op": "update", "table": self.name, "pk": pk, "row": stored}
+                )
             updated += 1
         return updated
 
@@ -166,6 +181,10 @@ class Table:
             for column, seen in self._unique_values.items():
                 if row[column] is not None:
                     seen.pop(row[column], None)
+            if self.mutation_listener is not None:
+                self.mutation_listener(
+                    {"op": "delete", "table": self.name, "pk": pk}
+                )
         return len(victims)
 
     # ------------------------------------------------------------------
@@ -237,10 +256,19 @@ class Table:
         }
 
     def restore(self, snapshot: dict[str, Any]) -> None:
-        """Restore state captured by :meth:`snapshot`."""
-        self._rows = copy.deepcopy(snapshot["rows"])
-        self._auto_counter = snapshot["auto_counter"]
-        self._unique_values = copy.deepcopy(snapshot["unique"])
-        self._indexes = {}
-        for column in snapshot["indexed"]:
-            self.create_index(column)
+        """Restore state captured by :meth:`snapshot`.
+
+        A rollback must leave no WAL trace, so the mutation listener is
+        suppressed while indexes are rebuilt.
+        """
+        listener = self.mutation_listener
+        self.mutation_listener = None
+        try:
+            self._rows = copy.deepcopy(snapshot["rows"])
+            self._auto_counter = snapshot["auto_counter"]
+            self._unique_values = copy.deepcopy(snapshot["unique"])
+            self._indexes = {}
+            for column in snapshot["indexed"]:
+                self.create_index(column)
+        finally:
+            self.mutation_listener = listener

@@ -1,0 +1,584 @@
+"""Write-ahead logging, checkpoints and crash recovery.
+
+The real SOR deployment gets durability from PostgreSQL; this module
+gives the in-memory :class:`~repro.db.database.Database` the same
+guarantee: once a mutation is acknowledged it survives a process kill at
+any instant.
+
+Layout of a durability directory::
+
+    wal-00000001.log          append-only mutation log, segment 1
+    checkpoint-00000005.json  full dump taken at the *start* of segment 5
+    wal-00000005.log          mutations after that checkpoint
+    ...
+
+Each WAL record is a JSON object framed as ``<u32 length><u32 crc32>``
+followed by the payload. Sequence numbers tie checkpoints and segments
+together: checkpoint ``G`` is the database state at the start of
+``wal-G``, so recovery loads the newest *valid* checkpoint and replays
+every segment with an equal or higher sequence number, in order. A
+corrupted checkpoint degrades to the previous one (segments are retained
+back to the oldest kept checkpoint); a torn final record — the signature
+of a crash mid-append — is truncated away, as is the tail of a
+transaction whose commit marker never made it to disk.
+
+Checkpoints are written with the same temp-file + fsync + ``os.replace``
+dance as :func:`repro.db.persistence.save_database`, so a crash during
+compaction can never destroy the previous checkpoint.
+
+The :class:`DurabilityManager` also carries one-shot crash hooks
+(:meth:`~DurabilityManager.arm`) used by :mod:`repro.sim.crash` to kill
+the process at the nastiest possible instants — mid-batch, pre-fsync,
+between the checkpoint temp write and its rename.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO, Callable
+
+from repro.common.errors import DatabaseError, RecoveryError, SimulatedCrashError
+from repro.db.database import Database
+from repro.db.persistence import (
+    decode_cell,
+    decode_row,
+    dump_database,
+    fsync_directory,
+    load_database,
+    schema_from_dict,
+)
+from repro.db.predicates import eq
+from repro.obs import MetricsRegistry
+
+_FRAME_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+_CHECKPOINT_PATTERN = "checkpoint-{seq:08d}.json"
+_WAL_PATTERN = "wal-{seq:08d}.log"
+
+# Histogram buckets for recovery time: sub-millisecond empty boots up to
+# multi-second replays of long campaigns.
+_RECOVERY_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How a durable database writes to disk.
+
+    ``checkpoint_every_records=0`` disables automatic compaction —
+    checkpoints then only happen via an explicit
+    :meth:`DurabilityManager.checkpoint` call.
+    """
+
+    directory: str | Path
+    fsync: bool = True
+    checkpoint_every_records: int = 0
+    keep_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every_records < 0:
+            raise DatabaseError("checkpoint_every_records must be >= 0")
+        if self.keep_checkpoints < 1:
+            raise DatabaseError("keep_checkpoints must be >= 1")
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`open_durable_database` found and did on boot."""
+
+    checkpoint_seq: int = 0
+    corrupt_checkpoints_skipped: int = 0
+    wal_files_replayed: int = 0
+    records_replayed: int = 0
+    torn_tail_bytes_discarded: int = 0
+    incomplete_transactions_discarded: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def clean_boot(self) -> bool:
+        """True when nothing on disk was corrupt, torn or discarded."""
+        return (
+            self.corrupt_checkpoints_skipped == 0
+            and self.torn_tail_bytes_discarded == 0
+            and self.incomplete_transactions_discarded == 0
+        )
+
+
+def _encode_frame(record: dict[str, Any]) -> bytes:
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WalWriter:
+    """Appends framed records to one WAL segment file.
+
+    The handle is opened unbuffered, so every :meth:`append` reaches the
+    OS immediately — a simulated kill (closing the handle) can never lose
+    a write that this class reported as done. ``fsync`` additionally
+    flushes the OS cache for real-power-loss durability.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._handle: BinaryIO = open(self.path, "ab", buffering=0)
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Write one framed record; returns the bytes appended."""
+        frame = _encode_frame(record)
+        self._handle.write(frame)
+        return len(frame)
+
+    def append_torn(self, record: dict[str, Any], keep: float = 0.5) -> int:
+        """Write a deliberately truncated frame (crash simulation only)."""
+        frame = _encode_frame(record)
+        cut = min(len(frame) - 1, max(1, int(len(frame) * keep)))
+        self._handle.write(frame[:cut])
+        return cut
+
+    def sync(self) -> None:
+        """Flush the OS cache for this segment (no-op with fsync off)."""
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the segment handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_wal_file(
+    path: str | Path,
+) -> tuple[list[tuple[dict[str, Any], int, int]], int, bool]:
+    """Parse a WAL segment.
+
+    Returns ``(entries, clean_bytes, torn)`` where each entry is
+    ``(record, start_offset, end_offset)``, ``clean_bytes`` is the length
+    of the valid prefix, and ``torn`` reports whether trailing garbage
+    (short frame, CRC mismatch, bad JSON) was found after it.
+    """
+    data = Path(path).read_bytes()
+    entries: list[tuple[dict[str, Any], int, int]] = []
+    offset = 0
+    while offset + _FRAME_HEADER.size <= len(data):
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > len(data):
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(record, dict):
+            break
+        entries.append((record, offset, end))
+        offset = end
+    return entries, offset, offset < len(data)
+
+
+def _resolve_transactions(
+    entries: list[tuple[dict[str, Any], int, int]],
+    clean_bytes: int,
+    *,
+    final_segment: bool,
+    path: Path,
+) -> tuple[list[dict[str, Any]], int, int]:
+    """Flatten begin/commit markers into an applicable record stream.
+
+    Returns ``(records, keep_bytes, incomplete_discarded)``. Records of a
+    transaction whose commit marker is missing at the tail of the *final*
+    segment are dropped and ``keep_bytes`` moves back to where the
+    transaction began; the same situation anywhere else is corruption.
+    """
+    applied: list[dict[str, Any]] = []
+    open_txn: list[dict[str, Any]] | None = None
+    txn_start = clean_bytes
+    for record, start, _end in entries:
+        op = record.get("op")
+        if op == "begin":
+            if open_txn is not None:
+                raise RecoveryError(f"{path.name}: nested begin marker at byte {start}")
+            open_txn = []
+            txn_start = start
+        elif op == "commit":
+            if open_txn is None:
+                raise RecoveryError(
+                    f"{path.name}: commit marker without begin at byte {start}"
+                )
+            applied.extend(open_txn)
+            open_txn = None
+        elif open_txn is not None:
+            open_txn.append(record)
+        else:
+            applied.append(record)
+    if open_txn is None:
+        return applied, clean_bytes, 0
+    if not final_segment:
+        raise RecoveryError(
+            f"{path.name}: transaction without commit marker in a non-final segment"
+        )
+    return applied, txn_start, 1
+
+
+def _apply_record(database: Database, record: dict[str, Any], path: Path) -> None:
+    try:
+        op = record["op"]
+        if op == "create_table":
+            database.create_table(schema_from_dict(record["schema"]))
+        elif op == "drop_table":
+            database.drop_table(record["table"])
+        elif op == "create_index":
+            database.table(record["table"]).create_index(record["column"])
+        elif op == "insert":
+            table = database.table(record["table"])
+            table.insert(decode_row(table.schema, record["row"]))
+        elif op == "update":
+            table = database.table(record["table"])
+            row = decode_row(table.schema, record["row"])
+            pk_name = table.schema.primary_key
+            pk = row.pop(pk_name)
+            table.update(eq(pk_name, pk), row)
+        elif op == "delete":
+            table = database.table(record["table"])
+            pk_name = table.schema.primary_key
+            pk = decode_cell(table.schema.column(pk_name), record["pk"])
+            table.delete(eq(pk_name, pk))
+        else:
+            raise RecoveryError(f"{path.name}: unknown WAL op {op!r}")
+    except RecoveryError:
+        raise
+    except (DatabaseError, KeyError, TypeError, ValueError) as exc:
+        raise RecoveryError(
+            f"{path.name}: cannot replay {record.get('op')!r} record: {exc!r}"
+        ) from exc
+
+
+def _scan_directory(directory: Path) -> tuple[dict[int, Path], dict[int, Path]]:
+    checkpoints: dict[int, Path] = {}
+    wals: dict[int, Path] = {}
+    for entry in directory.iterdir():
+        name = entry.name
+        if name.startswith("checkpoint-") and name.endswith(".json"):
+            try:
+                checkpoints[int(name[len("checkpoint-") : -len(".json")])] = entry
+            except ValueError:
+                continue
+        elif name.startswith("wal-") and name.endswith(".log"):
+            try:
+                wals[int(name[len("wal-") : -len(".log")])] = entry
+            except ValueError:
+                continue
+    return checkpoints, wals
+
+
+class DurabilityManager:
+    """Owns the WAL writer, compaction and crash-injection hooks.
+
+    Constructed by :func:`open_durable_database`; the database routes
+    every committed mutation batch into :meth:`commit`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        config: DurabilityConfig,
+        *,
+        seq: int,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config
+        self.directory = Path(config.directory)
+        self._database = database
+        self._seq = seq
+        self._writer = WalWriter(self._wal_path(seq), fsync=config.fsync)
+        self._txn_counter = 0
+        self._records_since_checkpoint = 0
+        self._closed = False
+        self._hooks: dict[str, Callable[[], None] | None] = {}
+        registry = metrics if metrics is not None else database.metrics
+        self._m_records = registry.counter(
+            "sor_db_wal_records_total",
+            "records appended to the write-ahead log",
+            labels=("op",),
+        )
+        self._m_record_children: dict[str, Any] = {}
+        self._m_bytes = registry.counter(
+            "sor_db_wal_bytes", "bytes appended to the write-ahead log"
+        )
+        self._m_checkpoints = registry.counter(
+            "sor_db_checkpoints_total", "checkpoints written"
+        )
+
+    # ------------------------------------------------------------------
+    # crash-injection hooks
+    # ------------------------------------------------------------------
+    def arm(self, point: str, callback: Callable[[], None] | None = None) -> None:
+        """Arm a one-shot crash at ``point``.
+
+        When execution reaches the point, ``callback`` (if any) runs —
+        typically unregistering the server from the network — and then
+        :class:`SimulatedCrashError` is raised. Points:
+        ``commit.pre_append``, ``commit.mid_append``, ``commit.pre_sync``,
+        ``checkpoint.pre_replace``, ``checkpoint.post_replace``.
+        """
+        self._hooks[point] = callback
+
+    def disarm(self, point: str) -> None:
+        """Remove a previously armed crash point (no-op if absent)."""
+        self._hooks.pop(point, None)
+
+    def _fire(self, point: str) -> None:
+        if point not in self._hooks:
+            return
+        callback = self._hooks.pop(point)
+        if callback is not None:
+            callback()
+        raise SimulatedCrashError(f"simulated crash at {point}")
+
+    # ------------------------------------------------------------------
+    # commit path
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _wal_path(self, seq: int) -> Path:
+        return self.directory / _WAL_PATTERN.format(seq=seq)
+
+    def _checkpoint_path(self, seq: int) -> Path:
+        return self.directory / _CHECKPOINT_PATTERN.format(seq=seq)
+
+    def _count_record(self, record: dict[str, Any], written: int) -> None:
+        self._m_bytes.inc(written)
+        op = str(record.get("op", "?"))
+        child = self._m_record_children.get(op)
+        if child is None:
+            child = self._m_records.labels(op=op)
+            self._m_record_children[op] = child
+        child.inc()
+
+    def commit(
+        self, records: list[dict[str, Any]], *, transactional: bool = False
+    ) -> None:
+        """Append a committed mutation batch to the log and fsync it.
+
+        ``transactional=True`` wraps the batch in begin/commit markers so
+        recovery can discard it wholesale if the commit marker never hits
+        disk. Raises if the manager is closed (the simulated process is
+        dead).
+        """
+        if self._closed:
+            raise DatabaseError("durability manager is closed")
+        batch = list(records)
+        if not batch:
+            return
+        mutations = len(batch)
+        if transactional:
+            self._txn_counter += 1
+            txn = self._txn_counter
+            batch = [
+                {"op": "begin", "txn": txn},
+                *batch,
+                {"op": "commit", "txn": txn},
+            ]
+        self._fire("commit.pre_append")
+        for position, record in enumerate(batch):
+            written = self._writer.append(record)
+            self._count_record(record, written)
+            if position == 0 and len(batch) > 1:
+                # After the first frame of a multi-record batch: the worst
+                # place to die — a half-written transaction on disk.
+                self._fire("commit.mid_append")
+        self._fire("commit.pre_sync")
+        self._writer.sync()
+        self._records_since_checkpoint += mutations
+        if (
+            self.config.checkpoint_every_records > 0
+            and self._records_since_checkpoint >= self.config.checkpoint_every_records
+            and self._database._active_transaction is None
+        ):
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Compact the log into a snapshot; returns the new sequence.
+
+        Opens segment ``G+1`` first, then writes ``checkpoint-(G+1)``
+        atomically, then prunes history. A crash at any step leaves a
+        recoverable directory: the worst case re-replays segment ``G``.
+        """
+        if self._closed:
+            raise DatabaseError("durability manager is closed")
+        if self._database._active_transaction is not None:
+            raise DatabaseError("cannot checkpoint during an active transaction")
+        self._writer.sync()
+        new_seq = self._seq + 1
+        new_writer = WalWriter(self._wal_path(new_seq), fsync=self.config.fsync)
+        old_writer = self._writer
+        self._writer = new_writer
+        self._seq = new_seq
+        old_writer.close()
+
+        target = self._checkpoint_path(new_seq)
+        payload = json.dumps(dump_database(self._database)).encode("utf-8")
+        tmp = target.with_name(f".{target.name}.tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._fire("checkpoint.pre_replace")
+        os.replace(tmp, target)
+        fsync_directory(self.directory)
+        self._fire("checkpoint.post_replace")
+
+        self._records_since_checkpoint = 0
+        self._m_checkpoints.inc()
+        self._prune()
+        return new_seq
+
+    def _prune(self) -> None:
+        checkpoints, wals = _scan_directory(self.directory)
+        kept = sorted(checkpoints, reverse=True)[: self.config.keep_checkpoints]
+        for seq, path in checkpoints.items():
+            if seq not in kept:
+                path.unlink(missing_ok=True)
+        if kept:
+            horizon = min(kept)
+            for seq, path in wals.items():
+                if seq < horizon:
+                    path.unlink(missing_ok=True)
+        for stray in self.directory.glob(".*.tmp"):
+            stray.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Release the WAL handle. Used both for shutdown and as 'kill'."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+
+    def simulate_torn_append(self, record: dict[str, Any], keep: float = 0.5) -> int:
+        """Leave a torn frame at the log tail, as if killed inside write(2)."""
+        return self._writer.append_torn(record, keep)
+
+    def simulate_partial_transaction(self, records: list[dict[str, Any]]) -> None:
+        """Append a begin marker plus records with NO commit marker.
+
+        Crash simulation: the on-disk signature of a process killed
+        between a transaction's first append and its commit marker.
+        Recovery must discard the whole batch.
+        """
+        self._txn_counter += 1
+        self._writer.append({"op": "begin", "txn": self._txn_counter})
+        for record in records:
+            self._writer.append(record)
+
+
+def open_durable_database(
+    config: DurabilityConfig,
+    *,
+    name: str = "sor",
+    metrics: MetricsRegistry | None = None,
+) -> tuple[Database, RecoveryReport]:
+    """Recover (or initialise) a durable database from ``config.directory``.
+
+    Returns the live database — with a :class:`DurabilityManager`
+    attached and accepting writes — and a :class:`RecoveryReport`
+    describing what recovery found.
+    """
+    started = time.perf_counter()
+    directory = Path(config.directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    report = RecoveryReport()
+    checkpoints, wals = _scan_directory(directory)
+
+    database: Database | None = None
+    for seq in sorted(checkpoints, reverse=True):
+        try:
+            data = json.loads(checkpoints[seq].read_text(encoding="utf-8"))
+            database = load_database(data, metrics=metrics)
+            report.checkpoint_seq = seq
+            break
+        except (OSError, json.JSONDecodeError, DatabaseError):
+            report.corrupt_checkpoints_skipped += 1
+    if database is None:
+        if checkpoints and (not wals or min(wals) > 1):
+            raise RecoveryError(
+                f"{directory}: every checkpoint is corrupt and the WAL does not "
+                "reach back to the beginning of history"
+            )
+        database = Database(name=name, metrics=metrics)
+        report.checkpoint_seq = 0
+    if wals and min(wals) > max(report.checkpoint_seq, 1):
+        raise RecoveryError(
+            f"{directory}: oldest WAL segment {min(wals)} is newer than "
+            f"checkpoint {report.checkpoint_seq}; history has a gap"
+        )
+
+    if wals:
+        start_seq = report.checkpoint_seq if report.checkpoint_seq else min(wals)
+        max_seq = max(wals)
+        for seq in range(start_seq, max_seq + 1):
+            path = wals.get(seq)
+            if path is None:
+                raise RecoveryError(
+                    f"{directory}: missing WAL segment {seq} "
+                    f"(have up to {max_seq})"
+                )
+            final = seq == max_seq
+            entries, clean_bytes, torn = read_wal_file(path)
+            if torn and not final:
+                raise RecoveryError(
+                    f"{path.name}: torn record in a non-final segment"
+                )
+            records, keep_bytes, incomplete = _resolve_transactions(
+                entries, clean_bytes, final_segment=final, path=path
+            )
+            size = path.stat().st_size
+            if final and keep_bytes < size:
+                with open(path, "r+b") as handle:
+                    handle.truncate(keep_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                report.torn_tail_bytes_discarded += size - keep_bytes
+            report.incomplete_transactions_discarded += incomplete
+            for record in records:
+                _apply_record(database, record, path)
+            report.records_replayed += len(records)
+            report.wal_files_replayed += 1
+        live_seq = max_seq
+    else:
+        live_seq = max(report.checkpoint_seq, 1)
+
+    manager = DurabilityManager(database, config, seq=live_seq, metrics=metrics)
+    database.attach_durability(manager)
+
+    report.duration_s = time.perf_counter() - started
+    registry = metrics if metrics is not None else database.metrics
+    registry.counter(
+        "sor_db_recovery_replayed_records",
+        "WAL records replayed during recovery",
+    ).inc(report.records_replayed)
+    registry.histogram(
+        "sor_db_recovery_seconds",
+        "time spent recovering durable state at boot",
+        buckets=_RECOVERY_BUCKETS,
+    ).observe(report.duration_s)
+    return database, report

@@ -175,6 +175,15 @@ class MobilePhone:
         """When this phone next needs to run (for the event scheduler)."""
         return self.task_manager.next_sensing_time()
 
+    @property
+    def acked_uploads(self) -> frozenset[str]:
+        """Task ids whose SENSED_DATA upload the server acknowledged.
+
+        The crash harness asserts that everything in this set survives
+        server recovery: an acknowledged upload is a promise.
+        """
+        return frozenset(self._uploaded_tasks)
+
     def _upload(self, task: TaskInstance) -> bool:
         if self._last_server is None:
             return False

@@ -14,18 +14,25 @@ configuration row.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError, ScriptError
 from repro.common.geo import LatLon
 from repro.core.features import FeaturePipeline
-from repro.db import Database
+from repro.db import Database, eq
 from repro.script import parse
 
 
 @dataclass(frozen=True)
 class Application:
-    """One sensing application: a place and how to sense it."""
+    """One sensing application: a place and how to sense it.
+
+    ``pipeline`` may be ``None`` for an application rehydrated from the
+    database after a restart — the pipeline is a Python object that
+    cannot be persisted; it is re-attached by the deployment layer via
+    :meth:`ApplicationManager.attach_pipeline`.
+    """
 
     app_id: str
     creator: str
@@ -34,7 +41,7 @@ class Application:
     category: str
     location: LatLon
     script: str
-    pipeline: FeaturePipeline
+    pipeline: FeaturePipeline | None
     period_start: float
     period_end: float
     num_instants: int = 1080
@@ -53,12 +60,51 @@ class Application:
 
 
 class ApplicationManager:
-    """Registers applications and answers lookups."""
+    """Registers applications and answers lookups.
 
-    def __init__(self, database: Database) -> None:
+    Configuration rows are durable; the in-memory registry is rebuilt
+    from them at construction, scoped to ``owner`` (the server host that
+    registered each application) so that servers sharing one database
+    never adopt each other's applications after a restart.
+    """
+
+    def __init__(self, database: Database, *, owner: str = "") -> None:
         self.database = database
+        self.owner = owner
         self._pipelines: dict[str, FeaturePipeline] = {}
         self._apps: dict[str, Application] = {}
+        self._hydrate()
+
+    def _hydrate(self) -> None:
+        if not self.database.has_table("applications"):
+            return
+        rows = self.database.table("applications").select(eq("owner", self.owner))
+        for row in rows:
+            self._apps[row["app_id"]] = Application(
+                app_id=row["app_id"],
+                creator=row["creator"],
+                place_id=row["place_id"],
+                place_name=row["place_name"],
+                category=row["category"],
+                location=LatLon(
+                    latitude=row["latitude"], longitude=row["longitude"]
+                ),
+                script=row["script"],
+                pipeline=None,
+                period_start=row["period_start"],
+                period_end=row["period_end"],
+                num_instants=row["num_instants"],
+                coverage_sigma_s=row["coverage_sigma_s"],
+                location_tolerance_m=row["location_tolerance_m"],
+            )
+
+    def attach_pipeline(self, app_id: str, pipeline: FeaturePipeline) -> None:
+        """Re-attach the in-memory feature pipeline after rehydration."""
+        application = self._apps.get(app_id)
+        if application is None:
+            raise ConfigurationError(f"unknown application {app_id!r}")
+        self._apps[app_id] = dataclasses.replace(application, pipeline=pipeline)
+        self._pipelines[app_id] = pipeline
 
     def create(self, application: Application) -> None:
         """Register an application (validates its script parses)."""
@@ -72,9 +118,14 @@ class ApplicationManager:
             raise ConfigurationError(
                 f"application script does not parse: {exc}"
             ) from exc
+        if application.pipeline is None:
+            raise ConfigurationError(
+                f"application {application.app_id!r} needs a feature pipeline"
+            )
         self.database.table("applications").insert(
             {
                 "app_id": application.app_id,
+                "owner": self.owner,
                 "creator": application.creator,
                 "place_id": application.place_id,
                 "place_name": application.place_name,
@@ -101,6 +152,11 @@ class ApplicationManager:
         try:
             return self._pipelines[app_id]
         except KeyError:
+            if app_id in self._apps:
+                raise ConfigurationError(
+                    f"application {app_id!r} was rehydrated without a "
+                    "pipeline; call attach_pipeline() first"
+                ) from None
             raise ConfigurationError(f"unknown application {app_id!r}") from None
 
     def all_apps(self) -> list[Application]:

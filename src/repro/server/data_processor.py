@@ -10,6 +10,7 @@ data are called feature data."
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 from repro.common.clock import Clock
@@ -17,21 +18,54 @@ from repro.common.errors import CodecError
 from repro.core.features.types import GpsFix, ReadingBurst
 from repro.db import Database, and_, eq
 from repro.net import Envelope
+from repro.obs import MetricsRegistry, get_metrics
 from repro.server.app_manager import ApplicationManager
+
+# Physically plausible value ranges per sensor (generous — they exist to
+# stop NaN/inf and wildly impossible readings from poisoning feature
+# extraction, not to second-guess unusual weather). Units follow the
+# sensor providers: temperature °F, humidity %, microphone dB, pressure
+# hPa, light lux, accelerometer m/s² per axis.
+_SENSOR_LIMITS: dict[str, tuple[float, float]] = {
+    "temperature": (-100.0, 300.0),
+    "humidity": (-5.0, 105.0),
+    "microphone": (-10.0, 200.0),
+    "accelerometer": (-1000.0, 1000.0),
+    "pressure": (100.0, 1200.0),
+    "light": (-50.0, 500000.0),
+}
 
 
 class DataProcessor:
-    """Decodes stored binary bodies and computes feature data."""
+    """Decodes stored binary bodies and computes feature data.
+
+    Bursts that fail validation (non-finite numbers, out-of-spec values,
+    malformed shapes) are diverted into the ``quarantine`` table instead
+    of becoming readings, and counted in
+    ``sor_server_quarantined_readings_total``.
+    """
 
     def __init__(
-        self, database: Database, apps: ApplicationManager, clock: Clock
+        self,
+        database: Database,
+        apps: ApplicationManager,
+        clock: Clock,
+        *,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.database = database
         self.apps = apps
         self.clock = clock
+        self.metrics = metrics if metrics is not None else get_metrics()
         self.blobs_decoded = 0
         self.blobs_rejected = 0
         self.features_skipped = 0
+        self.readings_quarantined = 0
+        self._m_quarantined = self.metrics.counter(
+            "sor_server_quarantined_readings_total",
+            "sensor bursts diverted to quarantine instead of readings",
+            labels=("sensor", "reason"),
+        )
 
     # ------------------------------------------------------------------
     # step 1: binary blobs → readings rows
@@ -85,13 +119,25 @@ class DataProcessor:
         for burst in bursts:
             if not isinstance(burst, dict):
                 raise CodecError("burst entry is not a dict")
+            sensor = str(burst.get("sensor", ""))
+            reason = self._burst_problem(sensor, burst)
+            if reason is not None:
+                self._quarantine(
+                    task_id=task_id,
+                    app_id=task["app_id"],
+                    place_id=application.place_id,
+                    sensor=sensor,
+                    reason=reason,
+                    burst=burst,
+                )
+                continue
             inserted.append(
                 readings.insert(
                     {
                         "task_id": task_id,
                         "app_id": task["app_id"],
                         "place_id": application.place_id,
-                        "sensor": str(burst.get("sensor", "")),
+                        "sensor": sensor,
                         "t": float(burst.get("t", 0.0)),
                         "dt": float(burst.get("dt", 0.0)),
                         "values": burst.get("values", []),
@@ -99,6 +145,81 @@ class DataProcessor:
                     }
                 )
             )
+
+    # ------------------------------------------------------------------
+    # validation and quarantine
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_number(value: Any) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def _burst_problem(self, sensor: str, burst: dict[str, Any]) -> str | None:
+        """Why this burst must not become readings, or None if it's fine."""
+        t = burst.get("t", 0.0)
+        dt = burst.get("dt", 0.0)
+        if not self._is_number(t) or not self._is_number(dt):
+            return "bad_shape"
+        if not (math.isfinite(t) and math.isfinite(dt)):
+            return "not_finite"
+        values = burst.get("values", [])
+        if not isinstance(values, list):
+            return "bad_shape"
+        scalars: list[float] = []
+        for value in values:
+            if isinstance(value, list):
+                if not all(self._is_number(item) for item in value):
+                    return "bad_shape"
+                if sensor == "gps" and len(value) == 3:
+                    lat, lon, alt = value
+                    if not all(math.isfinite(v) for v in (lat, lon, alt)):
+                        return "not_finite"
+                    if not (
+                        -90.0 <= lat <= 90.0
+                        and -180.0 <= lon <= 180.0
+                        and -1000.0 <= alt <= 20000.0
+                    ):
+                        return "out_of_range"
+                    continue
+                scalars.extend(value)
+            elif self._is_number(value):
+                scalars.append(value)
+            else:
+                return "bad_shape"
+        for scalar in scalars:
+            if not math.isfinite(scalar):
+                return "not_finite"
+        limits = _SENSOR_LIMITS.get(sensor)
+        if limits is not None:
+            low, high = limits
+            for scalar in scalars:
+                if not low <= scalar <= high:
+                    return "out_of_range"
+        return None
+
+    def _quarantine(
+        self,
+        *,
+        task_id: str,
+        app_id: str,
+        place_id: str,
+        sensor: str,
+        reason: str,
+        burst: dict[str, Any],
+    ) -> None:
+        if self.database.has_table("quarantine"):
+            self.database.table("quarantine").insert(
+                {
+                    "task_id": task_id,
+                    "app_id": app_id,
+                    "place_id": place_id,
+                    "sensor": sensor,
+                    "reason": reason,
+                    "payload": burst,
+                    "received_at": self.clock.now(),
+                }
+            )
+        self.readings_quarantined += 1
+        self._m_quarantined.inc(sensor=sensor, reason=reason)
 
     # ------------------------------------------------------------------
     # step 2: readings → feature data

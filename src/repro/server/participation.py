@@ -47,9 +47,25 @@ class ParticipationManager:
         self.apps = apps
         self.clock = clock
         # With several servers sharing one database, each needs its own
-        # id namespace so task ids never collide.
+        # id namespace so task ids never collide. The counter resumes
+        # past any persisted task of this prefix, so a restarted server
+        # never re-issues an id that survived in the durable store.
         self.id_prefix = id_prefix
-        self._task_counter = itertools.count(1)
+        self._task_counter = itertools.count(self._highest_persisted_ordinal() + 1)
+
+    def _highest_persisted_ordinal(self) -> int:
+        if not self.database.has_table("tasks"):
+            return 0
+        prefix = f"{self.id_prefix}task-"
+        highest = 0
+        for row in self.database.table("tasks").select():
+            task_id = row["task_id"]
+            if isinstance(task_id, str) and task_id.startswith(prefix):
+                try:
+                    highest = max(highest, int(task_id[len(prefix) :]))
+                except ValueError:
+                    continue
+        return highest
 
     # ------------------------------------------------------------------
     # creation

@@ -128,6 +128,31 @@ class SensingSchedulerService:
             self._states[application.app_id] = state
         return state
 
+    def rehydrate(self, application: Application) -> int:
+        """Rebuild coverage state from persisted schedules after a restart.
+
+        The objective over already-scheduled instants is in-memory only;
+        the schedules themselves are durable on the task rows. Re-adding
+        each persisted sensing time (via its nearest instant index) makes
+        post-recovery scheduling see exactly the coverage that existed
+        before the crash. Returns the number of instants restored.
+        """
+        state = self.state_for(application)
+        restored = 0
+        for task in self.participation.tasks_for_app(application.app_id):
+            times = task.get("schedule_times") or []
+            if not times:
+                continue
+            for timestamp in times:
+                state.objective.add(state.period.nearest_instant(float(timestamp)))
+            state.scheduled_counts[task["user_id"]] = (
+                state.scheduled_counts.get(task["user_id"], 0) + len(times)
+            )
+            restored += len(times)
+        if restored:
+            self._m_coverage.set(state.average_coverage, app=application.app_id)
+        return restored
+
     def schedule_task(
         self,
         application: Application,

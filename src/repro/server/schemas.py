@@ -21,6 +21,9 @@ APPLICATIONS = Schema(
     name="applications",
     columns=(
         Column("app_id", ColumnType.TEXT, nullable=False),
+        # Which server host registered the application — after a crash,
+        # each server rehydrates exactly the applications it owns.
+        Column("owner", ColumnType.TEXT, nullable=False, default=""),
         Column("creator", ColumnType.TEXT, nullable=False),
         Column("place_id", ColumnType.TEXT, nullable=False),
         Column("place_name", ColumnType.TEXT, nullable=False),
@@ -95,7 +98,49 @@ FEATURE_DATA = Schema(
     primary_key="feature_id",
 )
 
-ALL_SCHEMAS = (USERS, APPLICATIONS, TASKS, RAW_DATA, READINGS, FEATURE_DATA)
+# Replies already served, keyed by envelope idempotency key. Durable on
+# purpose: a server crash between serving a reply and the phone's retry
+# must not let the retry re-run the handler (double task, double
+# ingest) after recovery.
+IDEMPOTENCY = Schema(
+    name="idempotency",
+    columns=(
+        Column("key", ColumnType.TEXT, nullable=False),
+        Column("status", ColumnType.INT, nullable=False),
+        Column("body", ColumnType.BLOB, nullable=False, default=b""),
+        Column("created_at", ColumnType.REAL, nullable=False),
+    ),
+    primary_key="key",
+)
+
+# Sensor bursts the Data Processor refused to turn into readings
+# (NaN/inf, out-of-spec values, malformed shapes) — kept for forensics
+# instead of poisoning feature extraction.
+QUARANTINE = Schema(
+    name="quarantine",
+    columns=(
+        Column("quarantine_id", ColumnType.INT, nullable=False, auto_increment=True),
+        Column("task_id", ColumnType.TEXT, nullable=False),
+        Column("app_id", ColumnType.TEXT, nullable=False),
+        Column("place_id", ColumnType.TEXT, nullable=False),
+        Column("sensor", ColumnType.TEXT, nullable=False),
+        Column("reason", ColumnType.TEXT, nullable=False),
+        Column("payload", ColumnType.JSON, nullable=False, default={}),
+        Column("received_at", ColumnType.REAL, nullable=False),
+    ),
+    primary_key="quarantine_id",
+)
+
+ALL_SCHEMAS = (
+    USERS,
+    APPLICATIONS,
+    TASKS,
+    RAW_DATA,
+    READINGS,
+    FEATURE_DATA,
+    IDEMPOTENCY,
+    QUARANTINE,
+)
 
 
 def create_all_tables(database) -> None:
@@ -114,3 +159,5 @@ def create_all_tables(database) -> None:
     database.table("readings").create_index("place_id")
     database.table("feature_data").create_index("place_id")
     database.table("feature_data").create_index("category")
+    database.table("applications").create_index("owner")
+    database.table("quarantine").create_index("place_id")

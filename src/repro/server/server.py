@@ -10,9 +10,15 @@ will be processed later by the Data Processor."
 from __future__ import annotations
 
 from repro.common.clock import Clock
-from repro.common.errors import CodecError, ParticipationError, TransportError
+from repro.common.errors import (
+    CodecError,
+    ConfigurationError,
+    ParticipationError,
+    TransportError,
+)
 from repro.common.geo import LatLon
-from repro.db import Database, eq
+from repro.db import Database, DurabilityConfig, RecoveryReport, eq
+from repro.db.wal import open_durable_database
 from repro.net import (
     CloudMessenger,
     Envelope,
@@ -20,7 +26,7 @@ from repro.net import (
     HttpResponse,
     MessageType,
 )
-from repro.net.resilience import IdempotencyCache, ResilientClient
+from repro.net.resilience import ResilientClient
 from repro.net.transport import Network
 from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
 from repro.obs.export import CONTENT_TYPE, to_prometheus_text
@@ -48,30 +54,50 @@ class SensingServer:
         tracer: Tracer | None = None,
         client: ResilientClient | None = None,
         dedupe_capacity: int = 4096,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         self.host = host
         self.network = network
         self.clock = clock
         self.gcm = gcm
         self.client = client
-        self._dedupe = IdempotencyCache(capacity=dedupe_capacity)
+        # Served replies are deduped through the durable `idempotency`
+        # table (see _stored_response), bounded to this many entries.
+        self._dedupe_capacity = dedupe_capacity
         self.metrics = metrics if metrics is not None else get_metrics()
         self.tracer = tracer if tracer is not None else get_tracer()
-        self.database = (
-            database
-            if database is not None
-            else Database(name=host, metrics=self.metrics)
-        )
+        self.recovery: RecoveryReport | None = None
+        if durability is not None:
+            if database is not None:
+                raise ConfigurationError(
+                    "pass either database= or durability=, not both"
+                )
+            self.database, self.recovery = open_durable_database(
+                durability, name=host, metrics=self.metrics
+            )
+        else:
+            self.database = (
+                database
+                if database is not None
+                else Database(name=host, metrics=self.metrics)
+            )
         create_all_tables(self.database)
         self.users = UserInfoManager(self.database, clock)
-        self.apps = ApplicationManager(self.database)
+        self.apps = ApplicationManager(self.database, owner=host)
         self.participation = ParticipationManager(
             self.database, self.users, self.apps, clock, id_prefix=f"{host}:"
         )
         self.scheduler = SensingSchedulerService(
             self.participation, clock, metrics=self.metrics, tracer=self.tracer
         )
-        self.data_processor = DataProcessor(self.database, self.apps, clock)
+        # Rebuild in-memory coverage state from the persisted schedules
+        # of whatever applications survived on disk (no-op on a fresh
+        # database).
+        for application in self.apps.all_apps():
+            self.scheduler.rehydrate(application)
+        self.data_processor = DataProcessor(
+            self.database, self.apps, clock, metrics=self.metrics
+        )
         self.ranker = PersonalizableRanker(self.database)
         self._phone_hosts: dict[str, str] = {}  # token → host
         self._m_requests = self.metrics.counter(
@@ -150,15 +176,21 @@ class SensingServer:
         response served the first time without re-running the handler:
         a retried PARTICIPATE cannot register a second task and a
         retried SENSED_DATA upload cannot double-ingest readings, even
-        when only the original response leg was lost.
+        when only the original response leg was lost. The served-reply
+        record lives in the durable ``idempotency`` table and is written
+        in the same transaction as the handler's effects, so a crash
+        leaves either both or neither — a retry after recovery can never
+        re-run a handler whose reply was acknowledged, nor replay a
+        reply whose effects were lost.
         """
         try:
             envelope = Envelope.from_bytes(request.body)
         except CodecError:
             return HttpResponse(status=400), "undecodable"
         message_type = envelope.message_type.value
-        if envelope.idempotency_key is not None:
-            cached = self._dedupe.get(envelope.idempotency_key)
+        key = envelope.idempotency_key
+        if key is not None:
+            cached = self._stored_response(key)
             if cached is not None:
                 self._m_duplicates.inc(type=message_type)
                 return cached, message_type
@@ -174,11 +206,33 @@ class SensingServer:
         handler = handlers.get(envelope.message_type)
         if handler is None:
             return HttpResponse(status=404), message_type
-        reply = handler(envelope)
-        response = HttpResponse(status=200, body=reply.to_bytes())
-        if envelope.idempotency_key is not None:
-            self._dedupe.put(envelope.idempotency_key, response)
+        with self.database.transaction():
+            reply = handler(envelope)
+            response = HttpResponse(status=200, body=reply.to_bytes())
+            if key is not None:
+                self._store_response(key, response)
         return response, message_type
+
+    def _stored_response(self, key: str) -> HttpResponse | None:
+        row = self.database.table("idempotency").get(key)
+        if row is None:
+            return None
+        return HttpResponse(status=row["status"], body=row["body"])
+
+    def _store_response(self, key: str, response: HttpResponse) -> None:
+        table = self.database.table("idempotency")
+        table.insert(
+            {
+                "key": key,
+                "status": response.status,
+                "body": response.body,
+                "created_at": self.clock.now(),
+            }
+        )
+        overflow = table.count() - self._dedupe_capacity
+        if overflow > 0:
+            for row in table.select(order_by="created_at", limit=overflow):
+                table.delete(eq("key", row["key"]))
 
     # ------------------------------------------------------------------
     # message handlers

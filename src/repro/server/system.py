@@ -17,6 +17,7 @@ from repro.common.geo import LatLon
 from repro.common.rng import RngRegistry
 from repro.core.features import FeaturePipeline
 from repro.core.ranking import PreferenceProfile
+from repro.db import DurabilityConfig, RecoveryReport
 from repro.net import CloudMessenger, NetworkConditions
 from repro.net.resilience import BreakerPolicy, ResilientClient, RetryPolicy
 from repro.net.transport import Network
@@ -103,9 +104,15 @@ class SORSystem:
         resilient: bool = True,
         retry_policy: RetryPolicy | None = None,
         breaker_policy: BreakerPolicy | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("need at least one sensing server")
+        if durability is not None and num_servers > 1:
+            raise ConfigurationError(
+                "durability is only supported for single-server deployments "
+                "(multiple servers share one database instance)"
+            )
         self.simulator = Simulator(start_time=start_time)
         self.start_time = start_time
         self.end_time = end_time
@@ -149,6 +156,8 @@ class SORSystem:
         # "One or multiple sensing servers need to be deployed": with
         # several servers they share one database, like app servers over
         # one PostgreSQL instance. Places are assigned round-robin.
+        self.durability = durability
+        self.recovery_reports: list[RecoveryReport] = []
         if num_servers == 1:
             self.servers = [
                 SensingServer(
@@ -157,8 +166,11 @@ class SORSystem:
                     self.simulator.clock,
                     gcm=self.gcm,
                     client=make_client(f"server:{server_host}"),
+                    durability=durability,
                 )
             ]
+            if self.servers[0].recovery is not None:
+                self.recovery_reports.append(self.servers[0].recovery)
         else:
             from repro.db import Database
 
@@ -382,6 +394,58 @@ class SORSystem:
                 },
             ),
         )
+
+    # ------------------------------------------------------------------
+    # crash and restart (used by the crash-injection harness)
+    # ------------------------------------------------------------------
+    def kill_server(self, index: int = 0) -> None:
+        """Simulate a hard process kill of one sensing server.
+
+        The host disappears from the network (in-flight and future
+        requests fail with a transport error, which the phones' resilient
+        clients absorb) and the durable log handle is closed without any
+        graceful flush beyond what already reached the OS — exactly what
+        ``kill -9`` leaves behind.
+        """
+        server = self.servers[index]
+        if self.network.is_registered(server.host):
+            self.network.unregister(server.host)
+        if server.database.durability is not None:
+            server.database.durability.close()
+
+    def restart_server(self, index: int = 0) -> RecoveryReport | None:
+        """Bring a killed server back, recovering from disk if durable.
+
+        With durability configured the new process replays the checkpoint
+        + WAL into a fresh database and rehydrates its in-memory managers
+        (applications, scheduler coverage, task-id counter) from it; the
+        un-persistable feature pipelines are re-attached from the
+        deployment records. Without durability the server restarts empty,
+        which is the whole point of the contrast scenario.
+        """
+        old = self.servers[index]
+        if self.network.is_registered(old.host):
+            raise ConfigurationError(
+                f"server {old.host!r} is still registered; kill it first"
+            )
+        server = SensingServer(
+            old.host,
+            self.network,
+            self.simulator.clock,
+            gcm=self.gcm,
+            client=self._make_client(f"server:{old.host}"),
+            durability=self.durability,
+        )
+        for deployed in self._places.values():
+            application = deployed.application
+            if server.apps.get(application.app_id) is not None:
+                server.apps.attach_pipeline(
+                    application.app_id, application.pipeline
+                )
+        self.servers[index] = server
+        if server.recovery is not None:
+            self.recovery_reports.append(server.recovery)
+        return server.recovery
 
     # ------------------------------------------------------------------
     # running and results

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.db import DurabilityConfig
 from repro.net import NetworkConditions
 from repro.net.resilience import BreakerPolicy, RetryPolicy
 from repro.obs import MetricsRegistry, use_metrics
@@ -49,6 +50,10 @@ class ChaosSpec:
     resilient: bool = True
     retry_policy: RetryPolicy | None = None
     breaker_policy: BreakerPolicy | None = None
+    # When set, the server runs with the WAL durability layer writing to
+    # this directory — the CI crash-smoke job runs the lossy scenario
+    # durable to prove the two layers compose.
+    durability_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.request_drop <= 1.0:
@@ -103,12 +108,18 @@ def run_chaos_scenario(spec: ChaosSpec) -> ChaosReport:
     """
     registry = MetricsRegistry()
     with use_metrics(registry):
+        durability = (
+            DurabilityConfig(directory=spec.durability_dir)
+            if spec.durability_dir is not None
+            else None
+        )
         system = SORSystem(
             seed=spec.seed,
             network_conditions=spec.conditions(),
             resilient=spec.resilient,
             retry_policy=spec.retry_policy,
             breaker_policy=spec.breaker_policy,
+            durability=durability,
         )
         shop = syracuse_coffee_shops(np.random.default_rng(spec.seed))[0]
         system.deploy_place(shop, shop_feature_pipeline())

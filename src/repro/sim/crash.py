@@ -1,0 +1,227 @@
+"""Crash-injection scenario: kill the sensing server mid-field-test.
+
+The chaos harness (:mod:`repro.sim.chaos`) attacks the *network*; this
+module attacks the *process*. A :class:`CrashInjector` kills the server
+at seeded instants during the end-to-end field test — including at the
+nastiest moments durability has to survive:
+
+* ``plain`` — the process dies between requests,
+* ``torn_tail`` — it dies inside ``write(2)``, leaving an uncommitted
+  transaction and a half-written frame at the WAL tail,
+* ``mid_checkpoint`` — it dies after writing the checkpoint temp file
+  but before the atomic rename.
+
+After each kill the server restarts from disk. The report counts the two
+promises durability makes: every schedule and upload the phone received
+an *acknowledgement* for survives recovery, and retried un-acked
+envelopes are deduplicated by the durable idempotency table rather than
+double-registering tasks or double-ingesting readings. Run the same
+scenario with ``durability=False`` and the restarted server comes back
+empty — the contrast asserted by
+``tests/integration/test_crash_recovery.py`` and the CI ``crash-smoke``
+job.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import SimulatedCrashError, ValidationError
+from repro.db import DurabilityConfig, RecoveryReport
+from repro.net import NetworkConditions
+from repro.obs import MetricsRegistry, use_metrics
+from repro.server.system import SORSystem
+from repro.sim.scenarios import shop_feature_pipeline, syracuse_coffee_shops
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One crash experiment: how often and how nastily the server dies."""
+
+    kills: int = 2
+    seed: int = 0
+    durability: bool = True
+    phones: int = 4
+    budget: int = 5
+    downtime_s: float = 30.0
+    torn_tail_kill: bool = True
+    mid_checkpoint_kill: bool = True
+    request_drop: float = 0.0
+    response_drop: float = 0.0
+    checkpoint_every_records: int = 40
+
+    def __post_init__(self) -> None:
+        if self.kills < 1:
+            raise ValidationError("need at least one kill")
+        if self.phones < 1 or self.budget < 1:
+            raise ValidationError("need at least one phone and a positive budget")
+        if self.downtime_s <= 0:
+            raise ValidationError("downtime must be positive")
+        if not 0.0 <= self.request_drop <= 1.0:
+            raise ValidationError("request_drop must be a probability")
+        if not 0.0 <= self.response_drop <= 1.0:
+            raise ValidationError("response_drop must be a probability")
+
+    def kill_kinds(self) -> list[str]:
+        """The kind of each scheduled kill, nastiest first."""
+        kinds: list[str] = []
+        if self.torn_tail_kill and self.durability:
+            kinds.append("torn_tail")
+        if self.mid_checkpoint_kill and self.durability:
+            kinds.append("mid_checkpoint")
+        while len(kinds) < self.kills:
+            kinds.append("plain")
+        return kinds[: self.kills]
+
+
+@dataclass
+class CrashReport:
+    """What the kills did to acknowledged state, measured after recovery."""
+
+    phones_deployed: int
+    kills_executed: int
+    acked_schedules: int
+    acked_uploads: int
+    lost_acked_schedules: int
+    lost_acked_uploads: int
+    duplicate_tasks: int
+    duplicate_uploads: int
+    records_replayed: int
+    recovery_reports: list[RecoveryReport]
+    metrics: MetricsRegistry = field(repr=False)
+
+    @property
+    def data_intact(self) -> bool:
+        """No acknowledged write lost, nothing ingested twice."""
+        return (
+            self.lost_acked_schedules == 0
+            and self.lost_acked_uploads == 0
+            and self.duplicate_tasks == 0
+            and self.duplicate_uploads == 0
+        )
+
+
+class CrashInjector:
+    """Schedules seeded server kills and restarts inside a field test."""
+
+    def __init__(self, system: SORSystem, *, downtime_s: float = 30.0) -> None:
+        self.system = system
+        self.downtime_s = downtime_s
+        self.kills_executed = 0
+        self.kill_log: list[tuple[float, str]] = []
+
+    def schedule_kill(self, at_time: float, kind: str = "plain") -> None:
+        """Arrange for the server to die at ``at_time`` (simulated)."""
+        self.system.simulator.schedule_at(at_time, lambda: self._kill(kind))
+
+    def _kill(self, kind: str) -> None:
+        system = self.system
+        manager = system.server.database.durability
+        if manager is not None and not manager.closed:
+            if kind == "torn_tail":
+                # The on-disk wreckage of dying inside a commit: a
+                # transaction with no commit marker, then half a frame.
+                manager.simulate_partial_transaction(
+                    [{"op": "insert", "table": "raw_data", "row": {"doomed": True}}]
+                )
+                manager.simulate_torn_append(
+                    {"op": "insert", "table": "raw_data", "row": {"doomed": True}}
+                )
+            elif kind == "mid_checkpoint":
+                manager.arm("checkpoint.pre_replace")
+                try:
+                    manager.checkpoint()
+                except SimulatedCrashError:
+                    pass
+        system.kill_server()
+        self.kills_executed += 1
+        self.kill_log.append((system.simulator.now(), kind))
+        system.simulator.schedule_at(
+            system.simulator.now() + self.downtime_s, self._restart
+        )
+
+    def _restart(self) -> None:
+        self.system.restart_server()
+
+
+def run_crash_scenario(spec: CrashSpec, directory: str | Path) -> CrashReport:
+    """Run one seeded field test with server kills per ``spec``.
+
+    ``directory`` hosts the durable state (ignored when the spec turns
+    durability off). The whole run executes against a fresh metrics
+    registry, returned in the report.
+    """
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        durability = (
+            DurabilityConfig(
+                directory=Path(directory),
+                checkpoint_every_records=spec.checkpoint_every_records,
+            )
+            if spec.durability
+            else None
+        )
+        system = SORSystem(
+            seed=spec.seed,
+            network_conditions=NetworkConditions(
+                drop_probability=spec.request_drop,
+                response_drop_probability=spec.response_drop,
+            ),
+            resilient=True,
+            durability=durability,
+        )
+        shop = syracuse_coffee_shops(np.random.default_rng(spec.seed))[0]
+        system.deploy_place(shop, shop_feature_pipeline())
+        for _ in range(spec.phones):
+            system.deploy_phone(shop.place_id, budget=spec.budget)
+
+        injector = CrashInjector(system, downtime_s=spec.downtime_s)
+        span = system.end_time - system.start_time
+        rng = np.random.default_rng(spec.seed + 1)
+        # Kills land in the middle of the window, separated enough that
+        # every restart completes well before the field test ends.
+        fractions = np.linspace(0.3, 0.7, spec.kills)
+        for fraction, kind in zip(fractions, spec.kill_kinds()):
+            jitter = float(rng.uniform(-0.02, 0.02))
+            at = system.start_time + (fraction + jitter) * span
+            injector.schedule_kill(at, kind)
+        system.run()
+        # Post-run drain: give every phone one more tick so uploads that
+        # failed during a downtime window are retried against the
+        # recovered server.
+        for deployed in system.phones:
+            deployed.phone.tick()
+
+        tasks = system.server.database.table("tasks").select()
+        task_ids = {row["task_id"] for row in tasks}
+        tasks_per_user = TallyCounter(row["user_id"] for row in tasks)
+        raw_rows = system.server.database.table("raw_data").select()
+        rows_per_task = TallyCounter(row["task_id"] for row in raw_rows)
+
+        acked_schedule_ids = {
+            deployed.task.task_id
+            for deployed in system.phones
+            if deployed.task is not None
+        }
+        acked_upload_ids: set[str] = set()
+        for deployed in system.phones:
+            acked_upload_ids.update(deployed.phone.acked_uploads)
+        return CrashReport(
+            phones_deployed=len(system.phones),
+            kills_executed=injector.kills_executed,
+            acked_schedules=len(acked_schedule_ids),
+            acked_uploads=len(acked_upload_ids),
+            lost_acked_schedules=len(acked_schedule_ids - task_ids),
+            lost_acked_uploads=len(acked_upload_ids - set(rows_per_task)),
+            duplicate_tasks=sum(count - 1 for count in tasks_per_user.values()),
+            duplicate_uploads=sum(count - 1 for count in rows_per_task.values()),
+            records_replayed=sum(
+                report.records_replayed for report in system.recovery_reports
+            ),
+            recovery_reports=list(system.recovery_reports),
+            metrics=registry,
+        )

@@ -103,6 +103,125 @@ class TestRoundtrip:
             load_database(dump)
 
 
+class TestRoundtripExtras:
+    def test_unicode_text_and_json_survive(self):
+        db = Database()
+        db.create_table(
+            Schema(
+                name="t",
+                columns=(
+                    Column("id", ColumnType.INT, nullable=False, auto_increment=True),
+                    Column("text", ColumnType.TEXT),
+                    Column("doc", ColumnType.JSON),
+                ),
+                primary_key="id",
+            )
+        )
+        db.table("t").insert(
+            {"text": "café ☕ — syracuse 雪", "doc": {"emoji": "📡", "mix": ["ß", 1]}}
+        )
+        dumped = json.dumps(dump_database(db))  # through real JSON text
+        restored = load_database(json.loads(dumped))
+        assert restored.table("t").select() == db.table("t").select()
+
+    def test_blob_default_survives_schema_roundtrip(self):
+        db = Database()
+        db.create_table(
+            Schema(
+                name="t",
+                columns=(
+                    Column("key", ColumnType.TEXT, nullable=False),
+                    Column("body", ColumnType.BLOB, default=b"\x00"),
+                ),
+                primary_key="key",
+            )
+        )
+        db.table("t").insert({"key": "a"})  # default applies
+        restored = load_database(json.loads(json.dumps(dump_database(db))))
+        assert restored.table("t").schema.column("body").default == b"\x00"
+        restored.table("t").insert({"key": "b"})
+        assert restored.table("t").select(eq("key", "b"))[0]["body"] == b"\x00"
+
+    def test_multiple_indexes_recreated(self):
+        db = populated_database()
+        db.table("mixed").create_index("real")
+        restored = load_database(dump_database(db))
+        assert set(restored.table("mixed").indexed_columns) == {"flag", "real"}
+
+
+class TestAtomicSave:
+    def test_failed_save_never_clobbers_the_old_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "db.json"
+        save_database(populated_database(), path)
+        before = path.read_bytes()
+
+        import repro.db.persistence as persistence
+
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(persistence.os, "replace", exploding_replace)
+        with pytest.raises(DatabaseError):
+            save_database(Database(name="other"), path)
+        # The old complete file is still there, byte for byte, and the
+        # aborted attempt left no temp file behind.
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob(".*.tmp")) == []
+        assert open_database(path).table("mixed").count() == 3
+
+    def test_save_leaves_no_temp_file_on_success(self, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(populated_database(), path)
+        assert [entry.name for entry in tmp_path.iterdir()] == ["db.json"]
+
+
+class TestLoadNegatives:
+    def test_non_dict_dump_rejected(self):
+        with pytest.raises(DatabaseError, match="not an object"):
+            load_database([1, 2, 3])
+
+    def test_missing_tables_key_rejected(self):
+        with pytest.raises(DatabaseError):
+            load_database({"format": 1, "name": "x"})
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(DatabaseError, match="name"):
+            load_database({"format": 1, "name": 7, "tables": []})
+
+    def test_malformed_table_entry_rejected(self):
+        with pytest.raises(DatabaseError):
+            load_database({"format": 1, "name": "x", "tables": ["nope"]})
+
+    def test_corrupt_base64_blob_rejected(self):
+        dump = dump_database(populated_database())
+        for row in dump["tables"][0]["rows"]:
+            if row["blob"]:
+                row["blob"] = "!!! not base64 !!!"
+        with pytest.raises(DatabaseError, match="base64"):
+            load_database(dump)
+
+    def test_non_string_blob_cell_rejected(self):
+        dump = dump_database(populated_database())
+        for row in dump["tables"][0]["rows"]:
+            if row["blob"]:
+                row["blob"] = 12345
+        with pytest.raises(DatabaseError, match="base64"):
+            load_database(dump)
+
+    def test_malformed_schema_rejected(self):
+        dump = dump_database(populated_database())
+        dump["tables"][0]["schema"]["columns"][0]["type"] = "no-such-type"
+        with pytest.raises(DatabaseError, match="schema"):
+            load_database(dump)
+
+    def test_truncated_json_file_rejected(self, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(populated_database(), path)
+        path.write_bytes(path.read_bytes()[:-20])  # torn write
+        with pytest.raises(DatabaseError):
+            open_database(path)
+
+
 @given(
     rows=st.lists(
         st.tuples(
