@@ -37,6 +37,7 @@ from repro.core.ranking.distances import (
 from repro.core.ranking.individual import (
     individual_rankings,
     preference_distance_matrix,
+    require_finite_features,
 )
 from repro.core.ranking.mincostflow import MinCostFlow
 from repro.core.ranking.preferences import (
@@ -64,6 +65,7 @@ __all__ = [
     "kemeny_distance",
     "preference_distance_matrix",
     "refine_by_adjacent_swaps",
+    "require_finite_features",
     "subjective_ranking",
     "weighted_footrule_distance",
     "weighted_kemeny_distance",

@@ -34,8 +34,11 @@ def subjective_ranking(
     missing = [place for place in place_ids if place not in ratings]
     if missing:
         raise RankingError(f"missing subjective ratings for {missing}")
+    # Index map instead of place_ids.index() in the key: the latter is a
+    # linear scan per comparison (O(N²) overall) on the hot hybrid path.
+    order_index = {place: index for index, place in enumerate(place_ids)}
     ordered = sorted(
-        place_ids, key=lambda place: (-float(ratings[place]), place_ids.index(place))
+        place_ids, key=lambda place: (-float(ratings[place]), order_index[place])
     )
     return Ranking(ordered)
 

@@ -11,14 +11,44 @@ from repro.core.ranking.preferences import PreferenceProfile
 from repro.core.ranking.types import Ranking
 
 
+def require_finite_features(
+    matrix: np.ndarray,
+    feature_names: Sequence[str] | None = None,
+    place_ids: Sequence[Hashable] | None = None,
+) -> None:
+    """Raise :class:`RankingError` if ``matrix`` holds any NaN/inf cell.
+
+    A NaN feature value poisons the column min/max used to resolve
+    MAX/MIN preference sentinels, and argsort silently places NaNs last
+    — producing a garbage-but-plausible ranking. Fail loudly instead,
+    naming the offending place and feature when their labels are known.
+    """
+    finite = np.isfinite(matrix)
+    if finite.all():
+        return
+    row, column = (int(index) for index in np.argwhere(~finite)[0])
+    place = place_ids[row] if place_ids is not None else f"row {row}"
+    feature = (
+        feature_names[column] if feature_names is not None else f"column {column}"
+    )
+    raise RankingError(
+        f"non-finite feature value {float(matrix[row, column])!r} for place "
+        f"{place!r}, feature {feature!r}"
+    )
+
+
 def preference_distance_matrix(
     feature_matrix: np.ndarray,
     feature_names: Sequence[str],
     profile: PreferenceProfile,
+    *,
+    place_ids: Sequence[Hashable] | None = None,
 ) -> np.ndarray:
     """Step 1: ``γ_ij = |h_ij − u_j|`` with sentinels resolved per column.
 
-    ``feature_matrix`` is N places × M features.
+    ``feature_matrix`` is N places × M features; every cell must be
+    finite (NaN/inf raise :class:`RankingError`, naming the place when
+    ``place_ids`` is given).
     """
     matrix = np.asarray(feature_matrix, dtype=float)
     if matrix.ndim != 2:
@@ -28,6 +58,7 @@ def preference_distance_matrix(
             f"feature matrix has {matrix.shape[1]} columns but "
             f"{len(feature_names)} feature names given"
         )
+    require_finite_features(matrix, feature_names, place_ids)
     gamma = np.empty_like(matrix)
     for column, feature in enumerate(feature_names):
         values = matrix[:, column]
@@ -45,13 +76,15 @@ def individual_rankings(
     """Step 2: sort places per feature by ascending preference distance.
 
     Ties are broken by place order (stable sort), so results are
-    deterministic for identical inputs.
+    deterministic for identical inputs. Non-finite distances raise
+    :class:`RankingError` (argsort would quietly rank them last).
     """
     matrix = np.asarray(gamma, dtype=float)
     if matrix.shape[0] != len(place_ids):
         raise RankingError(
             f"gamma has {matrix.shape[0]} rows but {len(place_ids)} place ids"
         )
+    require_finite_features(matrix, place_ids=place_ids)
     rankings = []
     for column in range(matrix.shape[1]):
         order = np.argsort(matrix[:, column], kind="stable")

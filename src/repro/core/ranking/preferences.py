@@ -12,6 +12,7 @@ the sentinel against the observed column extremum, as we do.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -93,9 +94,42 @@ class PreferenceProfile:
         """The emphasis weight (0-5) for ``feature``."""
         return self.preference(feature).weight
 
+    def effective_weight(self, feature: str) -> int:
+        """The weight for ``feature``, with uncovered features as 0.
+
+        The paper's scale makes 0 mean "doesn't care"; a feature the
+        user never mentioned carries exactly that meaning, so ranking
+        paths use this instead of :meth:`weight` wherever the feature
+        set comes from the sensed data rather than from the profile.
+        """
+        preference = self._preferences.get(feature)
+        return preference.weight if preference is not None else 0
+
     def covers(self, features: list[str]) -> bool:
         """Whether the profile states a preference for every feature."""
         return all(feature in self._preferences for feature in features)
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the profile's preferences.
+
+        Computed over the sorted ``(feature, preferred, weight)``
+        triples — two profiles with equal preferences fingerprint
+        identically regardless of name or insertion order, so the
+        ranking cache can key on it.
+        """
+        digest = hashlib.sha256()
+        for feature in sorted(self._preferences):
+            preference = self._preferences[feature]
+            preferred = preference.preferred
+            token = (
+                preferred.value
+                if isinstance(preferred, _Sentinel)
+                else repr(float(preferred))
+            )
+            digest.update(
+                f"{feature}\x00{token}\x00{preference.weight}\x1f".encode()
+            )
+        return digest.hexdigest()[:32]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PreferenceProfile({self.name!r}, {self._preferences!r})"

@@ -28,6 +28,8 @@ class MessageType(enum.Enum):
     PING = "ping"  # server → phone via GCM: re-establish contact
     PONG = "pong"  # phone → server: reply to ping
     PREFERENCES = "preferences"  # phone → server: local sensor preferences
+    RANK_QUERY = "rank_query"  # client → server: rank a category for profiles
+    RANKING = "ranking"  # server → client: the requested rankings
     ACK = "ack"  # either direction: success acknowledgement
     ERROR = "error"  # either direction: failure notice
 

@@ -20,6 +20,7 @@ from repro.db import Database, and_, eq
 from repro.net import Envelope
 from repro.obs import MetricsRegistry, get_metrics
 from repro.server.app_manager import ApplicationManager
+from repro.server.ranker_service import bump_data_version
 
 # Physically plausible value ranges per sensor (generous — they exist to
 # stop NaN/inf and wildly impossible readings from poisoning feature
@@ -276,6 +277,11 @@ class DataProcessor:
         self.features_skipped += len(missing)
         table = self.database.table("feature_data")
         now = self.clock.now()
+        if features:
+            # Every feature_data write advances the category's durable
+            # version, invalidating all cached rankings built on the
+            # previous data (see repro.server.ranker_service).
+            bump_data_version(self.database, application.category)
         for feature, value in features.items():
             existing = table.select(
                 and_(

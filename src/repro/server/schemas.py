@@ -113,6 +113,20 @@ IDEMPOTENCY = Schema(
     primary_key="key",
 )
 
+# One row per category: a monotonically increasing version the Data
+# Processor bumps on every feature_data write. The ranking cache keys on
+# it, so any write invalidates every cached ranking of the category —
+# and because the row is durable, a restarted server can never serve
+# results cached against data it no longer has.
+RANKING_VERSIONS = Schema(
+    name="ranking_versions",
+    columns=(
+        Column("category", ColumnType.TEXT, nullable=False),
+        Column("data_version", ColumnType.INT, nullable=False, default=0),
+    ),
+    primary_key="category",
+)
+
 # Sensor bursts the Data Processor refused to turn into readings
 # (NaN/inf, out-of-spec values, malformed shapes) — kept for forensics
 # instead of poisoning feature extraction.
@@ -139,6 +153,7 @@ ALL_SCHEMAS = (
     READINGS,
     FEATURE_DATA,
     IDEMPOTENCY,
+    RANKING_VERSIONS,
     QUARANTINE,
 )
 

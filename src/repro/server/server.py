@@ -14,6 +14,7 @@ from repro.common.errors import (
     CodecError,
     ConfigurationError,
     ParticipationError,
+    RankingError,
     TransportError,
 )
 from repro.common.geo import LatLon
@@ -33,7 +34,11 @@ from repro.obs.export import CONTENT_TYPE, to_prometheus_text
 from repro.server.app_manager import Application, ApplicationManager
 from repro.server.data_processor import DataProcessor
 from repro.server.participation import ParticipationManager, ParticipationStatus
-from repro.server.ranker_service import PersonalizableRanker
+from repro.server.ranker_service import (
+    PersonalizableRanker,
+    RankingCache,
+    profile_from_dict,
+)
 from repro.server.schemas import create_all_tables
 from repro.server.scheduler_service import SensingSchedulerService
 from repro.server.user_manager import UserInfoManager
@@ -54,6 +59,7 @@ class SensingServer:
         tracer: Tracer | None = None,
         client: ResilientClient | None = None,
         dedupe_capacity: int = 4096,
+        ranking_cache_capacity: int = 256,
         durability: DurabilityConfig | None = None,
     ) -> None:
         self.host = host
@@ -98,7 +104,15 @@ class SensingServer:
         self.data_processor = DataProcessor(
             self.database, self.apps, clock, metrics=self.metrics
         )
-        self.ranker = PersonalizableRanker(self.database)
+        self.ranking_cache = RankingCache(
+            capacity=ranking_cache_capacity, metrics=self.metrics
+        )
+        self.ranker = PersonalizableRanker(
+            self.database,
+            cache=self.ranking_cache,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
         self._phone_hosts: dict[str, str] = {}  # token → host
         self._m_requests = self.metrics.counter(
             "sor_server_requests_total",
@@ -202,6 +216,7 @@ class SensingServer:
             MessageType.PREFERENCES: self._on_preferences,
             MessageType.PONG: self._on_pong,
             MessageType.LOCATION_REPORT: self._on_location_report,
+            MessageType.RANK_QUERY: self._on_rank_query,
         }
         handler = handlers.get(envelope.message_type)
         if handler is None:
@@ -352,6 +367,45 @@ class SensingServer:
             else []
         )
         return envelope.reply(MessageType.ACK, {"finished_tasks": finished})
+
+    def _on_rank_query(self, envelope: Envelope) -> Envelope:
+        """Serve Algorithm 2 for one or many profiles of one category.
+
+        Batch on purpose: all profiles in the request share one
+        ``feature_data`` scan and H matrix (``rank_many``), and repeat
+        queries over unchanged data come straight from the versioned
+        ranking cache.
+        """
+        payload = envelope.payload
+        category = payload.get("category")
+        raw_profiles = payload.get("profiles")
+        if not isinstance(category, str) or not isinstance(raw_profiles, list):
+            return envelope.reply(
+                MessageType.ERROR, {"reason": "malformed rank query"}
+            )
+        try:
+            profiles = [profile_from_dict(entry) for entry in raw_profiles]
+            if not profiles:
+                raise RankingError("rank query needs at least one profile")
+            reports = self.ranker.rank_many(category, profiles)
+        except RankingError as exc:
+            return envelope.reply(MessageType.ERROR, {"reason": str(exc)})
+        return envelope.reply(
+            MessageType.RANKING,
+            {
+                "category": category,
+                "data_version": self.ranker.data_version(category),
+                "rankings": [
+                    {
+                        "profile": name,
+                        "places": list(report.ranking.items),
+                        "weighted_footrule": report.weighted_footrule,
+                        "weighted_kemeny": report.weighted_kemeny,
+                    }
+                    for name, report in reports.items()
+                ],
+            },
+        )
 
     # ------------------------------------------------------------------
     # outbound

@@ -461,15 +461,14 @@ class SORSystem:
 
         Each server processes the blobs it received and computes features
         for its own applications; rankings then read the shared feature
-        data through any server's ranker.
+        data through any server's ranker, in one batch that shares a
+        single feature_data scan (and hits the versioned ranking cache
+        when the data hasn't changed since the last call).
         """
         for server in self.servers:
             server.process_data()
             server.compute_all_features()
-        return {
-            profile.name: self.server.ranker.rank(category, profile)
-            for profile in profiles
-        }
+        return self.server.ranker.rank_many(category, profiles)
 
     def feature_values(self, category: str) -> dict[str, dict[str, float]]:
         """Feature data currently in the database for a category."""

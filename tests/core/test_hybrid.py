@@ -20,6 +20,16 @@ class TestSubjectiveRanking:
         ratings = {"a": 4.0, "b": 4.0, "c": 1.0}
         assert subjective_ranking(ratings, ["b", "a", "c"]).items == ("b", "a", "c")
 
+    def test_many_way_tie_pins_full_place_order(self):
+        # Pins the tie-break exactly: the index-map fast path must order
+        # equal-rated places by their position in place_ids, same as the
+        # old place_ids.index() key did.
+        ratings = {"e": 4.0, "b": 4.0, "a": 4.0, "c": 4.0, "d": 2.0}
+        place_ids = ["e", "b", "a", "d", "c"]
+        assert subjective_ranking(ratings, place_ids).items == (
+            "e", "b", "a", "c", "d",
+        )
+
     def test_missing_rating_rejected(self):
         with pytest.raises(RankingError, match="missing"):
             subjective_ranking({"a": 4.0}, ["a", "b"])

@@ -123,3 +123,35 @@ class TestIndividualRankings:
     def test_row_mismatch_rejected(self):
         with pytest.raises(RankingError):
             individual_rankings(np.zeros((2, 1)), ["only-one"])
+
+
+class TestFiniteValidation:
+    def test_nan_in_feature_matrix_names_place_and_feature(self):
+        H = np.array([[70.0, 40.0], [float("nan"), 30.0]])
+        with pytest.raises(RankingError, match=r"'p2'.*'temperature'"):
+            preference_distance_matrix(
+                H,
+                ["temperature", "noise"],
+                profile(
+                    temperature=FeaturePreference(70.0, 3),
+                    noise=FeaturePreference(MIN, 1),
+                ),
+                place_ids=["p1", "p2"],
+            )
+
+    def test_inf_rejected_without_labels(self):
+        H = np.array([[float("inf")], [1.0]])
+        with pytest.raises(RankingError, match="row 0.*'noise'"):
+            preference_distance_matrix(
+                H, ["noise"], profile(noise=FeaturePreference(MIN, 1))
+            )
+
+    def test_nan_gamma_rejected_in_individual_rankings(self):
+        gamma = np.array([[0.0], [float("nan")]])
+        with pytest.raises(RankingError, match="'p1'"):
+            individual_rankings(gamma, ["p0", "p1"])
+
+    def test_require_finite_features_passes_clean_matrix(self):
+        from repro.core.ranking import require_finite_features
+
+        require_finite_features(np.array([[1.0, 2.0]]), ["a", "b"], ["p"])

@@ -1,0 +1,184 @@
+"""Property-based tests for the versioned ranking cache.
+
+Three invariants from the cache's contract:
+
+* serving from the cache is invisible — cached and uncached paths
+  produce bitwise-identical reports;
+* bumping the data version always invalidates — the next request
+  recomputes instead of replaying the stale entry;
+* a zero-weight (or entirely uncovered) feature is equivalent to the
+  feature never having been sensed at all.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ranking import MAX, MIN, FeaturePreference, PreferenceProfile
+from repro.db import Database
+from repro.obs import MetricsRegistry
+from repro.server.ranker_service import (
+    PersonalizableRanker,
+    RankingCache,
+    bump_data_version,
+)
+from repro.server.schemas import create_all_tables
+
+CATEGORY = "coffee_shop"
+FEATURES = ("temperature", "noise", "wifi")
+
+# Feature values are drawn from a small lattice so that ties (the
+# interesting case for stable sorts) actually happen.
+values = st.sampled_from([0.0, 1.0, 2.5, 40.0, 70.0])
+preferred = st.one_of(
+    st.sampled_from([MAX, MIN]), st.sampled_from([0.0, 1.0, 65.0, 70.0])
+)
+weights = st.integers(0, 5)
+
+places = st.lists(
+    st.tuples(*(values for _ in FEATURES)), min_size=2, max_size=5
+)
+profiles = st.fixed_dictionaries(
+    {feature: st.tuples(preferred, weights) for feature in FEATURES}
+)
+
+
+def build_database(place_rows):
+    database = Database(name="prop", metrics=MetricsRegistry())
+    create_all_tables(database)
+    table = database.table("feature_data")
+    for index, row in enumerate(place_rows):
+        for feature, value in zip(FEATURES, row):
+            table.insert(
+                {
+                    "place_id": f"p{index}",
+                    "category": CATEGORY,
+                    "feature": feature,
+                    "value": value,
+                    "computed_at": 0.0,
+                }
+            )
+    bump_data_version(database, CATEGORY)
+    return database
+
+
+def build_profile(prefs, *, drop=()):
+    stated = {
+        feature: FeaturePreference(pref, weight)
+        for feature, (pref, weight) in prefs.items()
+        if feature not in drop
+    }
+    if not stated:
+        return None
+    return PreferenceProfile("prop-user", stated)
+
+
+def has_positive_weight(prefs, *, drop=()):
+    return any(
+        weight > 0 for feature, (_, weight) in prefs.items()
+        if feature not in drop
+    )
+
+
+def assert_reports_equal(left, right):
+    assert left.ranking.items == right.ranking.items
+    assert left.feature_names == right.feature_names
+    assert left.place_ids == right.place_ids
+    assert np.array_equal(left.feature_matrix, right.feature_matrix)
+    assert [r.items for r in left.individual] == [
+        r.items for r in right.individual
+    ]
+    assert left.weights == right.weights
+    assert left.weighted_footrule == right.weighted_footrule
+    assert left.weighted_kemeny == right.weighted_kemeny
+
+
+@settings(max_examples=60, deadline=None)
+@given(place_rows=places, prefs=profiles)
+def test_cached_rank_identical_to_uncached(place_rows, prefs):
+    if not has_positive_weight(prefs):
+        return
+    database = build_database(place_rows)
+    profile = build_profile(prefs)
+    cached = PersonalizableRanker(
+        database,
+        cache=RankingCache(metrics=MetricsRegistry()),
+        metrics=MetricsRegistry(),
+    )
+    uncached = PersonalizableRanker(database, metrics=MetricsRegistry())
+    first = cached.rank(CATEGORY, profile)
+    second = cached.rank(CATEGORY, profile)  # served from the cache
+    assert second is first
+    assert_reports_equal(first, uncached.rank(CATEGORY, profile))
+
+
+@settings(max_examples=40, deadline=None)
+@given(place_rows=places, prefs=profiles)
+def test_version_bump_always_invalidates(place_rows, prefs):
+    if not has_positive_weight(prefs):
+        return
+    database = build_database(place_rows)
+    profile = build_profile(prefs)
+    cache = RankingCache(metrics=MetricsRegistry())
+    ranker = PersonalizableRanker(
+        database, cache=cache, metrics=MetricsRegistry()
+    )
+    ranker.rank(CATEGORY, profile)
+    bump_data_version(database, CATEGORY)
+    ranker.rank(CATEGORY, profile)
+    assert cache.hits == 0
+    assert cache.misses == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    place_rows=places,
+    prefs=profiles,
+    dropped=st.sampled_from(FEATURES),
+    uncovered=st.booleans(),
+)
+def test_zero_weight_equals_feature_absent(place_rows, prefs, dropped, uncovered):
+    """Weight 0 (or not stating the feature at all) == feature never sensed."""
+    if not has_positive_weight(prefs, drop=(dropped,)):
+        return
+    # Left: all features sensed, `dropped` carries weight 0 (or is simply
+    # not covered by the profile when `uncovered` is set).
+    full = build_database(place_rows)
+    if uncovered:
+        left_profile = build_profile(prefs, drop=(dropped,))
+    else:
+        left_profile = build_profile(
+            {
+                **prefs,
+                dropped: (prefs[dropped][0], 0),
+            }
+        )
+    left = PersonalizableRanker(full, metrics=MetricsRegistry()).rank(
+        CATEGORY, left_profile
+    )
+    # Right: the feature was never sensed anywhere.
+    index = FEATURES.index(dropped)
+    trimmed_rows = [
+        tuple(v for i, v in enumerate(row) if i != index) for row in place_rows
+    ]
+    trimmed = Database(name="trimmed", metrics=MetricsRegistry())
+    create_all_tables(trimmed)
+    table = trimmed.table("feature_data")
+    for row_index, row in enumerate(trimmed_rows):
+        for feature, value in zip(
+            tuple(f for f in FEATURES if f != dropped), row
+        ):
+            table.insert(
+                {
+                    "place_id": f"p{row_index}",
+                    "category": CATEGORY,
+                    "feature": feature,
+                    "value": value,
+                    "computed_at": 0.0,
+                }
+            )
+    bump_data_version(trimmed, CATEGORY)
+    right_profile = build_profile(prefs, drop=(dropped,))
+    right = PersonalizableRanker(trimmed, metrics=MetricsRegistry()).rank(
+        CATEGORY, right_profile
+    )
+    assert_reports_equal(left, right)
