@@ -1,0 +1,150 @@
+"""Compare a fresh ``BENCH_*.json`` against a committed baseline.
+
+CI calls this after every benchmark job::
+
+    python benchmarks/compare_bench.py \\
+        --baseline benchmarks/baselines/BENCH_loadgen.json \\
+        --fresh BENCH_loadgen.json
+
+and fails the job when any gated metric regressed past its tolerance
+(default 20%). Two input schemas are understood:
+
+* the canonical gate schema (what ``loadgen_gate.py`` writes)::
+
+      {"metrics": {"loadgen_rps": {"value": 1500.0,
+                                   "direction": "higher",
+                                   "tolerance_pct": 30}}}
+
+* the ``--bench-json`` dump from ``benchmarks/conftest.py``
+  (``{test_name: {"mean": seconds, ...}}``) — each entry becomes a
+  lower-is-better metric over its mean.
+
+Baselines are deliberately *conservative floors*, not yesterday's
+numbers: CI runners vary, so a committed baseline should be a value the
+slowest acceptable runner still clears. To re-baseline after a genuine
+performance change, run the producing job locally (or download its
+artifact), sanity-check the numbers, round them *against* yourself
+(lower for higher-is-better metrics, higher for lower-is-better), and
+commit the result under ``benchmarks/baselines/`` — see
+``docs/CONCURRENCY.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+
+def load_metrics(path: Path, default_tolerance_pct: float) -> dict[str, dict[str, Any]]:
+    """Read either supported schema into {name: {value, direction, tolerance}}."""
+    payload = json.loads(path.read_text())
+    metrics: dict[str, dict[str, Any]] = {}
+    if isinstance(payload, dict) and isinstance(payload.get("metrics"), dict):
+        for name, entry in payload["metrics"].items():
+            metrics[name] = {
+                "value": float(entry["value"]),
+                "direction": entry.get("direction", "lower"),
+                "tolerance_pct": float(
+                    entry.get("tolerance_pct", default_tolerance_pct)
+                ),
+            }
+        return metrics
+    # pytest-bench dump: every test's mean runtime, lower is better.
+    for name, entry in payload.items():
+        if isinstance(entry, dict) and "mean" in entry:
+            metrics[name] = {
+                "value": float(entry["mean"]),
+                "direction": "lower",
+                "tolerance_pct": default_tolerance_pct,
+            }
+    return metrics
+
+
+def regression_pct(direction: str, baseline: float, fresh: float) -> float:
+    """How much worse ``fresh`` is than ``baseline``, in percent (<=0 = better)."""
+    if baseline == 0:
+        return 0.0
+    if direction == "higher":
+        return 100.0 * (baseline - fresh) / baseline
+    return 100.0 * (fresh - baseline) / baseline
+
+
+def compare(
+    baseline: dict[str, dict[str, Any]],
+    fresh: dict[str, dict[str, Any]],
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, failure lines)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        entry = fresh.get(name)
+        if entry is None:
+            failures.append(f"{name}: present in baseline but missing from fresh run")
+            continue
+        tolerance = float(base["tolerance_pct"])
+        direction = str(base["direction"])
+        delta = regression_pct(direction, base["value"], entry["value"])
+        verdict = "OK" if delta <= tolerance else "REGRESSED"
+        lines.append(
+            f"{name:<40} base={base['value']:<12.6g} fresh={entry['value']:<12.6g} "
+            f"({'+' if delta >= 0 else ''}{delta:.1f}% vs {tolerance:g}% allowed, "
+            f"{direction} is better) {verdict}"
+        )
+        if delta > tolerance:
+            failures.append(
+                f"{name}: {entry['value']:.6g} is {delta:.1f}% worse than "
+                f"baseline {base['value']:.6g} (allowed {tolerance:g}%)"
+            )
+    for name in sorted(set(fresh) - set(baseline)):
+        lines.append(f"{name:<40} fresh={fresh[name]['value']:<12.6g} (no baseline)")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--fresh", required=True, type=Path)
+    parser.add_argument(
+        "--tolerance-pct",
+        type=float,
+        default=20.0,
+        help="default allowed regression when the baseline entry has no "
+        "tolerance_pct of its own (default 20)",
+    )
+    parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="exit 0 (with a note) when the baseline file does not exist "
+        "— for benchmarks that have not been baselined yet",
+    )
+    args = parser.parse_args(argv)
+    if not args.baseline.exists():
+        if args.allow_missing_baseline:
+            print(f"no baseline at {args.baseline}; skipping comparison")
+            return 0
+        print(f"baseline file {args.baseline} does not exist", file=sys.stderr)
+        return 2
+    if not args.fresh.exists():
+        print(f"fresh results file {args.fresh} does not exist", file=sys.stderr)
+        return 2
+    baseline = load_metrics(args.baseline, args.tolerance_pct)
+    fresh = load_metrics(args.fresh, args.tolerance_pct)
+    lines, failures = compare(baseline, fresh)
+    print(f"comparing {args.fresh} against {args.baseline}")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

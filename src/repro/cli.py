@@ -153,6 +153,54 @@ def _cmd_crash(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> str:
+    """Drive the in-process sensing server with a reproducible load mix.
+
+    ``--mode compare`` runs the same seeded workload through the
+    concurrent server and the single-threaded baseline and reports the
+    throughput ratio — the number the CI load gate asserts on.
+    """
+    from repro.sim.loadgen import (
+        LoadgenSpec,
+        format_report,
+        run_comparison,
+        run_loadgen,
+    )
+
+    spec = LoadgenSpec(
+        phones=args.phones,
+        seed=args.seed,
+        mode="concurrent" if args.mode == "compare" else args.mode,
+        clients=args.clients,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        io_delay_s=args.io_delay_ms / 1000.0,
+    )
+    if args.mode == "compare":
+        concurrent, sequential, speedup = run_comparison(spec)
+        if args.format == "json":
+            return json.dumps(
+                {
+                    "concurrent": concurrent.to_dict(),
+                    "sequential": sequential.to_dict(),
+                    "speedup": speedup,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        return "\n\n".join(
+            [
+                format_report(concurrent),
+                format_report(sequential),
+                f"concurrent/sequential speedup: {speedup:.2f}x",
+            ]
+        )
+    report = run_loadgen(spec)
+    if args.format == "json":
+        return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    return format_report(report)
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig6": _cmd_fig6,
     "table1": _cmd_table1,
@@ -163,6 +211,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "obs": _cmd_obs,
     "rank": _cmd_rank,
     "crash": _cmd_crash,
+    "loadgen": _cmd_loadgen,
 }
 
 
@@ -209,6 +258,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the crash command without the durability layer "
         "(demonstrates data loss)",
+    )
+    parser.add_argument(
+        "--phones",
+        type=int,
+        default=10000,
+        help="phone population for the loadgen command (default 10000)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("concurrent", "sequential", "compare"),
+        default="concurrent",
+        help="loadgen execution mode; 'compare' runs both and reports "
+        "the speedup (default: concurrent)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="loadgen driver threads (default 8)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="server worker pool size for loadgen (default 8)",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="server admission queue bound for loadgen (default 64)",
+    )
+    parser.add_argument(
+        "--io-delay-ms",
+        type=float,
+        default=0.2,
+        help="simulated per-request socket/disk milliseconds for "
+        "loadgen (default 0.2)",
     )
     return parser
 

@@ -53,6 +53,16 @@ class CircuitOpenError(TransportError):
     """A resilient send was rejected because the host's circuit is open."""
 
 
+class ServerBusyError(TransportError):
+    """The server refused the request at admission (HTTP 503, BUSY envelope).
+
+    A :class:`TransportError` on purpose: the resilient client's retry
+    loop treats an overloaded server exactly like a lossy link — back
+    off with jitter and try again — which is the system's backpressure
+    contract.
+    """
+
+
 class BarcodeError(ReproError):
     """Raised when a 2D barcode cannot be encoded or decoded."""
 

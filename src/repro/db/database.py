@@ -14,7 +14,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Transaction:
-    """A snapshot transaction over the whole database.
+    """An undo-logged transaction over the whole database.
 
     Used as a context manager::
 
@@ -22,9 +22,14 @@ class Transaction:
             db.table("users").insert({...})
             db.table("tasks").insert({...})
 
-    If the block raises, every table is restored to its pre-transaction
-    state. Transactions do not nest (the sensing server never needs it,
-    and PostgreSQL's savepoints are out of scope).
+    If the block raises, every write is reversed (newest first) from a
+    per-mutation undo journal, so both entering a transaction and
+    rolling one back cost O(rows actually touched) — not O(database
+    size), which is what lets the concurrent server open one transaction
+    per request while holding millions of rows. Tables created inside
+    the block are dropped on rollback and tables dropped inside it are
+    restored. Transactions do not nest (the sensing server never needs
+    it, and PostgreSQL's savepoints are out of scope).
 
     With durability attached, the transaction's mutations hit the
     write-ahead log as one atomic batch when the block exits cleanly; a
@@ -35,40 +40,68 @@ class Transaction:
 
     def __init__(self, database: "Database") -> None:
         self._database = database
-        self._snapshots: dict[str, dict[str, Any]] | None = None
+        self._journal: list[tuple[Table, str, Any]] | None = None
+        self._tables_before: dict[str, Table] = {}
+        self._auto_counters: dict[int, int] = {}
 
     def __enter__(self) -> "Transaction":
         if self._database._active_transaction is not None:
             raise DatabaseError("transactions do not nest")
-        self._snapshots = {
-            name: table.snapshot() for name, table in self._database._tables.items()
+        self._journal = []
+        self._tables_before = dict(self._database._tables)
+        self._auto_counters = {
+            id(table): table._auto_counter
+            for table in self._tables_before.values()
         }
+        for table in self._tables_before.values():
+            table._undo_journal = self._journal
         self._database._active_transaction = self
         return self
 
+    def _attach(self, table: Table) -> None:
+        """Journal writes of a table created inside this transaction.
+
+        Its entries are skipped on rollback (the whole table is dropped)
+        but the journal hook must still be set in case the same name is
+        later re-used after a drop.
+        """
+        table._undo_journal = self._journal
+
     def _roll_back(self) -> None:
-        assert self._snapshots is not None
-        for name, snapshot in self._snapshots.items():
-            self._database._tables[name].restore(snapshot)
-        # Tables created during the failed transaction are dropped.
-        created = set(self._database._tables) - set(self._snapshots)
-        for name in created:
-            del self._database._tables[name]
+        assert self._journal is not None
+        before_ids = {id(table) for table in self._tables_before.values()}
+        for table, op, data in reversed(self._journal):
+            # Writes to tables born in this transaction need no undo:
+            # restoring the pre-transaction table registry discards them.
+            if id(table) in before_ids:
+                table._undo(op, data)
+        for table in self._tables_before.values():
+            table._auto_counter = self._auto_counters[id(table)]
+        self._database._tables = dict(self._tables_before)
+
+    def _detach_journals(self) -> None:
+        for table in self._tables_before.values():
+            table._undo_journal = None
+        for table in self._database._tables.values():
+            table._undo_journal = None
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
-        assert self._snapshots is not None
+        assert self._journal is not None
         self._database._active_transaction = None
         pending = self._database._pending
         self._database._pending = []
-        if exc_type is not None:
-            self._roll_back()
-        elif pending and self._database._durability is not None:
-            try:
-                self._database._durability.commit(pending, transactional=True)
-            except BaseException:
+        try:
+            if exc_type is not None:
                 self._roll_back()
-                raise
-        self._snapshots = None
+            elif pending and self._database._durability is not None:
+                try:
+                    self._database._durability.commit(pending, transactional=True)
+                except BaseException:
+                    self._roll_back()
+                    raise
+        finally:
+            self._detach_journals()
+            self._journal = None
         return False  # never swallow the exception
 
 
@@ -169,6 +202,8 @@ class Database:
             raise DatabaseError(f"table {schema.name!r} already exists")
         table = Table(schema, observer=self._make_observer(schema.name))
         self._tables[schema.name] = table
+        if self._active_transaction is not None:
+            self._active_transaction._attach(table)
         if self._durability is not None:
             table.mutation_listener = self._on_mutation
             from repro.db import persistence

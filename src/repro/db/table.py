@@ -32,6 +32,12 @@ class Table:
         # Called with a mutation event dict after each successful write;
         # the Database wires this to the write-ahead log. None = no log.
         self.mutation_listener: Callable[[dict[str, Any]], None] | None = None
+        # While a transaction is open the Database points this at its
+        # undo journal; every write appends the entry that reverses it.
+        # Rollback cost is therefore O(rows actually mutated), not
+        # O(database size) — the property that lets the server run one
+        # transaction per request under load.
+        self._undo_journal: list[tuple["Table", str, Any]] | None = None
         self._rows: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, dict[Any, set[Any]]] = {}
         self._unique_values: dict[str, dict[Any, Any]] = {
@@ -68,6 +74,8 @@ class Table:
         for pk, row in self._rows.items():
             index[row[column]].add(pk)
         self._indexes[column] = index
+        if self._undo_journal is not None:
+            self._undo_journal.append((self, "create_index", column))
         if self.mutation_listener is not None:
             self.mutation_listener(
                 {"op": "create_index", "table": self.name, "column": column}
@@ -123,6 +131,8 @@ class Table:
         for column, seen in self._unique_values.items():
             if stored[column] is not None:
                 seen[stored[column]] = pk
+        if self._undo_journal is not None:
+            self._undo_journal.append((self, "insert", pk))
         if self.mutation_listener is not None:
             self.mutation_listener(
                 {"op": "insert", "table": self.name, "row": stored}
@@ -163,6 +173,10 @@ class Table:
             for column, seen in self._unique_values.items():
                 if stored[column] is not None:
                     seen[stored[column]] = pk
+            if self._undo_journal is not None:
+                # Stored row dicts are only ever replaced, never mutated
+                # in place, so keeping the old reference is safe.
+                self._undo_journal.append((self, "update", (pk, old)))
             if self.mutation_listener is not None:
                 self.mutation_listener(
                     {"op": "update", "table": self.name, "pk": pk, "row": stored}
@@ -181,6 +195,8 @@ class Table:
             for column, seen in self._unique_values.items():
                 if row[column] is not None:
                     seen.pop(row[column], None)
+            if self._undo_journal is not None:
+                self._undo_journal.append((self, "delete", row))
             if self.mutation_listener is not None:
                 self.mutation_listener(
                     {"op": "delete", "table": self.name, "pk": pk}
@@ -244,7 +260,48 @@ class Table:
         return len(self._match(where))
 
     # ------------------------------------------------------------------
-    # snapshots (used by transactions)
+    # undo (used by transaction rollback)
+    # ------------------------------------------------------------------
+    def _undo(self, op: str, data: Any) -> None:
+        """Reverse one journalled write (no observer, listener or journal).
+
+        Entries are applied newest-first by the transaction's rollback,
+        so each reversal sees exactly the state its forward operation
+        produced.
+        """
+        if op == "insert":
+            row = self._rows.pop(data)
+            self._index_remove(row)
+            for column, seen in self._unique_values.items():
+                if row[column] is not None:
+                    seen.pop(row[column], None)
+        elif op == "update":
+            pk, old = data
+            current = self._rows[pk]
+            self._index_remove(current)
+            for column, seen in self._unique_values.items():
+                if current[column] is not None:
+                    seen.pop(current[column], None)
+            self._rows[pk] = old
+            self._index_add(old)
+            for column, seen in self._unique_values.items():
+                if old[column] is not None:
+                    seen[old[column]] = pk
+        elif op == "delete":
+            row = data
+            pk = row[self.schema.primary_key]
+            self._rows[pk] = row
+            self._index_add(row)
+            for column, seen in self._unique_values.items():
+                if row[column] is not None:
+                    seen[row[column]] = pk
+        elif op == "create_index":
+            self._indexes.pop(data, None)
+        else:  # pragma: no cover - journal entries come from this module
+            raise DatabaseError(f"unknown undo op {op!r}")
+
+    # ------------------------------------------------------------------
+    # snapshots (used by persistence dumps)
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """Capture full table state for transaction rollback."""

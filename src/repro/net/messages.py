@@ -32,6 +32,7 @@ class MessageType(enum.Enum):
     RANKING = "ranking"  # server → client: the requested rankings
     ACK = "ack"  # either direction: success acknowledgement
     ERROR = "error"  # either direction: failure notice
+    BUSY = "busy"  # server → phone: admission queue full, retry later
 
 
 def _sort_keys(value: Any) -> Any:

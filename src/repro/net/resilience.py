@@ -40,6 +40,7 @@ from repro.common.clock import Clock, ManualClock, SystemClock
 from repro.common.errors import (
     CircuitOpenError,
     DeadlineExceededError,
+    ServerBusyError,
     TransportError,
     ValidationError,
 )
@@ -254,8 +255,24 @@ class ResilientClient:
         return min(self.policy.max_backoff_s, float(self._rng.uniform(low, high)))
 
     def send(self, request: HttpRequest) -> HttpResponse:
-        """Send with retries; see :meth:`call` for the failure contract."""
-        return self.call(request.host, lambda: self.network.send(request))
+        """Send with retries; see :meth:`call` for the failure contract.
+
+        An HTTP 503 — the server's admission queue refused the request —
+        is converted to :class:`ServerBusyError` *inside* the retried
+        operation, so backpressure rejections get the same jittered
+        backoff as a dropped packet. The envelope's idempotency key makes
+        the eventual re-send safe.
+        """
+
+        def operation() -> HttpResponse:
+            response = self.network.send(request)
+            if response.status == 503:
+                raise ServerBusyError(
+                    f"host {request.host!r} is at capacity (admission rejected)"
+                )
+            return response
+
+        return self.call(request.host, operation)
 
     def call(self, host: str, operation: Callable[[], T]) -> T:
         """Run ``operation`` against ``host`` with the full resilience stack.

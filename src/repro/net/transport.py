@@ -24,6 +24,7 @@ handles exactly as it would a timed-out HTTP call.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -119,6 +120,10 @@ class Network:
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.conditions = conditions or NetworkConditions()
+        # Guards the shared rng and the stats counters when many client
+        # threads send at once; never held across an endpoint's
+        # handle_request, so the wire does not serialize the servers.
+        self._lock = threading.Lock()
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._clock = clock
         # Outage windows are evaluated against simulated time; a clock
@@ -223,41 +228,54 @@ class Network:
         """
         endpoint = self._endpoints.get(request.host)
         if endpoint is None:
-            self.stats.unknown_host_sends += 1
+            with self._lock:
+                self.stats.unknown_host_sends += 1
             self._m_failures.inc(reason="unknown_host")
             raise TransportError(f"no endpoint registered at {request.host!r}")
-        self.stats.requests_sent += 1
-        self.stats.bytes_sent += len(request.body)
+        conditions = self.conditions_for(request.host)
+        with self._lock:
+            self.stats.requests_sent += 1
+            self.stats.bytes_sent += len(request.body)
+            self.stats.per_host_requests[request.host] = (
+                self.stats.per_host_requests.get(request.host, 0) + 1
+            )
+            if self._in_outage(request.host):
+                self.stats.outage_drops += 1
+                outage = True
+            else:
+                outage = False
+                request_dropped = conditions.drop_probability > 0 and (
+                    float(self._rng.random()) < conditions.drop_probability
+                )
+                if request_dropped:
+                    self.stats.requests_dropped += 1
+                else:
+                    latency = self._sample_latency(conditions)
+                    self.stats.total_latency_s += latency
+                    if isinstance(self._clock, ManualClock):
+                        self._clock.advance(latency)
         self._m_requests.inc()
         self._m_bytes_sent.inc(len(request.body))
-        self.stats.per_host_requests[request.host] = (
-            self.stats.per_host_requests.get(request.host, 0) + 1
-        )
-        if self._in_outage(request.host):
-            self.stats.outage_drops += 1
+        if outage:
             self._m_failures.inc(reason="outage")
             raise TransportError(f"host {request.host!r} is inside an outage window")
-        conditions = self.conditions_for(request.host)
-        if conditions.drop_probability > 0 and (
-            float(self._rng.random()) < conditions.drop_probability
-        ):
-            self.stats.requests_dropped += 1
+        if request_dropped:
             self._m_failures.inc(reason="request_dropped")
             raise TransportError(f"request to {request.host!r} was dropped")
-        latency = self._sample_latency(conditions)
-        self.stats.total_latency_s += latency
-        if isinstance(self._clock, ManualClock):
-            self._clock.advance(latency)
         response = endpoint.handle_request(request)
-        if conditions.response_drop_probability > 0 and (
-            float(self._rng.random()) < conditions.response_drop_probability
-        ):
-            self.stats.responses_dropped += 1
+        with self._lock:
+            response_dropped = conditions.response_drop_probability > 0 and (
+                float(self._rng.random()) < conditions.response_drop_probability
+            )
+            if response_dropped:
+                self.stats.responses_dropped += 1
+            else:
+                self.stats.responses_delivered += 1
+                self.stats.bytes_received += len(response.body)
+        if response_dropped:
             self._m_failures.inc(reason="response_dropped")
             raise TransportError(
                 f"response from {request.host!r} was dropped (request delivered)"
             )
-        self.stats.responses_delivered += 1
-        self.stats.bytes_received += len(response.body)
         self._m_bytes_received.inc(len(response.body))
         return response

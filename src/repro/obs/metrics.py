@@ -11,6 +11,11 @@ Design rules, in rough order of importance:
 * **Cheap on the hot path.** ``Counter.labels(...)`` returns a child
   series whose ``inc`` is one float addition; callers on tight loops
   cache the child (or accumulate locally and report once per call).
+* **Thread-safe.** The concurrent server increments counters and
+  observes histograms from many worker threads at once; every child
+  series guards its state with a lock (`x += y` on a Python float is a
+  read-modify-write that loses updates under races), and exposition
+  snapshots series under the same locks.
 * **Injectable.** Components accept a :class:`MetricsRegistry` and fall
   back to the process-global default (see :mod:`repro.obs`), so tests
   can pass a fresh registry — or :class:`NullRegistry` to turn the whole
@@ -97,8 +102,14 @@ class Metric:
         raise NotImplementedError
 
     def series(self) -> Iterator[tuple[tuple[str, ...], object]]:
-        """Yield ``(label_values, child)`` pairs in sorted label order."""
-        return iter(sorted(self._series.items()))
+        """Yield ``(label_values, child)`` pairs in sorted label order.
+
+        Snapshots the series map under the metric lock so exporters can
+        run while worker threads are still creating new label children.
+        """
+        with self._lock:
+            items = list(self._series.items())
+        return iter(sorted(items))
 
     def clear(self) -> None:
         """Drop every series (used by registry reset)."""
@@ -107,17 +118,19 @@ class Metric:
 
 
 class _CounterChild:
-    """One counter series; ``inc`` is a single guarded float addition."""
+    """One counter series; ``inc`` is a single lock-guarded float addition."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ObservabilityError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Counter(Metric):
@@ -143,19 +156,23 @@ class Counter(Metric):
 
 
 class _GaugeChild:
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Gauge(Metric):
@@ -189,31 +206,62 @@ class Gauge(Metric):
 
 
 class _HistogramChild:
-    __slots__ = ("bucket_counts", "sum", "count", "_bounds")
+    __slots__ = ("bucket_counts", "sum", "count", "_bounds", "_lock")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         self._bounds = bounds
         self.bucket_counts = [0] * len(bounds)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for index, bound in enumerate(self._bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                break
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    break
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """Prometheus-style cumulative ``(le, count)`` pairs, +Inf last."""
+        with self._lock:
+            counts = list(self.bucket_counts)
+            total = self.count
         out: list[tuple[float, int]] = []
         running = 0
-        for bound, bucket_count in zip(self._bounds, self.bucket_counts):
+        for bound, bucket_count in zip(self._bounds, counts):
             running += bucket_count
             out.append((bound, running))
-        out.append((float("inf"), self.count))
+        out.append((float("inf"), total))
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        The same estimate ``histogram_quantile`` makes in PromQL: find
+        the bucket the quantile rank lands in and interpolate between
+        its bounds (the lowest bucket interpolates from zero). Values in
+        the implicit +Inf bucket clamp to the highest finite bound.
+        Returns ``nan`` with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError("quantile must be within [0, 1]")
+        cumulative = self.cumulative_buckets()
+        total = cumulative[-1][1]
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        previous_bound, previous_count = 0.0, 0
+        for bound, count in cumulative[:-1]:
+            if count >= rank:
+                if count == previous_count:
+                    return bound
+                fraction = (rank - previous_count) / (count - previous_count)
+                return previous_bound + fraction * (bound - previous_bound)
+            previous_bound, previous_count = bound, count
+        return previous_bound  # beyond the last finite bucket: clamp
 
 
 class Histogram(Metric):
@@ -260,6 +308,13 @@ class Histogram(Metric):
         """Sum of all observed values for ``labels``."""
         child = self._series.get(self._key(labels))
         return child.sum if child is not None else 0.0  # type: ignore[union-attr]
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Interpolated ``q``-quantile for ``labels`` (nan if unobserved)."""
+        child = self._series.get(self._key(labels))
+        if child is None:
+            return float("nan")
+        return child.quantile(q)  # type: ignore[union-attr]
 
 
 class _TimerContext:
@@ -402,6 +457,9 @@ class _NullInstrument:
 
     def total(self, **labels: object) -> float:
         return 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        return float("nan")
 
     def time(self, **labels: object) -> "_NullInstrument":
         return self

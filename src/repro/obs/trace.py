@@ -16,14 +16,16 @@ span (``error`` attribute) and re-raised.
 
 The clock is injectable (:class:`~repro.common.clock.Clock`), so tests
 drive span timing with :class:`~repro.common.clock.ManualClock`. One
-tracer serves one logical thread of execution — the reproduction is a
-single-threaded discrete-event simulation, so the active-span stack is a
-plain list.
+tracer may serve many OS threads at once (the concurrent server's
+worker pool opens a span per request): the active-span stack is
+thread-local, so parent/child nesting is tracked per thread, while the
+finished-span ring and the id counter are shared across all of them.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
@@ -101,9 +103,20 @@ class Tracer:
 
     def __init__(self, clock: Clock | None = None, max_finished: int = 2048) -> None:
         self._clock: Clock = clock if clock is not None else SystemClock()
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        # deque.append is atomic under the GIL; itertools.count.__next__
+        # is a single C call, so id allocation needs no lock either.
         self._finished: deque[SpanRecord] = deque(maxlen=max_finished)
         self._ids = itertools.count(1)
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's active-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     # ------------------------------------------------------------------
     # span lifecycle

@@ -25,6 +25,11 @@ phones, barcodes and places into a runnable end-to-end deployment.
 """
 
 from repro.server.app_manager import Application, ApplicationManager
+from repro.server.concurrency import (
+    ConcurrencyConfig,
+    ReadWriteLock,
+    RequestExecutor,
+)
 from repro.server.data_processor import DataProcessor
 from repro.server.participation import ParticipationManager, ParticipationStatus
 from repro.server.ranker_service import PersonalizableRanker, RankingReport
@@ -36,11 +41,14 @@ from repro.server.user_manager import UserInfoManager
 __all__ = [
     "Application",
     "ApplicationManager",
+    "ConcurrencyConfig",
     "DataProcessor",
     "ParticipationManager",
     "ParticipationStatus",
     "PersonalizableRanker",
     "RankingReport",
+    "ReadWriteLock",
+    "RequestExecutor",
     "SORSystem",
     "SensingSchedulerService",
     "SensingServer",

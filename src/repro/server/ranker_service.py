@@ -28,6 +28,7 @@ Serving-path additions on top of the paper:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Mapping
@@ -172,6 +173,9 @@ class RankingCache:
         if capacity < 1:
             raise RankingError("ranking cache capacity must be positive")
         self.capacity = capacity
+        # Concurrent RANK_QUERY handlers hit the cache from many worker
+        # threads at once, and even a read reorders the LRU list.
+        self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, RankingReport] = OrderedDict()
         registry = metrics if metrics is not None else get_metrics()
         self._m_hits = registry.counter(
@@ -195,28 +199,31 @@ class RankingCache:
 
     def get(self, key: tuple) -> RankingReport | None:
         """The cached report for ``key``, refreshing its LRU position."""
-        report = self._entries.get(key)
-        if report is None:
-            self.misses += 1
-            self._m_misses.inc()
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self._m_hits.inc()
-        return report
+        with self._lock:
+            report = self._entries.get(key)
+            if report is None:
+                self.misses += 1
+                self._m_misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._m_hits.inc()
+            return report
 
     def put(self, key: tuple, report: RankingReport) -> None:
         """Store ``report`` under ``key``, evicting LRU overflow."""
-        self._entries[key] = report
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self._m_evictions.inc()
+        with self._lock:
+            self._entries[key] = report
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._m_evictions.inc()
 
     def clear(self) -> None:
         """Drop every entry (counters keep their totals)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class _CategoryScan:

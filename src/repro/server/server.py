@@ -9,6 +9,8 @@ will be processed later by the Data Processor."
 
 from __future__ import annotations
 
+import time
+
 from repro.common.clock import Clock
 from repro.common.errors import (
     CodecError,
@@ -32,6 +34,11 @@ from repro.net.transport import Network
 from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
 from repro.obs.export import CONTENT_TYPE, to_prometheus_text
 from repro.server.app_manager import Application, ApplicationManager
+from repro.server.concurrency import (
+    ConcurrencyConfig,
+    ReadWriteLock,
+    RequestExecutor,
+)
 from repro.server.data_processor import DataProcessor
 from repro.server.participation import ParticipationManager, ParticipationStatus
 from repro.server.ranker_service import (
@@ -61,12 +68,32 @@ class SensingServer:
         dedupe_capacity: int = 4096,
         ranking_cache_capacity: int = 256,
         durability: DurabilityConfig | None = None,
+        concurrency: ConcurrencyConfig | None = None,
+        io_delay_s: float = 0.0,
     ) -> None:
         self.host = host
         self.network = network
         self.clock = clock
         self.gcm = gcm
         self.client = client
+        # Simulated per-request I/O (socket read/write, WAL fsync): a
+        # real wall-clock sleep taken *outside* any lock, so a worker
+        # pool overlaps it while a single-threaded server serializes it.
+        if io_delay_s < 0:
+            raise ConfigurationError("io_delay_s must be non-negative")
+        self.io_delay_s = io_delay_s
+        # Readers–writer lock over all request handling: rank queries
+        # share it, every mutating handler holds it exclusively, which
+        # keeps the WAL-feeding commit path single-writer.
+        self._rwlock = ReadWriteLock()
+        self._executor = (
+            RequestExecutor(concurrency, name=host)
+            if concurrency is not None
+            else None
+        )
+        self._busy_retry_after_s = (
+            concurrency.busy_retry_after_s if concurrency is not None else 0.0
+        )
         # Served replies are deduped through the durable `idempotency`
         # table (see _stored_response), bounded to this many entries.
         self._dedupe_capacity = dedupe_capacity
@@ -142,6 +169,14 @@ class SensingServer:
             "replayed envelopes served from the idempotency cache",
             labels=("type",),
         )
+        self._m_busy = self.metrics.counter(
+            "sor_server_busy_rejections_total",
+            "requests refused at admission because the queue was full",
+        )
+        self._m_queue_depth = self.metrics.gauge(
+            "sor_server_admission_queue_depth",
+            "requests admitted but not yet picked up by a worker",
+        )
         network.register(host, self)
 
     def _transport_send(self, request: HttpRequest) -> HttpResponse:
@@ -165,9 +200,34 @@ class SensingServer:
     # endpoint
     # ------------------------------------------------------------------
     def handle_request(self, request: HttpRequest) -> HttpResponse:
-        """Serve one HTTP request (the server-side Message Handler)."""
+        """Serve one HTTP request (the server-side Message Handler).
+
+        With a worker pool configured, the request is admitted to the
+        bounded queue and handled on a worker thread; when the queue is
+        full the server answers immediately with HTTP 503 carrying a
+        :data:`MessageType.BUSY` envelope — the backpressure signal the
+        resilient client retries with jittered backoff. ``GET /metrics``
+        is always served inline: observability must stay readable while
+        the admission queue is saturated.
+        """
         if request.method == "GET" and request.path == "/metrics":
             return self.metrics_response()
+        if self._executor is None:
+            return self._handle_one(request)
+        pending = self._executor.submit(lambda: self._handle_one(request))
+        if pending is None:
+            self._m_busy.inc()
+            self._m_requests.inc(type="busy", status="503")
+            return self._busy_response()
+        self._m_queue_depth.set(self._executor.queue_depth())
+        return pending.result()
+
+    def _handle_one(self, request: HttpRequest) -> HttpResponse:
+        """Handle one admitted request (runs on a worker thread, if any)."""
+        if self.io_delay_s:
+            # The request's socket/disk time; deliberately outside every
+            # lock so concurrent workers overlap it.
+            time.sleep(self.io_delay_s)
         with self.tracer.span("server.handle_request", host=self.host) as span:
             with self._m_request_timer.time():
                 response, message_type = self._dispatch(request)
@@ -175,6 +235,24 @@ class SensingServer:
             span.set_attribute("status", response.status)
         self._m_requests.inc(type=message_type, status=str(response.status))
         return response
+
+    def _busy_response(self) -> HttpResponse:
+        envelope = Envelope(
+            message_type=MessageType.BUSY,
+            sender=self.host,
+            recipient="",
+            payload={"retry_after_s": self._busy_retry_after_s},
+        )
+        return HttpResponse(
+            status=503,
+            body=envelope.to_bytes(),
+            headers={"Retry-After": f"{self._busy_retry_after_s:g}"},
+        )
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent; no-op without one)."""
+        if self._executor is not None:
+            self._executor.close()
 
     def metrics_response(self) -> HttpResponse:
         """The ``GET /metrics`` Prometheus text exposition."""
@@ -185,6 +263,19 @@ class SensingServer:
 
     def _dispatch(self, request: HttpRequest) -> tuple[HttpResponse, str]:
         """Decode and route one envelope; returns (response, type label).
+
+        Two paths through the readers–writer lock:
+
+        * RANK_QUERY without an idempotency key is a pure read — it runs
+          under the shared side, with no transaction, so any number of
+          rank queries proceed together (and concurrently with nothing
+          else).
+        * Everything that can mutate runs under the exclusive side, one
+          writer at a time, so in-memory apply order and WAL append
+          order always agree. The idempotency-dedupe check happens
+          *inside* the write lock: two concurrent replays of the same
+          envelope serialize there, the first runs the handler, the
+          second replays its stored reply.
 
         Envelopes carrying an already-seen idempotency key replay the
         response served the first time without re-running the handler:
@@ -203,11 +294,10 @@ class SensingServer:
             return HttpResponse(status=400), "undecodable"
         message_type = envelope.message_type.value
         key = envelope.idempotency_key
-        if key is not None:
-            cached = self._stored_response(key)
-            if cached is not None:
-                self._m_duplicates.inc(type=message_type)
-                return cached, message_type
+        if envelope.message_type is MessageType.RANK_QUERY and key is None:
+            with self._rwlock.read():
+                reply = self._on_rank_query(envelope)
+            return HttpResponse(status=200, body=reply.to_bytes()), message_type
         handlers = {
             MessageType.PARTICIPATE: self._on_participate,
             MessageType.SENSED_DATA: lambda env: self._on_sensed_data(
@@ -221,11 +311,17 @@ class SensingServer:
         handler = handlers.get(envelope.message_type)
         if handler is None:
             return HttpResponse(status=404), message_type
-        with self.database.transaction():
-            reply = handler(envelope)
-            response = HttpResponse(status=200, body=reply.to_bytes())
+        with self._rwlock.write():
             if key is not None:
-                self._store_response(key, response)
+                cached = self._stored_response(key)
+                if cached is not None:
+                    self._m_duplicates.inc(type=message_type)
+                    return cached, message_type
+            with self.database.transaction():
+                reply = handler(envelope)
+                response = HttpResponse(status=200, body=reply.to_bytes())
+                if key is not None:
+                    self._store_response(key, response)
         return response, message_type
 
     def _stored_response(self, key: str) -> HttpResponse | None:

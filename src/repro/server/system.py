@@ -24,6 +24,7 @@ from repro.net.transport import Network
 from repro.phone import MobilePhone
 from repro.phone.task import TaskInstance
 from repro.server.app_manager import Application
+from repro.server.concurrency import ConcurrencyConfig
 from repro.server.ranker_service import RankingReport
 from repro.server.server import SensingServer
 from repro.sim.engine import Simulator
@@ -105,6 +106,8 @@ class SORSystem:
         retry_policy: RetryPolicy | None = None,
         breaker_policy: BreakerPolicy | None = None,
         durability: DurabilityConfig | None = None,
+        concurrency: ConcurrencyConfig | None = None,
+        io_delay_s: float = 0.0,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("need at least one sensing server")
@@ -157,6 +160,8 @@ class SORSystem:
         # several servers they share one database, like app servers over
         # one PostgreSQL instance. Places are assigned round-robin.
         self.durability = durability
+        self.concurrency = concurrency
+        self.io_delay_s = io_delay_s
         self.recovery_reports: list[RecoveryReport] = []
         if num_servers == 1:
             self.servers = [
@@ -167,6 +172,8 @@ class SORSystem:
                     gcm=self.gcm,
                     client=make_client(f"server:{server_host}"),
                     durability=durability,
+                    concurrency=concurrency,
+                    io_delay_s=io_delay_s,
                 )
             ]
             if self.servers[0].recovery is not None:
@@ -183,6 +190,8 @@ class SORSystem:
                     gcm=self.gcm,
                     database=shared,
                     client=make_client(f"server:{index + 1}"),
+                    concurrency=concurrency,
+                    io_delay_s=io_delay_s,
                 )
                 for index in range(num_servers)
             ]
@@ -410,6 +419,7 @@ class SORSystem:
         server = self.servers[index]
         if self.network.is_registered(server.host):
             self.network.unregister(server.host)
+        server.close()
         if server.database.durability is not None:
             server.database.durability.close()
 
@@ -435,6 +445,8 @@ class SORSystem:
             gcm=self.gcm,
             client=self._make_client(f"server:{old.host}"),
             durability=self.durability,
+            concurrency=self.concurrency,
+            io_delay_s=self.io_delay_s,
         )
         for deployed in self._places.values():
             application = deployed.application

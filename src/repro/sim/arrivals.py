@@ -46,6 +46,44 @@ def uniform_arrivals(
     return users
 
 
+def fixed_count_arrivals(
+    count: int,
+    period_s: float,
+    budget: int,
+    rng: np.random.Generator,
+    *,
+    mean_dwell_s: float = 1800.0,
+    id_prefix: str = "user",
+) -> list[MobileUser]:
+    """A Poisson arrival process conditioned on exactly ``count`` arrivals.
+
+    Conditioned on N points in ``[0, period_s)`` a Poisson process is N
+    sorted uniform draws, so this keeps :func:`poisson_arrivals`' shape
+    (bursty inter-arrival gaps, exponential dwell clipped to the period)
+    while letting callers — the load generator above all — fix the
+    population size exactly instead of in expectation.
+    """
+    if count <= 0:
+        raise ValidationError("count must be positive")
+    if period_s <= 0:
+        raise ValidationError("period_s must be positive")
+    if budget < 0:
+        raise ValidationError("budget must be non-negative")
+    if mean_dwell_s <= 0:
+        raise ValidationError("mean_dwell_s must be positive")
+    arrivals = np.sort(rng.uniform(0.0, period_s, size=count))
+    dwells = rng.exponential(mean_dwell_s, size=count)
+    return [
+        MobileUser(
+            user_id=f"{id_prefix}-{index}",
+            arrival=float(arrival),
+            departure=float(min(period_s, arrival + dwell)),
+            budget=budget,
+        )
+        for index, (arrival, dwell) in enumerate(zip(arrivals, dwells))
+    ]
+
+
 def poisson_arrivals(
     rate_per_hour: float,
     period_s: float,

@@ -157,3 +157,85 @@ class TestNullRegistry:
         timer = null.timer("t")
         with timer.time():
             pass
+
+
+class TestQuantile:
+    def test_nan_with_no_observations(self, registry):
+        hist = registry.histogram("sor_q", buckets=[1.0, 2.0, 4.0])
+        import math
+
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_interpolates_within_bucket(self, registry):
+        hist = registry.histogram("sor_q", buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        # rank 2 of 4 lands exactly at the (1,2] bucket's cumulative
+        # count boundary... interpolate: p50 rank=2, cumulative (1.0,1),
+        # (2.0,3): 1 + (2-1)/(3-1) * (2-1) = 1.5
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(0.0) == pytest.approx(0.0)
+
+    def test_clamps_to_highest_finite_bound(self, registry):
+        hist = registry.histogram("sor_q", buckets=[1.0, 2.0])
+        hist.observe(100.0)  # +Inf bucket only
+        assert hist.quantile(0.99) == pytest.approx(2.0)
+
+    def test_rejects_out_of_range(self, registry):
+        hist = registry.histogram("sor_q", buckets=[1.0])
+        hist.observe(0.5)  # a child must exist for validation to run
+        with pytest.raises(ObservabilityError):
+            hist.quantile(1.5)
+
+
+class TestThreadSafety:
+    """Many threads hammering one metric must not lose updates."""
+
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def _hammer(self, work):
+        import threading
+
+        threads = [
+            threading.Thread(target=work) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_concurrent_counter_incs(self, registry):
+        counter = registry.counter("sor_conc_total", labels=("kind",))
+
+        def work():
+            for _ in range(self.PER_THREAD):
+                counter.inc(kind="a")
+
+        self._hammer(work)
+        assert counter.value(kind="a") == self.THREADS * self.PER_THREAD
+
+    def test_concurrent_histogram_observes(self, registry):
+        hist = registry.histogram("sor_conc_hist", buckets=[1.0, 2.0, 4.0])
+
+        def work():
+            for index in range(self.PER_THREAD):
+                hist.observe(float(index % 5))
+
+        self._hammer(work)
+        expected_n = self.THREADS * self.PER_THREAD
+        assert hist.count() == expected_n
+        # sum of 0+1+2+3+4 per 5 observations, no torn adds
+        assert hist.total() == pytest.approx(expected_n / 5 * 10)
+
+    def test_concurrent_child_creation(self, registry):
+        counter = registry.counter("sor_conc_children_total", labels=("k",))
+
+        def work():
+            for index in range(self.PER_THREAD):
+                counter.inc(k=str(index % 16))
+
+        self._hammer(work)
+        total = sum(counter.value(k=str(k)) for k in range(16))
+        assert total == self.THREADS * self.PER_THREAD

@@ -1,0 +1,232 @@
+"""Loadgen determinism + the CI comparison tool.
+
+The load-smoke CI job leans on two properties tested here:
+
+* the workload is a pure function of the spec's seed — two runs produce
+  the same digest and the same request counters, so a gate failure is a
+  code change, not noise in the generator;
+* execution shape (sequential vs concurrent, client/worker counts) does
+  not change *what* is sent, only how fast — the sequential baseline in
+  the speedup comparison answers the same workload.
+
+``compare_bench.py`` is exercised directly (loaded from the benchmarks
+directory) since a wrong comparison silently green-lights regressions.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.sim.arrivals import fixed_count_arrivals
+from repro.sim.loadgen import (
+    LoadgenSpec,
+    build_workload,
+    run_comparison,
+    run_loadgen,
+    workload_digest,
+)
+
+SMALL = dict(phones=48, seed=7, clients=4, workers=4, io_delay_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# arrival process
+# ----------------------------------------------------------------------
+class TestFixedCountArrivals:
+    def test_shape_and_bounds(self) -> None:
+        users = fixed_count_arrivals(
+            100, 3600.0, 5, np.random.default_rng(0), mean_dwell_s=600.0
+        )
+        assert len(users) == 100
+        arrivals = [user.arrival for user in users]
+        assert arrivals == sorted(arrivals)
+        for user in users:
+            assert 0.0 <= user.arrival <= 3600.0
+            assert user.arrival <= user.departure <= 3600.0
+            assert user.budget == 5
+        assert len({user.user_id for user in users}) == 100
+
+    def test_deterministic_under_seed(self) -> None:
+        first = fixed_count_arrivals(50, 1000.0, 3, np.random.default_rng(42))
+        second = fixed_count_arrivals(50, 1000.0, 3, np.random.default_rng(42))
+        assert first == second
+
+    def test_validation(self) -> None:
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            fixed_count_arrivals(0, 100.0, 1, rng)
+        with pytest.raises(ValidationError):
+            fixed_count_arrivals(10, 0.0, 1, rng)
+        with pytest.raises(ValidationError):
+            fixed_count_arrivals(10, 100.0, -1, rng)
+        with pytest.raises(ValidationError):
+            fixed_count_arrivals(10, 100.0, 1, rng, mean_dwell_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# workload determinism
+# ----------------------------------------------------------------------
+def test_workload_digest_is_deterministic() -> None:
+    spec = LoadgenSpec(**SMALL)
+    digest_a = workload_digest(spec, build_workload(spec))
+    digest_b = workload_digest(spec, build_workload(spec))
+    assert digest_a == digest_b
+    other = LoadgenSpec(**{**SMALL, "seed": 8})
+    assert workload_digest(other, build_workload(other)) != digest_a
+
+
+def test_digest_ignores_execution_shape() -> None:
+    """Same phones+seed = same workload no matter how it is driven."""
+    concurrent = LoadgenSpec(**SMALL, mode="concurrent")
+    sequential = LoadgenSpec(
+        **{**SMALL, "clients": 1, "workers": 1}, mode="sequential"
+    )
+    assert workload_digest(
+        concurrent, build_workload(concurrent)
+    ) == workload_digest(sequential, build_workload(sequential))
+
+
+def test_run_loadgen_is_deterministic() -> None:
+    spec = LoadgenSpec(**SMALL)
+    first = run_loadgen(spec)
+    second = run_loadgen(spec)
+    assert first.workload_digest == second.workload_digest
+    assert first.requests_by_type == second.requests_by_type
+    assert first.requests_ok == second.requests_ok
+    assert first.sessions_completed == spec.phones
+    assert first.error_replies == 0
+    assert first.replay_mismatches == 0
+
+
+def test_sequential_and_concurrent_send_the_same_traffic() -> None:
+    concurrent, sequential, speedup = run_comparison(LoadgenSpec(**SMALL))
+    assert concurrent.requests_by_type == sequential.requests_by_type
+    assert concurrent.requests_ok == sequential.requests_ok
+    assert concurrent.sessions_completed == sequential.sessions_completed
+    assert concurrent.workload_digest == sequential.workload_digest
+    assert speedup > 0.0
+
+
+def test_report_round_trips_to_json() -> None:
+    report = run_loadgen(LoadgenSpec(**{**SMALL, "phones": 16}))
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["workload_digest"] == report.workload_digest
+    assert payload["sessions_completed"] == 16
+    assert payload["spec"]["phones"] == 16
+
+
+def test_spec_validation() -> None:
+    with pytest.raises(ValidationError):
+        LoadgenSpec(phones=0)
+    with pytest.raises(ValidationError):
+        LoadgenSpec(mode="warp")
+    with pytest.raises(ValidationError):
+        LoadgenSpec(clients=0)
+    with pytest.raises(ValidationError):
+        LoadgenSpec(io_delay_s=-0.1)
+
+
+# ----------------------------------------------------------------------
+# compare_bench.py — the regression gate itself
+# ----------------------------------------------------------------------
+def _load_compare_bench():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py"
+    spec = importlib.util.spec_from_file_location("compare_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_bench = _load_compare_bench()
+
+
+def _write(path: Path, payload: dict) -> Path:
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompareBench:
+    def test_loads_canonical_schema(self, tmp_path) -> None:
+        path = _write(
+            tmp_path / "canonical.json",
+            {
+                "metrics": {
+                    "rps": {
+                        "value": 1000.0,
+                        "direction": "higher",
+                        "tolerance_pct": 30,
+                    }
+                }
+            },
+        )
+        metrics = compare_bench.load_metrics(path, 20.0)
+        assert metrics == {
+            "rps": {"value": 1000.0, "direction": "higher", "tolerance_pct": 30.0}
+        }
+
+    def test_loads_pytest_bench_schema(self, tmp_path) -> None:
+        path = _write(
+            tmp_path / "bench.json",
+            {"test_sort": {"mean": 0.5, "rounds": 3}, "not_a_bench": "skip"},
+        )
+        metrics = compare_bench.load_metrics(path, 25.0)
+        assert metrics == {
+            "test_sort": {"value": 0.5, "direction": "lower", "tolerance_pct": 25.0}
+        }
+
+    def test_regression_pct_directions(self) -> None:
+        # higher-is-better: dropping from 100 to 50 is a 50% regression.
+        assert compare_bench.regression_pct("higher", 100.0, 50.0) == 50.0
+        assert compare_bench.regression_pct("higher", 100.0, 120.0) == -20.0
+        # lower-is-better: rising from 1.0 to 1.5 is a 50% regression.
+        assert compare_bench.regression_pct("lower", 1.0, 1.5) == 50.0
+        assert compare_bench.regression_pct("lower", 1.0, 0.5) == -50.0
+        assert compare_bench.regression_pct("lower", 0.0, 5.0) == 0.0
+
+    def test_compare_flags_regressions_and_missing(self) -> None:
+        baseline = {
+            "fast": {"value": 100.0, "direction": "higher", "tolerance_pct": 10.0},
+            "slow": {"value": 1.0, "direction": "lower", "tolerance_pct": 10.0},
+            "gone": {"value": 1.0, "direction": "lower", "tolerance_pct": 10.0},
+        }
+        fresh = {
+            "fast": {"value": 50.0, "direction": "higher", "tolerance_pct": 10.0},
+            "slow": {"value": 1.05, "direction": "lower", "tolerance_pct": 10.0},
+            "extra": {"value": 3.0, "direction": "lower", "tolerance_pct": 10.0},
+        }
+        lines, failures = compare_bench.compare(baseline, fresh)
+        assert len(failures) == 2  # fast regressed, gone missing
+        assert any("fast" in failure for failure in failures)
+        assert any("gone" in failure for failure in failures)
+        assert any("no baseline" in line for line in lines)  # extra noted, not fatal
+
+    def test_main_exit_codes(self, tmp_path) -> None:
+        good = {
+            "metrics": {
+                "rps": {"value": 100.0, "direction": "higher", "tolerance_pct": 10}
+            }
+        }
+        bad = {
+            "metrics": {
+                "rps": {"value": 10.0, "direction": "higher", "tolerance_pct": 10}
+            }
+        }
+        baseline = _write(tmp_path / "baseline.json", good)
+        fresh_ok = _write(tmp_path / "fresh_ok.json", good)
+        fresh_bad = _write(tmp_path / "fresh_bad.json", bad)
+        argv = ["--baseline", str(baseline), "--fresh", str(fresh_ok)]
+        assert compare_bench.main(argv) == 0
+        argv = ["--baseline", str(baseline), "--fresh", str(fresh_bad)]
+        assert compare_bench.main(argv) == 1
+        argv = ["--baseline", str(tmp_path / "nope.json"), "--fresh", str(fresh_ok)]
+        assert compare_bench.main(argv) == 2
+        argv += ["--allow-missing-baseline"]
+        assert compare_bench.main(argv) == 0
+        argv = ["--baseline", str(baseline), "--fresh", str(tmp_path / "nope.json")]
+        assert compare_bench.main(argv) == 2
