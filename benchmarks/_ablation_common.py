@@ -1,0 +1,56 @@
+"""Shared runner for the ``bench_ablation_*`` scripts.
+
+Every ablation bench follows the same convention: run its experiment
+exactly once inside pytest-benchmark's timer (the experiments do their
+own repetition/averaging internally, so extra benchmark rounds would
+just multiply runtime), print a small aligned table for the human
+reading the CI log, assert the scientific claim, and record the raw
+points in ``benchmark.extra_info`` for the JSON artifact. These helpers
+keep the seven scripts to just their experiment call, their table
+columns, and their assertions.
+"""
+
+import re
+
+_SPEC = re.compile(r"^([<>^]?)(\d+)")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(columns, rows):
+    """Print an aligned table; ``columns`` are ``(title, format_spec)``.
+
+    The format spec is applied to each cell (e.g. ``">10.4f"``); the
+    header reuses its alignment and width. A leading blank line keeps
+    the table clear of pytest's dot output.
+    """
+    print()
+    headers = []
+    for title, spec in columns:
+        match = _SPEC.match(spec)
+        align = (match.group(1) or ">") if match else ">"
+        width = match.group(2) if match else ""
+        headers.append(format(title, f"{align}{width}"))
+    print("  ".join(headers))
+    for row in rows:
+        print(
+            "  ".join(
+                format(value, spec)
+                for value, (_, spec) in zip(row, columns)
+            )
+        )
+
+
+def record_points(benchmark, points, *fields):
+    """Record one tuple per point (``fields`` are attribute names)."""
+    benchmark.extra_info["points"] = [
+        tuple(getattr(point, field) for field in fields) for point in points
+    ]
+
+
+def record(benchmark, **values):
+    """Record scalar results in ``benchmark.extra_info``."""
+    benchmark.extra_info.update(values)

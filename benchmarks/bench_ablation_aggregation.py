@@ -7,14 +7,14 @@ against the true optimum (ratio 1.0 = optimal; theory guarantees the
 footrule solution ≤ 2.0).
 """
 
+from benchmarks._ablation_common import record, run_once
 from repro.experiments.ablations import run_aggregation_ablation
 
 
 def test_ablation_aggregation_quality(benchmark):
-    stats = benchmark.pedantic(
+    stats = run_once(
+        benchmark,
         lambda: run_aggregation_ablation(instances=40, num_items=6, seed=0),
-        rounds=1,
-        iterations=1,
     )
     print()
     print(f"instances:                    {stats.instances}")
@@ -24,6 +24,9 @@ def test_ablation_aggregation_quality(benchmark):
     print(f"footrule exactly optimal on:  {stats.footrule_optimal_fraction:.0%}")
     assert stats.footrule_ratio <= 2.0
     assert stats.refined_ratio <= stats.footrule_ratio + 1e-9
-    benchmark.extra_info["footrule_ratio"] = stats.footrule_ratio
-    benchmark.extra_info["refined_ratio"] = stats.refined_ratio
-    benchmark.extra_info["borda_ratio"] = stats.borda_ratio
+    record(
+        benchmark,
+        footrule_ratio=stats.footrule_ratio,
+        refined_ratio=stats.refined_ratio,
+        borda_ratio=stats.borda_ratio,
+    )

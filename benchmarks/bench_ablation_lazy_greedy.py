@@ -9,26 +9,34 @@ paper-literal O(N²) loop is where the vectorization pays off hardest,
 the lazy-vs-lazy race is tighter (heap vs maintained dense argmax).
 """
 
+from benchmarks._ablation_common import (
+    print_table,
+    record,
+    record_points,
+    run_once,
+)
 from repro.experiments.ablations import run_backend_ablation, run_lazy_ablation
 
 
 def test_ablation_lazy_vs_naive(benchmark):
-    points = benchmark.pedantic(
-        lambda: run_lazy_ablation(), rounds=1, iterations=1
+    points = run_once(benchmark, lambda: run_lazy_ablation())
+    print_table(
+        [
+            ("N instants", ">10"),
+            ("lazy (s)", ">10.4f"),
+            ("naive (s)", ">10.4f"),
+            ("speedup", ">8.1f"),
+        ],
+        [
+            (p.num_instants, p.lazy_seconds, p.naive_seconds, p.speedup)
+            for p in points
+        ],
     )
-    print()
-    print(f"{'N instants':>10}  {'lazy (s)':>10}  {'naive (s)':>10}  {'speedup':>8}")
-    for point in points:
-        print(
-            f"{point.num_instants:>10}  {point.lazy_seconds:>10.4f}  "
-            f"{point.naive_seconds:>10.4f}  {point.speedup:>7.1f}x"
-        )
     assert all(point.identical_schedules for point in points)
     assert points[-1].speedup > 2.0
-    benchmark.extra_info["points"] = [
-        (point.num_instants, point.lazy_seconds, point.naive_seconds)
-        for point in points
-    ]
+    record_points(
+        benchmark, points, "num_instants", "lazy_seconds", "naive_seconds"
+    )
 
 
 def test_ablation_backend_1000_instants(benchmark):
@@ -50,20 +58,28 @@ def test_ablation_backend_1000_instants(benchmark):
         )
         return naive[0], lazy[0]
 
-    naive, lazy = benchmark.pedantic(matrix, rounds=1, iterations=1)
-    print()
-    print(f"{'strategy':>10}  {'reference (s)':>14}  {'numpy (s)':>10}  {'speedup':>8}")
-    for label, point in (("naive", naive), ("lazy", lazy)):
-        print(
-            f"{label:>10}  {point.reference_seconds:>14.4f}  "
-            f"{point.numpy_seconds:>10.4f}  {point.speedup:>7.1f}x"
-        )
+    naive, lazy = run_once(benchmark, matrix)
+    print_table(
+        [
+            ("strategy", ">10"),
+            ("reference (s)", ">14.4f"),
+            ("numpy (s)", ">10.4f"),
+            ("speedup", ">8.1f"),
+        ],
+        [
+            ("naive", naive.reference_seconds, naive.numpy_seconds, naive.speedup),
+            ("lazy", lazy.reference_seconds, lazy.numpy_seconds, lazy.speedup),
+        ],
+    )
     assert naive.identical_schedules and lazy.identical_schedules
     assert naive.speedup >= 10.0
     assert lazy.speedup >= 1.0
-    benchmark.extra_info["naive_reference_seconds"] = naive.reference_seconds
-    benchmark.extra_info["naive_numpy_seconds"] = naive.numpy_seconds
-    benchmark.extra_info["naive_speedup"] = naive.speedup
-    benchmark.extra_info["lazy_reference_seconds"] = lazy.reference_seconds
-    benchmark.extra_info["lazy_numpy_seconds"] = lazy.numpy_seconds
-    benchmark.extra_info["lazy_speedup"] = lazy.speedup
+    record(
+        benchmark,
+        naive_reference_seconds=naive.reference_seconds,
+        naive_numpy_seconds=naive.numpy_seconds,
+        naive_speedup=naive.speedup,
+        lazy_reference_seconds=lazy.reference_seconds,
+        lazy_numpy_seconds=lazy.numpy_seconds,
+        lazy_speedup=lazy.speedup,
+    )

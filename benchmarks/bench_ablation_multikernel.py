@@ -6,26 +6,39 @@ the other feature; the blended multi-kernel objective balances both and
 achieves the best combined value.
 """
 
+from benchmarks._ablation_common import print_table, record_points, run_once
 from repro.experiments.ablations import run_multikernel_ablation
 
 
 def test_ablation_multikernel(benchmark):
-    points = benchmark.pedantic(
-        lambda: run_multikernel_ablation(runs=3, seed=0), rounds=1, iterations=1
+    points = run_once(
+        benchmark, lambda: run_multikernel_ablation(runs=3, seed=0)
     )
-    print()
-    print(f"{'strategy':<20}  {'slow cov':>8}  {'fast cov':>8}  {'blend value':>11}")
-    by_name = {}
-    for point in points:
-        by_name[point.strategy] = point
-        print(
-            f"{point.strategy:<20}  {point.slow_feature_coverage:>8.4f}  "
-            f"{point.fast_feature_coverage:>8.4f}  {point.blended_value:>11.1f}"
-        )
+    print_table(
+        [
+            ("strategy", "<20"),
+            ("slow cov", ">8.4f"),
+            ("fast cov", ">8.4f"),
+            ("blend value", ">11.1f"),
+        ],
+        [
+            (
+                p.strategy,
+                p.slow_feature_coverage,
+                p.fast_feature_coverage,
+                p.blended_value,
+            )
+            for p in points
+        ],
+    )
+    by_name = {point.strategy: point for point in points}
     blended = by_name["blended kernels"]
     for name, point in by_name.items():
         assert blended.blended_value >= point.blended_value - 1e-6, name
-    benchmark.extra_info["points"] = [
-        (p.strategy, p.slow_feature_coverage, p.fast_feature_coverage)
-        for p in points
-    ]
+    record_points(
+        benchmark,
+        points,
+        "strategy",
+        "slow_feature_coverage",
+        "fast_feature_coverage",
+    )

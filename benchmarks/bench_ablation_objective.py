@@ -15,12 +15,14 @@ schedules the same instances both ways and cross-evaluates, showing:
 
 import numpy as np
 
+from benchmarks._ablation_common import print_table, record, run_once
 from repro.core.scheduling import (
     GaussianKernel,
     GreedyScheduler,
     PerUserGreedyScheduler,
     SchedulingPeriod,
     SchedulingProblem,
+    average_coverage,
     per_user_sum_value,
 )
 from repro.sim.arrivals import uniform_arrivals
@@ -38,8 +40,6 @@ def run_objective_comparison(*, users=40, budget=17, runs=3, seed=0):
         )
         pooled_schedule = GreedyScheduler().solve(problem)
         peruser_schedule = PerUserGreedyScheduler().solve(problem)
-        from repro.core.scheduling import average_coverage
-
         rows.append(
             {
                 "pooled_by_pooled": pooled_schedule.average_coverage,
@@ -52,17 +52,29 @@ def run_objective_comparison(*, users=40, budget=17, runs=3, seed=0):
 
 
 def test_ablation_objective_formulations(benchmark):
-    means = benchmark.pedantic(run_objective_comparison, rounds=1, iterations=1)
-    print()
-    header = "schedule / metric"
-    print(f"{header:<22}{'pooled avg cov':>15}{'per-user sum':>14}")
-    print(f"{'pooled greedy (eq.4)':<22}{means['pooled_by_pooled']:>15.4f}"
-          f"{means['pooled_by_perusr']:>14.1f}")
-    print(f"{'per-user greedy (eq.2)':<22}{means['perusr_by_pooled']:>15.4f}"
-          f"{means['perusr_by_perusr']:>14.1f}")
+    means = run_once(benchmark, run_objective_comparison)
+    print_table(
+        [
+            ("schedule / metric", "<22"),
+            ("pooled avg cov", ">15.4f"),
+            ("per-user sum", ">14.1f"),
+        ],
+        [
+            (
+                "pooled greedy (eq.4)",
+                means["pooled_by_pooled"],
+                means["pooled_by_perusr"],
+            ),
+            (
+                "per-user greedy (eq.2)",
+                means["perusr_by_pooled"],
+                means["perusr_by_perusr"],
+            ),
+        ],
+    )
     # Each greedy wins on its own metric…
     assert means["pooled_by_pooled"] >= means["perusr_by_pooled"]
     assert means["perusr_by_perusr"] >= means["pooled_by_perusr"] - 1e-6
     # …and the per-user scheduler pays a real pooled-coverage price.
     assert means["perusr_by_pooled"] < means["pooled_by_pooled"] * 0.95
-    benchmark.extra_info["means"] = means
+    record(benchmark, means=means)

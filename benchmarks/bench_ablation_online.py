@@ -6,25 +6,28 @@ bench measures how much coverage that sacrifices relative to the offline
 greedy that sees all participants up front.
 """
 
+from benchmarks._ablation_common import print_table, record_points, run_once
 from repro.experiments.ablations import run_online_ablation
 
 
 def test_ablation_online_vs_offline(benchmark):
-    points = benchmark.pedantic(
-        lambda: run_online_ablation(runs=3, seed=0), rounds=1, iterations=1
+    points = run_once(benchmark, lambda: run_online_ablation(runs=3, seed=0))
+    print_table(
+        [
+            ("users", ">6"),
+            ("online", ">8.4f"),
+            ("offline", ">8.4f"),
+            ("ratio", ">6.3f"),
+        ],
+        [
+            (p.users, p.online_coverage, p.offline_coverage, p.ratio)
+            for p in points
+        ],
     )
-    print()
-    print(f"{'users':>6}  {'online':>8}  {'offline':>8}  {'ratio':>6}")
-    for point in points:
-        print(
-            f"{point.users:>6}  {point.online_coverage:>8.4f}  "
-            f"{point.offline_coverage:>8.4f}  {point.ratio:>6.3f}"
-        )
     # Online never beats offline materially, and the price stays small.
     for point in points:
         assert point.ratio <= 1.02
         assert point.ratio >= 0.80
-    benchmark.extra_info["points"] = [
-        (point.users, point.online_coverage, point.offline_coverage)
-        for point in points
-    ]
+    record_points(
+        benchmark, points, "users", "online_coverage", "offline_coverage"
+    )

@@ -6,23 +6,21 @@ achieve as σ varies (smaller σ ⇒ each measurement covers less time ⇒
 lower achievable coverage at fixed budget).
 """
 
+from benchmarks._ablation_common import print_table, record_points, run_once
 from repro.experiments.ablations import run_sigma_ablation
 
 
 def test_ablation_sigma_sweep(benchmark):
-    points = benchmark.pedantic(
-        lambda: run_sigma_ablation(runs=3, seed=0), rounds=1, iterations=1
+    points = run_once(benchmark, lambda: run_sigma_ablation(runs=3, seed=0))
+    print_table(
+        [("sigma (s)", ">10.1f"), ("greedy", ">8.4f"), ("baseline", ">9.4f")],
+        [
+            (p.sigma_s, p.greedy_coverage, p.baseline_coverage)
+            for p in points
+        ],
     )
-    print()
-    print(f"{'sigma (s)':>10}  {'greedy':>8}  {'baseline':>9}")
-    for point in points:
-        print(
-            f"{point.sigma_s:>10.1f}  {point.greedy_coverage:>8.4f}  "
-            f"{point.baseline_coverage:>9.4f}"
-        )
     coverages = [point.greedy_coverage for point in points]
     assert coverages == sorted(coverages)  # wider kernel ⇒ more coverage
-    benchmark.extra_info["points"] = [
-        (point.sigma_s, point.greedy_coverage, point.baseline_coverage)
-        for point in points
-    ]
+    record_points(
+        benchmark, points, "sigma_s", "greedy_coverage", "baseline_coverage"
+    )

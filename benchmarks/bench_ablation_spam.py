@@ -14,27 +14,29 @@ catastrophically while Borda merely averages — the classic breakdown
 point of robust estimators.
 """
 
+from benchmarks._ablation_common import print_table, record_points, run_once
 from repro.experiments.ablations import run_spam_resistance_ablation
 
 
 def test_ablation_spam_resistance(benchmark):
-    points = benchmark.pedantic(
-        lambda: run_spam_resistance_ablation(instances=20, seed=0),
-        rounds=1,
-        iterations=1,
+    points = run_once(
+        benchmark, lambda: run_spam_resistance_ablation(instances=20, seed=0)
     )
-    print()
-    print(f"{'spam weight':>11}  {'footrule drift':>14}  {'borda drift':>11}")
-    for point in points:
-        print(
-            f"{point.spam_weight:>11}  {point.footrule_drift:>14.2f}  "
-            f"{point.borda_drift:>11.2f}"
-        )
+    print_table(
+        [
+            ("spam weight", ">11"),
+            ("footrule drift", ">14.2f"),
+            ("borda drift", ">11.2f"),
+        ],
+        [
+            (p.spam_weight, p.footrule_drift, p.borda_drift)
+            for p in points
+        ],
+    )
     # In the minority-spam regime the Kemeny-family aggregation resists
     # better than Borda (the paper's stated reason for choosing it).
     minority = next(point for point in points if point.spam_weight == 3)
     assert minority.footrule_drift <= minority.borda_drift + 1e-9
-    benchmark.extra_info["points"] = [
-        (point.spam_weight, point.footrule_drift, point.borda_drift)
-        for point in points
-    ]
+    record_points(
+        benchmark, points, "spam_weight", "footrule_drift", "borda_drift"
+    )

@@ -1,0 +1,117 @@
+"""Translate switch values into constructor keywords — and back.
+
+This is the *only* place the registry's string vocabulary meets the
+``GreedyScheduler`` / ``SensingServer`` / ``SORSystem`` constructor
+signatures. The benchmark slate builds its systems through these
+helpers, and ``tests/ablation/test_switch_injection.py`` asserts the
+round trip (kwargs in, effective values probed back out) for every
+leave-one-out configuration — so a registry switch that silently stops
+reaching its constructor fails a test instead of quietly measuring
+nothing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.common.errors import AblationError
+from repro.db import DurabilityConfig
+from repro.server.concurrency import ConcurrencyConfig
+from repro.server.server import SensingServer
+from repro.server.system import SORSystem
+
+from repro.ablation.registry import ON
+
+
+def _value(values: Mapping[str, Any], name: str, default: Any) -> Any:
+    """Switch value with a default, so partial matrices still apply."""
+    return values.get(name, default)
+
+
+def greedy_kwargs(values: Mapping[str, Any]) -> dict[str, Any]:
+    """``GreedyScheduler(**greedy_kwargs(config.values))``."""
+    mode = _value(values, "lazy_greedy", "lazy")
+    if mode not in ("lazy", "argmax"):
+        raise AblationError(f"lazy_greedy must be 'lazy' or 'argmax', got {mode!r}")
+    return {
+        "backend": _value(values, "backend", "numpy"),
+        "lazy": mode == "lazy",
+    }
+
+
+def server_kwargs(
+    values: Mapping[str, Any],
+    *,
+    durability_dir: str | Path | None = None,
+    workers: int = 8,
+    queue_capacity: int = 64,
+) -> dict[str, Any]:
+    """The switch-controlled subset of ``SensingServer`` keywords."""
+    kwargs: dict[str, Any] = {
+        "scheduler_backend": _value(values, "backend", "numpy"),
+        "ranking_cache": _value(values, "ranking_cache", ON) == ON,
+    }
+    if _value(values, "durability", "off") == ON:
+        if durability_dir is None:
+            raise AblationError(
+                "durability=on needs a durability_dir for the WAL"
+            )
+        kwargs["durability"] = DurabilityConfig(directory=durability_dir)
+    if _value(values, "concurrency", "sequential") == "pool":
+        kwargs["concurrency"] = ConcurrencyConfig(
+            workers=workers, queue_capacity=queue_capacity
+        )
+    return kwargs
+
+
+def system_kwargs(
+    values: Mapping[str, Any],
+    *,
+    durability_dir: str | Path | None = None,
+    workers: int = 8,
+    queue_capacity: int = 64,
+) -> dict[str, Any]:
+    """The switch-controlled subset of ``SORSystem`` keywords."""
+    kwargs = server_kwargs(
+        values,
+        durability_dir=durability_dir,
+        workers=workers,
+        queue_capacity=queue_capacity,
+    )
+    kwargs["resilient"] = _value(values, "resilient", ON) == ON
+    return kwargs
+
+
+def effective_greedy_values(scheduler: Any) -> dict[str, Any]:
+    """Probe a ``GreedyScheduler`` back into switch vocabulary."""
+    return {
+        "backend": scheduler.backend,
+        "lazy_greedy": "lazy" if scheduler.lazy else "argmax",
+    }
+
+
+def effective_server_values(server: SensingServer) -> dict[str, Any]:
+    """Probe a ``SensingServer`` back into switch vocabulary.
+
+    Every entry reads an *observable effect* of the constructor keyword
+    (the scheduler service's backend, the ranker's attached cache, the
+    database's durability manager, the admission executor) rather than a
+    stored copy of the keyword — that is what makes the round-trip test
+    catch silently ignored knobs.
+    """
+    return {
+        "backend": server.scheduler.backend,
+        "ranking_cache": ON if server.ranker.cache is not None else "off",
+        "durability": ON if server.database.durability is not None else "off",
+        "concurrency": "pool" if server._executor is not None else "sequential",
+    }
+
+
+def effective_system_values(system: SORSystem) -> dict[str, Any]:
+    """Probe a ``SORSystem`` (via its first server) into switch values."""
+    values = effective_server_values(system.server)
+    values["resilient"] = (
+        ON if system._make_client("probe") is not None else "off"
+    )
+    return values

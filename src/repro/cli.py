@@ -201,6 +201,46 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
     return format_report(report)
 
 
+def _cmd_ablate(args: argparse.Namespace) -> str:
+    """Run the leave-one-out ablation matrix and rank the components.
+
+    ``--out`` additionally writes the canonical gate document
+    (``ablation_effect_<switch>`` metrics) that
+    ``benchmarks/compare_bench.py`` checks against the committed
+    baseline; ``--invert SWITCH`` deliberately swaps that switch's
+    baseline/ablated values so its measured importance inverts — the CI
+    job uses it to prove the gate fails when a component stops winning.
+    """
+    from pathlib import Path
+
+    from repro.ablation import (
+        AblationSpec,
+        default_registry,
+        render,
+        run_ablation,
+        to_bench_json,
+    )
+
+    registry = default_registry()
+    if args.invert:
+        registry = registry.inverted(args.invert)
+    components = (
+        tuple(name.strip() for name in args.components.split(",") if name.strip())
+        if args.components
+        else None
+    )
+    report = run_ablation(
+        AblationSpec(seed=args.seed, repeat=args.repeat, components=components),
+        registry=registry,
+    )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(to_bench_json(report), indent=2, sort_keys=True) + "\n"
+        )
+    fmt = "table" if args.format == "text" else args.format
+    return render(report, fmt)
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig6": _cmd_fig6,
     "table1": _cmd_table1,
@@ -212,6 +252,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "rank": _cmd_rank,
     "crash": _cmd_crash,
     "loadgen": _cmd_loadgen,
+    "ablate": _cmd_ablate,
 }
 
 
@@ -237,9 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "table"),
         default="text",
-        help="registry dump format for the obs command (default: text)",
+        help="output format for the obs/ablate commands ('text' means "
+        "'table' for ablate; default: text)",
     )
     parser.add_argument(
         "--kills",
@@ -296,6 +338,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="simulated per-request socket/disk milliseconds for "
         "loadgen (default 0.2)",
+    )
+    parser.add_argument(
+        "--components",
+        default=None,
+        help="comma-separated switch subset for the ablate command "
+        "(default: every registered switch)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="timed repetitions per benchmark cell for ablate, "
+        "best-of (default 2)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the canonical BENCH_ablation.json gate "
+        "document here (ablate command)",
+    )
+    parser.add_argument(
+        "--invert",
+        default=None,
+        metavar="SWITCH",
+        help="swap SWITCH's baseline/ablated values to demonstrate an "
+        "importance inversion failing the gate (ablate command)",
     )
     return parser
 

@@ -110,3 +110,7 @@ class ParticipationError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised by the metrics/tracing subsystem (bad metric name, misuse)."""
+
+
+class AblationError(ReproError):
+    """Raised by the ablation harness (unknown switch, broken equivalence)."""

@@ -20,6 +20,7 @@ from repro.common.errors import (
     TransportError,
 )
 from repro.common.geo import LatLon
+from repro.core.scheduling import DEFAULT_BACKEND
 from repro.db import Database, DurabilityConfig, RecoveryReport, eq
 from repro.db.wal import open_durable_database
 from repro.net import (
@@ -66,7 +67,9 @@ class SensingServer:
         tracer: Tracer | None = None,
         client: ResilientClient | None = None,
         dedupe_capacity: int = 4096,
+        ranking_cache: bool = True,
         ranking_cache_capacity: int = 256,
+        scheduler_backend: str = DEFAULT_BACKEND,
         durability: DurabilityConfig | None = None,
         concurrency: ConcurrencyConfig | None = None,
         io_delay_s: float = 0.0,
@@ -121,7 +124,11 @@ class SensingServer:
             self.database, self.users, self.apps, clock, id_prefix=f"{host}:"
         )
         self.scheduler = SensingSchedulerService(
-            self.participation, clock, metrics=self.metrics, tracer=self.tracer
+            self.participation,
+            clock,
+            backend=scheduler_backend,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         # Rebuild in-memory coverage state from the persisted schedules
         # of whatever applications survived on disk (no-op on a fresh
@@ -131,8 +138,12 @@ class SensingServer:
         self.data_processor = DataProcessor(
             self.database, self.apps, clock, metrics=self.metrics
         )
-        self.ranking_cache = RankingCache(
-            capacity=ranking_cache_capacity, metrics=self.metrics
+        # ``ranking_cache=False`` is the ablation switch: the ranker then
+        # runs the full Algorithm 2 pipeline on every request.
+        self.ranking_cache = (
+            RankingCache(capacity=ranking_cache_capacity, metrics=self.metrics)
+            if ranking_cache
+            else None
         )
         self.ranker = PersonalizableRanker(
             self.database,

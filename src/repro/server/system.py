@@ -17,6 +17,7 @@ from repro.common.geo import LatLon
 from repro.common.rng import RngRegistry
 from repro.core.features import FeaturePipeline
 from repro.core.ranking import PreferenceProfile
+from repro.core.scheduling import DEFAULT_BACKEND
 from repro.db import DurabilityConfig, RecoveryReport
 from repro.net import CloudMessenger, NetworkConditions
 from repro.net.resilience import BreakerPolicy, ResilientClient, RetryPolicy
@@ -108,6 +109,8 @@ class SORSystem:
         durability: DurabilityConfig | None = None,
         concurrency: ConcurrencyConfig | None = None,
         io_delay_s: float = 0.0,
+        scheduler_backend: str = DEFAULT_BACKEND,
+        ranking_cache: bool = True,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("need at least one sensing server")
@@ -162,6 +165,8 @@ class SORSystem:
         self.durability = durability
         self.concurrency = concurrency
         self.io_delay_s = io_delay_s
+        self.scheduler_backend = scheduler_backend
+        self.ranking_cache = ranking_cache
         self.recovery_reports: list[RecoveryReport] = []
         if num_servers == 1:
             self.servers = [
@@ -174,6 +179,8 @@ class SORSystem:
                     durability=durability,
                     concurrency=concurrency,
                     io_delay_s=io_delay_s,
+                    scheduler_backend=scheduler_backend,
+                    ranking_cache=ranking_cache,
                 )
             ]
             if self.servers[0].recovery is not None:
@@ -192,6 +199,8 @@ class SORSystem:
                     client=make_client(f"server:{index + 1}"),
                     concurrency=concurrency,
                     io_delay_s=io_delay_s,
+                    scheduler_backend=scheduler_backend,
+                    ranking_cache=ranking_cache,
                 )
                 for index in range(num_servers)
             ]
@@ -447,6 +456,8 @@ class SORSystem:
             durability=self.durability,
             concurrency=self.concurrency,
             io_delay_s=self.io_delay_s,
+            scheduler_backend=self.scheduler_backend,
+            ranking_cache=self.ranking_cache,
         )
         for deployed in self._places.values():
             application = deployed.application

@@ -1,0 +1,215 @@
+"""Property tests for ``benchmarks/compare_bench.py`` — the perf gate.
+
+The gate script guards every benchmark job (and now the ablation
+importance gate), so its comparison semantics get property-level
+coverage: direction symmetry of ``regression_pct``, the zero-baseline
+guard, exact behavior at the tolerance boundary, missing-metric
+failures, and the identity ``compare(x, x)`` never failing. The module
+is loaded from the benchmarks directory the same way CI runs it, so the
+tests exercise the shipped file rather than a copy.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _load_compare_bench():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py"
+    spec = importlib.util.spec_from_file_location("compare_bench_tools", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_bench = _load_compare_bench()
+
+finite_values = st.floats(
+    min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+directions = st.sampled_from(["lower", "higher"])
+
+
+# ----------------------------------------------------------------------
+# regression_pct
+# ----------------------------------------------------------------------
+class TestRegressionPct:
+    @given(baseline=finite_values, fresh=finite_values)
+    @settings(max_examples=100, deadline=None)
+    def test_directions_are_mirror_images(self, baseline, fresh):
+        """lower-is-better regression == −(higher-is-better regression)."""
+        lower = compare_bench.regression_pct("lower", baseline, fresh)
+        higher = compare_bench.regression_pct("higher", baseline, fresh)
+        assert math.isclose(lower, -higher, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(direction=directions, fresh=finite_values)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_baseline_never_divides(self, direction, fresh):
+        assert compare_bench.regression_pct(direction, 0.0, fresh) == 0.0
+
+    @given(direction=directions, value=finite_values)
+    @settings(max_examples=50, deadline=None)
+    def test_identical_values_mean_zero_regression(self, direction, value):
+        assert compare_bench.regression_pct(direction, value, value) == 0.0
+
+    @given(baseline=finite_values, fresh=finite_values)
+    @settings(max_examples=100, deadline=None)
+    def test_improvement_is_never_positive(self, baseline, fresh):
+        """A fresh value on the better side never reads as a regression."""
+        slower, faster = max(baseline, fresh), min(baseline, fresh)
+        assert compare_bench.regression_pct("lower", slower, faster) <= 0.0
+        assert compare_bench.regression_pct("higher", faster, slower) <= 0.0
+
+    @given(baseline=finite_values)
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariance(self, baseline):
+        """Doubling a lower-is-better metric is always +100%."""
+        assert math.isclose(
+            compare_bench.regression_pct("lower", baseline, 2 * baseline),
+            100.0,
+            rel_tol=1e-9,
+        )
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
+def _metric(value, direction="lower", tolerance_pct=20.0):
+    return {
+        "value": value,
+        "direction": direction,
+        "tolerance_pct": tolerance_pct,
+    }
+
+
+metric_sets = st.dictionaries(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+    ),
+    st.builds(
+        _metric,
+        value=finite_values,
+        direction=directions,
+        tolerance_pct=st.floats(min_value=0.0, max_value=90.0),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestCompare:
+    @given(metrics=metric_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_self_comparison_never_fails(self, metrics):
+        lines, failures = compare_bench.compare(metrics, metrics)
+        assert failures == []
+        assert len(lines) == len(metrics)
+
+    @given(baseline=finite_values, tolerance=st.floats(min_value=1.0, max_value=80.0))
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_at_tolerance_passes(self, baseline, tolerance):
+        """The gate is ``delta > tolerance``: the boundary itself is OK."""
+        fresh_value = baseline * (1.0 + tolerance / 100.0)
+        base = {"m": _metric(baseline, "lower", tolerance)}
+        delta = compare_bench.regression_pct("lower", baseline, fresh_value)
+        fresh = {"m": _metric(fresh_value, "lower", tolerance)}
+        _, failures = compare_bench.compare(base, fresh)
+        if delta <= tolerance:  # float rounding may land a hair past
+            assert failures == []
+        else:
+            assert len(failures) == 1
+
+    @given(baseline=finite_values, tolerance=st.floats(min_value=1.0, max_value=80.0))
+    @settings(max_examples=60, deadline=None)
+    def test_past_tolerance_fails_both_directions(self, baseline, tolerance):
+        factor = 1.0 + (tolerance + 1.0) / 100.0
+        worse_lower = {"m": _metric(baseline * factor, "lower", tolerance)}
+        base_lower = {"m": _metric(baseline, "lower", tolerance)}
+        _, failures = compare_bench.compare(base_lower, worse_lower)
+        assert len(failures) == 1
+        drop = (tolerance + 1.0) / 100.0
+        worse_higher = {"m": _metric(baseline * (1.0 - drop), "higher", tolerance)}
+        base_higher = {"m": _metric(baseline, "higher", tolerance)}
+        _, failures = compare_bench.compare(base_higher, worse_higher)
+        assert len(failures) == 1
+
+    @given(metrics=metric_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_baseline_only_metrics_fail(self, metrics):
+        """Every metric the fresh run dropped is a failure, not a skip."""
+        _, failures = compare_bench.compare(metrics, {})
+        assert len(failures) == len(metrics)
+        for failure in failures:
+            assert "missing from fresh run" in failure
+
+    @given(metrics=metric_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_fresh_only_metrics_are_reported_not_failed(self, metrics):
+        lines, failures = compare_bench.compare({}, metrics)
+        assert failures == []
+        assert all("no baseline" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# load_metrics round-trips
+# ----------------------------------------------------------------------
+class TestLoadMetrics:
+    @given(metrics=metric_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_gate_schema_round_trips(self, metrics):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "BENCH_x.json"
+            path.write_text(json.dumps({"metrics": metrics}))
+            loaded = compare_bench.load_metrics(path, 20.0)
+        assert set(loaded) == set(metrics)
+        for name, entry in metrics.items():
+            assert loaded[name]["value"] == entry["value"]
+            assert loaded[name]["direction"] == entry["direction"]
+            assert loaded[name]["tolerance_pct"] == entry["tolerance_pct"]
+
+    @given(
+        means=st.dictionaries(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12),
+            finite_values,
+            min_size=1,
+            max_size=5,
+        ),
+        default_tolerance=st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pytest_bench_schema_round_trips(self, means, default_tolerance):
+        import tempfile
+
+        payload = {name: {"mean": value, "rounds": 1} for name, value in means.items()}
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "bench.json"
+            path.write_text(json.dumps(payload))
+            loaded = compare_bench.load_metrics(path, default_tolerance)
+        assert set(loaded) == set(means)
+        for name, value in means.items():
+            assert loaded[name]["value"] == value
+            assert loaded[name]["direction"] == "lower"
+            assert loaded[name]["tolerance_pct"] == default_tolerance
+
+    def test_gate_schema_defaults(self):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "BENCH_x.json"
+            path.write_text(
+                json.dumps({"metrics": {"m": {"value": 3.0}}})
+            )
+            loaded = compare_bench.load_metrics(path, 33.0)
+        assert loaded["m"] == {
+            "value": 3.0,
+            "direction": "lower",
+            "tolerance_pct": 33.0,
+        }
