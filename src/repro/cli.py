@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import Callable
 
 from repro.experiments.fig6_trail_features import format_fig6, run_fig6
@@ -167,6 +168,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         run_loadgen,
     )
 
+    if args.places:
+        places = args.places
+    else:
+        # Auto-size: the spec requires places to be a multiple of
+        # categories with at least two places per category to rank.
+        per_category = max(2, -(-8 // args.categories))
+        places = per_category * args.categories
     spec = LoadgenSpec(
         phones=args.phones,
         seed=args.seed,
@@ -175,6 +183,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         workers=args.workers,
         queue_capacity=args.queue_capacity,
         io_delay_s=args.io_delay_ms / 1000.0,
+        places=places,
+        shards=args.shards,
+        replicas=args.replicas,
+        categories=args.categories,
     )
     if args.mode == "compare":
         concurrent, sequential, speedup = run_comparison(spec)
@@ -241,6 +253,41 @@ def _cmd_ablate(args: argparse.Namespace) -> str:
     return render(report, fmt)
 
 
+def _cmd_shardchaos(args: argparse.Namespace) -> str:
+    """Kill one shard's primary mid-run and audit the acked data.
+
+    Drives the loadgen protocol mix through the shard router under a
+    lossy network, hard-kills ``--kill-shard``'s primary once the run is
+    mid-way, promotes its WAL-fed replica, and reports whether every
+    acked schedule and upload survived on a surviving primary.
+    """
+    from repro.sim.shard_chaos import (
+        ShardChaosSpec,
+        format_shard_chaos_report,
+        run_shard_chaos,
+    )
+
+    spec = ShardChaosSpec(
+        phones=args.phones if args.phones != 10000 else 120,
+        shards=args.shards if args.shards > 1 else 4,
+        replicas=max(args.replicas, 1),
+        categories=args.categories if args.categories > 1 else 8,
+        seed=args.seed,
+        kill_shard=args.kill_shard,
+    )
+    report = run_shard_chaos(spec)
+    if not report.data_intact:
+        # CI runs this as a gate: acked data loss must fail the job.
+        print(format_shard_chaos_report(report), file=sys.stderr)
+        raise SystemExit(1)
+    if args.format == "json":
+        payload = dict(vars(report))
+        payload.pop("metrics")
+        payload["data_intact"] = report.data_intact
+        return json.dumps(payload, indent=2, sort_keys=True)
+    return format_shard_chaos_report(report)
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig6": _cmd_fig6,
     "table1": _cmd_table1,
@@ -252,6 +299,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "rank": _cmd_rank,
     "crash": _cmd_crash,
     "loadgen": _cmd_loadgen,
+    "shardchaos": _cmd_shardchaos,
     "ablate": _cmd_ablate,
 }
 
@@ -338,6 +386,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="simulated per-request socket/disk milliseconds for "
         "loadgen (default 0.2)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count for loadgen/shardchaos; loadgen with more "
+        "than 1 drives a ShardCluster through its router (default 1)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="read-replicas per shard for sharded loadgen/shardchaos "
+        "(default 1)",
+    )
+    parser.add_argument(
+        "--categories",
+        type=int,
+        default=1,
+        help="rankable categories the places split into for "
+        "loadgen/shardchaos (default 1)",
+    )
+    parser.add_argument(
+        "--places",
+        type=int,
+        default=0,
+        help="places for loadgen (0 = auto: at least 8, grown so every "
+        "category keeps two rankable places)",
+    )
+    parser.add_argument(
+        "--kill-shard",
+        type=int,
+        default=1,
+        help="index of the shard whose primary shardchaos kills "
+        "(default 1)",
     )
     parser.add_argument(
         "--components",

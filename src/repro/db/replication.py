@@ -1,0 +1,177 @@
+"""WAL shipping: turn a primary's durability directory into a replication log.
+
+The write-ahead log (:mod:`repro.db.wal`) already *is* a replication
+log: an ordered stream of committed mutations with transaction markers,
+checkpoints at segment boundaries, and a torn-tail discipline that makes
+"acked" and "on disk" the same thing. This module reads that stream
+incrementally so read-replicas can follow a primary without sharing its
+:class:`~repro.db.database.Database` object:
+
+* :class:`ReplicationCursor` — an immutable ``(segment seq, byte
+  offset)`` bookmark into the primary's directory. Offsets always land
+  on transaction boundaries because uncommitted tails are held back.
+* :class:`WalShipper` — reads everything committed past a cursor and
+  returns the records plus the advanced cursor. When the cursor's
+  segment has been pruned by checkpoint compaction, the batch instead
+  carries the newest checkpoint ``snapshot`` and the replica rebuilds
+  from it (the normal bootstrap path for a replica joining late).
+* :func:`apply_records` / :func:`bootstrap_database` — the replica-side
+  apply loop, reusing the exact recovery replay code so a replica can
+  never interpret a record differently than crash recovery would.
+
+Shipping is pull-based and file-level: the shipper never touches the
+primary's in-memory state, so it keeps working after the primary process
+is "killed" (handles closed) — which is exactly what failover promotion
+needs for its final catch-up read from the surviving directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import DatabaseError, RecoveryError
+from repro.db.database import Database
+from repro.db.persistence import load_database
+from repro.db.wal import (
+    _apply_record,
+    _resolve_transactions,
+    _scan_directory,
+    read_wal_file,
+)
+from repro.obs import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ReplicationCursor:
+    """A bookmark into a primary's WAL: next byte to ship from.
+
+    ``seq`` is the WAL segment sequence number, ``offset`` the byte
+    position inside it. The initial cursor ``(1, 0)`` points at the
+    beginning of history.
+    """
+
+    seq: int = 1
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seq < 1:
+            raise DatabaseError("replication cursor seq must be >= 1")
+        if self.offset < 0:
+            raise DatabaseError("replication cursor offset must be >= 0")
+
+
+@dataclass
+class ShippedBatch:
+    """One pull's worth of replication: records and the advanced cursor.
+
+    When ``snapshot`` is set the replica's history no longer reaches the
+    cursor (segments were pruned); it must rebuild its database from the
+    snapshot via :func:`bootstrap_database` *before* applying
+    ``records``, which then continue from the snapshot's segment.
+    """
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    cursor: ReplicationCursor = field(default_factory=ReplicationCursor)
+    snapshot: dict[str, Any] | None = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class WalShipper:
+    """Incrementally reads committed WAL records from one primary directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def pending(self, cursor: ReplicationCursor) -> int:
+        """How many committed records are waiting past ``cursor`` (lag)."""
+        return len(self.ship(cursor).records)
+
+    def ship(self, cursor: ReplicationCursor) -> ShippedBatch:
+        """Everything committed past ``cursor``, plus where to resume.
+
+        Uncommitted transaction tails in the live (final) segment are
+        held back — they are not acked, so a replica must never see
+        them. The returned cursor re-reads from the transaction's start
+        next time in case its commit marker lands later.
+        """
+        if not self.directory.is_dir():
+            return ShippedBatch(cursor=cursor)
+        checkpoints, wals = _scan_directory(self.directory)
+        if not wals:
+            return ShippedBatch(cursor=cursor)
+        max_seq = max(wals)
+
+        batch = ShippedBatch(cursor=cursor)
+        start_seq = cursor.seq
+        if start_seq not in wals and start_seq <= max_seq:
+            # The cursor's segment was pruned by checkpoint compaction:
+            # bootstrap from the newest checkpoint at or before the tip.
+            usable = [seq for seq in checkpoints if seq >= start_seq]
+            if not usable:
+                raise RecoveryError(
+                    f"{self.directory}: WAL segment {start_seq} is gone and no "
+                    "checkpoint covers it; replica cannot catch up"
+                )
+            snapshot_seq = max(usable)
+            try:
+                batch.snapshot = json.loads(
+                    checkpoints[snapshot_seq].read_text(encoding="utf-8")
+                )
+            except (OSError, json.JSONDecodeError) as exc:
+                raise RecoveryError(
+                    f"{self.directory}: checkpoint {snapshot_seq} unreadable: "
+                    f"{exc!r}"
+                ) from exc
+            cursor = ReplicationCursor(seq=snapshot_seq, offset=0)
+            start_seq = snapshot_seq
+
+        offset = cursor.offset
+        final_cursor = cursor
+        for seq in range(start_seq, max_seq + 1):
+            path = wals.get(seq)
+            if path is None:
+                raise RecoveryError(
+                    f"{self.directory}: missing WAL segment {seq} "
+                    f"(have up to {max_seq})"
+                )
+            final = seq == max_seq
+            entries, clean_bytes, torn = read_wal_file(path)
+            if torn and not final:
+                raise RecoveryError(f"{path.name}: torn record in a non-final segment")
+            if offset:
+                entries = [entry for entry in entries if entry[1] >= offset]
+            records, keep_bytes, _incomplete = _resolve_transactions(
+                entries, clean_bytes, final_segment=final, path=path
+            )
+            batch.records.extend(records)
+            if final:
+                final_cursor = ReplicationCursor(seq=seq, offset=max(offset, keep_bytes))
+            offset = 0
+        batch.cursor = final_cursor
+        return batch
+
+
+def bootstrap_database(
+    snapshot: dict[str, Any], *, metrics: MetricsRegistry | None = None
+) -> Database:
+    """Build a fresh replica database from a shipped checkpoint dump."""
+    return load_database(snapshot, metrics=metrics)
+
+
+def apply_records(
+    database: Database, records: list[dict[str, Any]], *, source: str = "wal-ship"
+) -> int:
+    """Replay shipped records into a replica database; returns the count.
+
+    Uses the recovery replay (:func:`repro.db.wal._apply_record`) so
+    replicas and crash recovery can never diverge in interpretation.
+    """
+    label = Path(source)
+    for record in records:
+        _apply_record(database, record, label)
+    return len(records)

@@ -30,6 +30,7 @@ Everything is instrumented through :mod:`repro.obs`:
 from __future__ import annotations
 
 import enum
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Protocol, TypeVar, runtime_checkable
@@ -98,7 +99,17 @@ class CircuitState(enum.Enum):
 
 
 class CircuitBreaker:
-    """One host's circuit: consecutive failures open it, a probe closes it."""
+    """One host's circuit: consecutive failures open it, a probe closes it.
+
+    Thread-safe: many worker/driver threads share one breaker per host,
+    so every state transition happens under a per-breaker lock —
+    unlocked ``consecutive_failures += 1`` increments lose updates under
+    contention and can miss the open threshold entirely. In HALF_OPEN
+    exactly **one** in-flight probe is admitted (``_probe_in_flight``);
+    concurrent callers fail fast with :class:`CircuitOpenError` until
+    that probe resolves, so a barely-recovered host never takes a
+    thundering herd.
+    """
 
     def __init__(self, policy: BreakerPolicy, clock: Clock) -> None:
         self.policy = policy
@@ -106,38 +117,66 @@ class CircuitBreaker:
         self.state = CircuitState.CLOSED
         self.consecutive_failures = 0
         self.opened_at = 0.0
+        self._lock = threading.Lock()
+        self._probe_in_flight = False
 
     def allow(self) -> bool:
         """Whether a send may go through right now.
 
         In OPEN state, once ``recovery_timeout_s`` has elapsed the
-        breaker transitions to HALF_OPEN and admits one probe.
+        breaker transitions to HALF_OPEN and admits a single probe;
+        every other caller is rejected until the probe resolves via
+        :meth:`record_success`, :meth:`record_failure` or
+        :meth:`abort_probe`.
         """
-        if self.state is CircuitState.CLOSED:
-            return True
-        if self.state is CircuitState.OPEN:
-            if self.clock.now() - self.opened_at >= self.policy.recovery_timeout_s:
-                self.state = CircuitState.HALF_OPEN
+        with self._lock:
+            if self.state is CircuitState.CLOSED:
                 return True
-            return False
-        # HALF_OPEN: one probe is already in flight per allow() call;
-        # the synchronous client admits it and decides on its outcome.
-        return True
+            if self.state is CircuitState.OPEN:
+                if (
+                    self.clock.now() - self.opened_at
+                    >= self.policy.recovery_timeout_s
+                ):
+                    self.state = CircuitState.HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            # HALF_OPEN: admit at most one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
 
     def record_success(self) -> None:
         """A send succeeded: close the circuit and forget failures."""
-        self.state = CircuitState.CLOSED
-        self.consecutive_failures = 0
+        with self._lock:
+            self.state = CircuitState.CLOSED
+            self.consecutive_failures = 0
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
         """A send failed: count it, opening the circuit at the threshold."""
-        self.consecutive_failures += 1
-        if (
-            self.state is CircuitState.HALF_OPEN
-            or self.consecutive_failures >= self.policy.failure_threshold
-        ):
-            self.state = CircuitState.OPEN
-            self.opened_at = self.clock.now()
+        with self._lock:
+            self._probe_in_flight = False
+            self.consecutive_failures += 1
+            if (
+                self.state is CircuitState.HALF_OPEN
+                or self.consecutive_failures >= self.policy.failure_threshold
+            ):
+                self.state = CircuitState.OPEN
+                self.opened_at = self.clock.now()
+
+    def abort_probe(self) -> None:
+        """Release an admitted probe whose outcome will never be recorded.
+
+        Called when the probe's operation dies on something that says
+        nothing about the host's health (a deadline cut, a non-transport
+        exception) — without this the token would leak and the breaker
+        would reject every caller forever.
+        """
+        with self._lock:
+            if self.state is CircuitState.HALF_OPEN:
+                self._probe_in_flight = False
 
 
 class IdempotencyCache:
@@ -211,6 +250,7 @@ class ResilientClient:
         self.metrics = metrics if metrics is not None else get_metrics()
         self.tracer = tracer if tracer is not None else get_tracer()
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         self._m_retries = self.metrics.counter(
             "sor_net_retries_total",
             "send attempts beyond the first, by destination host",
@@ -241,12 +281,18 @@ class ResilientClient:
             self.clock.advance(seconds)
 
     def breaker_for(self, host: str) -> CircuitBreaker:
-        """The (lazily created) circuit breaker guarding ``host``."""
-        breaker = self._breakers.get(host)
-        if breaker is None:
-            breaker = CircuitBreaker(self.breaker_policy, self.clock)
-            self._breakers[host] = breaker
-        return breaker
+        """The (lazily created) circuit breaker guarding ``host``.
+
+        Atomic: concurrent first-contact callers for the same host must
+        observe the *same* breaker — a get-then-set race would hand each
+        thread its own breaker and split the failure count across them.
+        """
+        with self._breakers_lock:
+            breaker = self._breakers.get(host)
+            if breaker is None:
+                breaker = CircuitBreaker(self.breaker_policy, self.clock)
+                self._breakers[host] = breaker
+            return breaker
 
     def _next_backoff(self, previous: float) -> float:
         """Decorrelated jitter: ``min(cap, uniform(base, 3·prev))``."""
@@ -260,8 +306,12 @@ class ResilientClient:
         An HTTP 503 — the server's admission queue refused the request —
         is converted to :class:`ServerBusyError` *inside* the retried
         operation, so backpressure rejections get the same jittered
-        backoff as a dropped packet. The envelope's idempotency key makes
-        the eventual re-send safe.
+        backoff as a dropped packet. Any other 5xx is a half-dead server
+        and becomes a plain :class:`TransportError`: retried, and counted
+        as a breaker *failure* so the circuit (and the shard router's
+        failover) actually trips. 4xx means the request itself is wrong —
+        retrying cannot help, so it is returned to the caller as-is. The
+        envelope's idempotency key makes the eventual re-send safe.
         """
 
         def operation() -> HttpResponse:
@@ -269,6 +319,10 @@ class ResilientClient:
             if response.status == 503:
                 raise ServerBusyError(
                     f"host {request.host!r} is at capacity (admission rejected)"
+                )
+            if response.status >= 500:
+                raise TransportError(
+                    f"host {request.host!r} returned HTTP {response.status}"
                 )
             return response
 
@@ -301,6 +355,8 @@ class ResilientClient:
                         )
                     state_gauge.set(breaker.state.value)
                     if self.clock.now() - started > self.policy.deadline_s:
+                        # The admitted probe will never report an outcome.
+                        breaker.abort_probe()
                         self._m_sends.inc(outcome="deadline")
                         span.set_attribute("outcome", "deadline")
                         raise DeadlineExceededError(
@@ -313,6 +369,9 @@ class ResilientClient:
                     try:
                         result = operation()
                     except (CircuitOpenError, DeadlineExceededError):
+                        # A nested resilient call failed on *its* breaker or
+                        # deadline — says nothing about this host's health.
+                        breaker.abort_probe()
                         raise
                     except TransportError as exc:
                         breaker.record_failure()
@@ -338,6 +397,11 @@ class ResilientClient:
                         self._m_backoff.observe(backoff)
                         self._sleep(backoff)
                         continue
+                    except BaseException:
+                        # Non-transport exceptions (bugs, KeyboardInterrupt)
+                        # must not leave a half-open probe token stranded.
+                        breaker.abort_probe()
+                        raise
                     breaker.record_success()
                     state_gauge.set(breaker.state.value)
                     self._m_sends.inc(outcome="ok")

@@ -143,6 +143,18 @@ class ApplicationManager:
         self._apps[application.app_id] = application
         self._pipelines[application.app_id] = application.pipeline
 
+    def remove(self, app_id: str) -> Application | None:
+        """Drop an application (registry + durable row); returns it.
+
+        Used by shard rebalancing to transfer ownership: the losing
+        shard removes the application, the gaining shard re-creates it.
+        """
+        application = self._apps.pop(app_id, None)
+        self._pipelines.pop(app_id, None)
+        if application is not None:
+            self.database.table("applications").delete(eq("app_id", app_id))
+        return application
+
     def get(self, app_id: str) -> Application | None:
         """The application with ``app_id``, or None."""
         return self._apps.get(app_id)

@@ -152,6 +152,14 @@ class RequestExecutor:
     (returning ``None``) when ``queue_capacity`` requests are already
     waiting. It never blocks the submitting thread, so backpressure is
     explicit and instant rather than hidden in a growing queue.
+
+    ``submit`` and ``close`` are mutually exclusive via ``_lifecycle``:
+    without that, a submitter could pass the ``_closed`` check, lose the
+    CPU, and enqueue its work *behind* the shutdown sentinels — the
+    workers exit first and the caller blocks forever on ``result()``.
+    With the lock, every admitted request precedes every sentinel in
+    queue order, so admitted work is always finished before the pool
+    exits and late submits fail fast with ``None``.
     """
 
     def __init__(self, config: ConcurrencyConfig, *, name: str = "sor") -> None:
@@ -159,6 +167,7 @@ class RequestExecutor:
         self._queue: "queue.Queue[tuple[Callable[[], Any], _PendingResult] | None]"
         self._queue = queue.Queue(maxsize=config.queue_capacity)
         self._closed = False
+        self._lifecycle = threading.Lock()
         self._threads = [
             threading.Thread(
                 target=self._work, name=f"{name}-worker-{index}", daemon=True
@@ -180,14 +189,15 @@ class RequestExecutor:
                 pending._finish(None, exc)
 
     def submit(self, fn: Callable[[], Any]) -> _PendingResult | None:
-        """Admit ``fn`` for execution, or return ``None`` when full."""
-        if self._closed:
-            return None
+        """Admit ``fn`` for execution, or return ``None`` when full/closed."""
         pending = _PendingResult()
-        try:
-            self._queue.put_nowait((fn, pending))
-        except queue.Full:
-            return None
+        with self._lifecycle:
+            if self._closed:
+                return None
+            try:
+                self._queue.put_nowait((fn, pending))
+            except queue.Full:
+                return None
         return pending
 
     def queue_depth(self) -> int:
@@ -195,10 +205,19 @@ class RequestExecutor:
         return self._queue.qsize()
 
     def close(self) -> None:
-        """Stop accepting work and join the workers (drains the queue)."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop accepting work and join the workers (drains the queue).
+
+        ``_closed`` flips under ``_lifecycle``, so no submit can slip a
+        work item in behind the sentinels; everything admitted before
+        the flip sits ahead of them in FIFO order and is finished by a
+        worker before it sees its sentinel and exits.
+        """
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+        # Sentinel puts may block on a full queue; that is fine — the
+        # workers are still draining it, and no new work can arrive.
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:

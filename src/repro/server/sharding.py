@@ -1,0 +1,645 @@
+"""Sharded sensing-server fleet: primaries, WAL-fed read-replicas, failover.
+
+The SOR paper deploys "one or multiple sensing servers"; this module
+makes *multiple* real. A :class:`ShardCluster` runs N shards, each one:
+
+* a **primary** — an ordinary durable
+  :class:`~repro.server.server.SensingServer` whose WAL directory
+  doubles as its replication log;
+* zero or more **read-replicas** (:class:`ShardReplica`) — each with
+  its *own* :class:`~repro.db.database.Database` rebuilt purely from
+  shipped WAL records (the primary's log starts with the ``create_table``
+  DDL, so a replica bootstraps from nothing). Replicas serve keyless
+  ``RANK_QUERY`` traffic from their own
+  :class:`~repro.server.ranker_service.RankingCache`.
+
+Reads are **bounded-stale**: a replica lags its primary by whatever is
+not yet shipped, but the per-category ``data_version`` rides the same
+log, so every RANKING reply carries the exact version it was computed
+against — staleness is observable, never silent.
+
+Failover: killing a primary (`kill -9` semantics — handles closed, no
+flush) loses nothing that was acked, because acked means "commit record
+on disk". :meth:`ShardCluster.promote` has the surviving replica do one
+final catch-up read of the dead primary's directory (file-level
+shipping needs no cooperating process), then wraps the replica's
+database in a fresh ``SensingServer`` under the *same host name*, so
+task-id prefixes, application ownership rows and idempotent replies all
+line up. The promoted primary runs non-durable — re-attaching a WAL is
+a deliberate non-goal of this layer (documented in docs/SHARDING.md).
+
+Rebalancing: adding a shard re-rings the category space;
+:meth:`ShardCluster.rebalance` moves each reassigned category's
+applications, ``feature_data`` rows and ``ranking_versions`` row to the
+new owner (version numbers are preserved so replica caches can never
+serve a stale ranking as fresh). In-flight tasks stay pinned to the old
+shard via task-id prefix routing until they complete.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.clock import Clock
+from repro.common.errors import (
+    CodecError,
+    ConfigurationError,
+    DatabaseError,
+    RankingError,
+)
+from repro.db import Database, DurabilityConfig, eq
+from repro.db.replication import (
+    ReplicationCursor,
+    WalShipper,
+    apply_records,
+    bootstrap_database,
+)
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.messages import Envelope, MessageType
+from repro.net.resilience import ResilientClient
+from repro.net.router import RoutingTable, ShardInfo, ShardRouter
+from repro.net.transport import Network
+from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
+from repro.server.app_manager import Application
+from repro.server.concurrency import (
+    ConcurrencyConfig,
+    ReadWriteLock,
+    RequestExecutor,
+)
+from repro.server.ranker_service import (
+    PersonalizableRanker,
+    RankingCache,
+    profile_from_dict,
+)
+from repro.server.server import SensingServer
+
+
+class ShardReplica:
+    """A read-replica: follows one primary's WAL, serves rank queries.
+
+    The replica owns an independent database built exclusively from
+    shipped records, so it shares no mutable state with its primary —
+    killing the primary cannot corrupt a replica mid-read. ``sync()``
+    (the apply loop) takes the exclusive side of a readers–writer lock;
+    rank queries take the shared side, so queries never observe a
+    half-applied batch.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        network: Network,
+        directory: str | Path,
+        clock: Clock,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        concurrency: ConcurrencyConfig | None = None,
+        io_delay_s: float = 0.0,
+        ranking_cache_capacity: int = 256,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.directory = Path(directory)
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        if io_delay_s < 0:
+            raise ConfigurationError("io_delay_s must be non-negative")
+        self.io_delay_s = io_delay_s
+        self._shipper = WalShipper(self.directory)
+        self._cursor = ReplicationCursor()
+        self._rwlock = ReadWriteLock()
+        # Serializes whole sync() passes: the background pump and a
+        # promotion's final catch-up must never ship from the same
+        # cursor concurrently (double-apply).
+        self._sync_mutex = threading.Lock()
+        self._cache_capacity = ranking_cache_capacity
+        self.database = Database(name=host, metrics=self.metrics)
+        self._build_ranker()
+        self._executor = (
+            RequestExecutor(concurrency, name=host)
+            if concurrency is not None
+            else None
+        )
+        self._last_sync = clock.now()
+        self._m_requests = self.metrics.counter(
+            "sor_shard_replica_requests_total",
+            "requests served by read-replicas, by replica and status",
+            labels=("replica", "status"),
+        )
+        self._m_applied = self.metrics.counter(
+            "sor_shard_replica_applied_records_total",
+            "WAL records applied by replicas",
+            labels=("replica",),
+        )
+        self._m_bootstraps = self.metrics.counter(
+            "sor_shard_replica_bootstraps_total",
+            "replica databases rebuilt from a shipped checkpoint",
+            labels=("replica",),
+        )
+        self._m_lag_records = self.metrics.gauge(
+            "sor_shard_replica_lag_records",
+            "committed primary records not yet applied, sampled at sync",
+            labels=("replica",),
+        )
+        self._m_lag_seconds = self.metrics.gauge(
+            "sor_shard_replica_lag_seconds",
+            "clock seconds since the replica last synced its primary",
+            labels=("replica",),
+        )
+        # Catch up before taking traffic: the primary's WAL already
+        # holds the schema DDL, so a freshly-built replica must never
+        # serve a query against an empty, table-less database.
+        self.sync()
+        network.register(host, self)
+
+    def _build_ranker(self) -> None:
+        self.ranking_cache = RankingCache(
+            capacity=self._cache_capacity, metrics=self.metrics
+        )
+        self.ranker = PersonalizableRanker(
+            self.database,
+            cache=self.ranking_cache,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+
+    # -- replication ---------------------------------------------------
+    def pending(self) -> int:
+        """Committed primary records this replica has not yet applied."""
+        return self._shipper.pending(self._cursor)
+
+    def sync(self) -> int:
+        """Apply everything the primary has committed; returns the count.
+
+        File-level: works identically whether the primary is alive or
+        already killed, which is what promotion's final catch-up needs.
+        """
+        with self._sync_mutex:
+            return self._sync_locked()
+
+    def _sync_locked(self) -> int:
+        batch = self._shipper.ship(self._cursor)
+        self._m_lag_records.set(len(batch.records), replica=self.host)
+        with self._rwlock.write():
+            if batch.snapshot is not None:
+                self.database = bootstrap_database(
+                    batch.snapshot, metrics=self.metrics
+                )
+                self._build_ranker()
+                self._m_bootstraps.inc(replica=self.host)
+            if batch.records:
+                apply_records(self.database, batch.records, source=self.host)
+            self._cursor = batch.cursor
+        now = self.clock.now()
+        self._m_lag_seconds.set(max(0.0, now - self._last_sync), replica=self.host)
+        self._last_sync = now
+        if batch.records:
+            self._m_applied.inc(len(batch.records), replica=self.host)
+        self._m_lag_records.set(0, replica=self.host)
+        return len(batch.records)
+
+    def lag_seconds(self) -> float:
+        """Clock seconds since the last successful sync."""
+        return max(0.0, self.clock.now() - self._last_sync)
+
+    # -- endpoint ------------------------------------------------------
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request (RANK_QUERY only; replicas are read-only)."""
+        if self._executor is None:
+            return self._handle_one(request)
+        pending = self._executor.submit(lambda: self._handle_one(request))
+        if pending is None:
+            self._m_requests.inc(replica=self.host, status="503")
+            return HttpResponse(status=503, headers={"Retry-After": "0.05"})
+        return pending.result()
+
+    def _handle_one(self, request: HttpRequest) -> HttpResponse:
+        if self.io_delay_s:
+            time.sleep(self.io_delay_s)
+        try:
+            envelope = Envelope.from_bytes(request.body)
+        except CodecError:
+            self._m_requests.inc(replica=self.host, status="400")
+            return HttpResponse(status=400)
+        if envelope.message_type is not MessageType.RANK_QUERY:
+            self._m_requests.inc(replica=self.host, status="405")
+            return HttpResponse(status=405)
+        try:
+            with self._rwlock.read():
+                reply = self._rank(envelope)
+        except DatabaseError:
+            # Not caught up enough to serve (e.g. the category's tables
+            # have not been shipped yet): let the router fail over.
+            self._m_requests.inc(replica=self.host, status="503")
+            return HttpResponse(status=503, headers={"Retry-After": "0.05"})
+        self._m_requests.inc(replica=self.host, status="200")
+        return HttpResponse(status=200, body=reply.to_bytes())
+
+    def _rank(self, envelope: Envelope) -> Envelope:
+        payload = envelope.payload
+        category = payload.get("category")
+        raw_profiles = payload.get("profiles")
+        if not isinstance(category, str) or not isinstance(raw_profiles, list):
+            return envelope.reply(
+                MessageType.ERROR, {"reason": "malformed rank query"}
+            )
+        try:
+            profiles = [profile_from_dict(entry) for entry in raw_profiles]
+            if not profiles:
+                raise RankingError("rank query needs at least one profile")
+            reports = self.ranker.rank_many(category, profiles)
+        except RankingError as exc:
+            return envelope.reply(MessageType.ERROR, {"reason": str(exc)})
+        return envelope.reply(
+            MessageType.RANKING,
+            {
+                "category": category,
+                "data_version": self.ranker.data_version(category),
+                "rankings": [
+                    {
+                        "profile": name,
+                        "places": list(report.ranking.items),
+                        "weighted_footrule": report.weighted_footrule,
+                        "weighted_kemeny": report.weighted_kemeny,
+                    }
+                    for name, report in reports.items()
+                ],
+            },
+        )
+
+    def close(self) -> None:
+        """Unhook from the network and stop the worker pool (idempotent)."""
+        if self.network.is_registered(self.host):
+            self.network.unregister(self.host)
+        if self._executor is not None:
+            self._executor.close()
+
+
+@dataclass
+class Shard:
+    """One shard's runtime pieces."""
+
+    shard_id: str
+    directory: Path
+    primary: SensingServer
+    replicas: list[ShardReplica] = field(default_factory=list)
+
+    @property
+    def host(self) -> str:
+        return self.shard_id
+
+
+class ShardCluster:
+    """N sharded sensing servers behind one consistent-hash router.
+
+    The cluster is the control plane: it builds shards, keeps the
+    router's :class:`~repro.net.router.RoutingTable` in sync with
+    membership, pumps replication, and runs failover promotion and
+    rebalancing. The data plane is unchanged — phones talk to
+    ``cluster.router_host`` with the ordinary envelope protocol.
+    """
+
+    ROUTER_HOST = "shard-router"
+
+    def __init__(
+        self,
+        network: Network,
+        clock: Clock,
+        base_dir: str | Path,
+        *,
+        num_shards: int = 2,
+        replicas_per_shard: int = 1,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        concurrency: ConcurrencyConfig | None = None,
+        replica_concurrency: ConcurrencyConfig | None = None,
+        io_delay_s: float = 0.0,
+        replica_io_delay_s: float = 0.0,
+        fsync: bool = False,
+        router_client: ResilientClient | None = None,
+        vnodes: int = 64,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        if replicas_per_shard < 0:
+            raise ConfigurationError("replicas_per_shard must be >= 0")
+        self.network = network
+        self.clock = clock
+        self.base_dir = Path(base_dir)
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.concurrency = concurrency
+        self.replica_concurrency = replica_concurrency
+        self.io_delay_s = io_delay_s
+        self.replica_io_delay_s = replica_io_delay_s
+        self.fsync = fsync
+        self.replicas_per_shard = replicas_per_shard
+        self.shards: dict[str, Shard] = {}
+        self._pipelines: dict[str, Application] = {}
+        self._users: list[tuple[str, str, str]] = []
+        self._repl_thread: threading.Thread | None = None
+        self._repl_stop = threading.Event()
+        self._lock = threading.Lock()
+        self._m_failovers = self.metrics.counter(
+            "sor_shard_failovers_total",
+            "replica promotions after a primary death",
+        )
+        self._m_moves = self.metrics.counter(
+            "sor_shard_rebalance_moves_total",
+            "ownership moves during rebalancing, by kind",
+            labels=("kind",),
+        )
+        self.table = RoutingTable(vnodes=vnodes)
+        for index in range(num_shards):
+            self._build_shard(f"shard-{index}")
+        self.router = ShardRouter(
+            self.ROUTER_HOST,
+            network,
+            self.table,
+            client=router_client,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+
+    @property
+    def router_host(self) -> str:
+        return self.ROUTER_HOST
+
+    # -- membership ----------------------------------------------------
+    def _build_shard(self, shard_id: str) -> Shard:
+        directory = self.base_dir / shard_id
+        primary = SensingServer(
+            shard_id,
+            self.network,
+            self.clock,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            durability=DurabilityConfig(directory=directory, fsync=self.fsync),
+            concurrency=self.concurrency,
+            io_delay_s=self.io_delay_s,
+        )
+        shard = Shard(shard_id=shard_id, directory=directory, primary=primary)
+        for index in range(self.replicas_per_shard):
+            shard.replicas.append(self._build_replica(shard, index))
+        self.shards[shard_id] = shard
+        self.table.add_shard(
+            ShardInfo(
+                shard_id=shard_id,
+                primary=shard_id,
+                replicas=tuple(replica.host for replica in shard.replicas),
+            )
+        )
+        return shard
+
+    def _build_replica(self, shard: Shard, index: int) -> ShardReplica:
+        return ShardReplica(
+            f"{shard.shard_id}-r{index}",
+            self.network,
+            shard.directory,
+            self.clock,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            concurrency=self.replica_concurrency,
+            io_delay_s=self.replica_io_delay_s,
+        )
+
+    def add_shard(self) -> Shard:
+        """Grow the fleet by one shard and rebalance category ownership."""
+        with self._lock:
+            shard_id = f"shard-{len(self.shards)}"
+            shard = self._build_shard(shard_id)
+            for user_id, name, token in self._users:
+                shard.primary.register_user(user_id, name, token)
+        self.rebalance()
+        return shard
+
+    # -- data-plane administration --------------------------------------
+    def register_user(self, user_id: str, name: str, token: str) -> None:
+        """Register a user on every shard (user state is replicated)."""
+        with self._lock:
+            self._users.append((user_id, name, token))
+            for shard in self.shards.values():
+                shard.primary.register_user(user_id, name, token)
+
+    def create_application(
+        self, application: Application, *, pin_to: str | None = None
+    ) -> SensingServer:
+        """Place an application on the shard owning its category.
+
+        ``pin_to`` pins the category to an explicit shard (directory
+        placement) instead of the hash ring — the way an operator
+        pre-splits a workload whose category population is known.
+        """
+        if pin_to is not None:
+            self.table.pin_category(application.category, pin_to)
+        owner = self.table.category_owner(application.category)
+        shard = self.shards[owner]
+        shard.primary.create_application(application)
+        self.table.learn_app(application.app_id, application.category)
+        self._pipelines[application.app_id] = application
+        return shard.primary
+
+    def primary_for_category(self, category: str) -> SensingServer:
+        """The primary currently owning ``category``."""
+        return self.shards[self.table.category_owner(category)].primary
+
+    # -- replication ---------------------------------------------------
+    def sync_replicas(self) -> int:
+        """One replication pump over every live replica; total applied."""
+        applied = 0
+        for shard in self.shards.values():
+            for replica in shard.replicas:
+                applied += replica.sync()
+        return applied
+
+    def replica_lag_records(self) -> int:
+        """Total committed-but-unapplied records across the fleet."""
+        return sum(
+            replica.pending()
+            for shard in self.shards.values()
+            for replica in shard.replicas
+        )
+
+    def start_replication(self, interval_s: float = 0.02) -> None:
+        """Pump replication on a background thread until stopped."""
+        if self._repl_thread is not None:
+            return
+        self._repl_stop.clear()
+
+        def pump() -> None:
+            while not self._repl_stop.wait(interval_s):
+                try:
+                    self.sync_replicas()
+                except Exception:  # noqa: BLE001 - a dying primary mid-kill
+                    continue  # is expected during chaos; next tick retries
+
+        self._repl_thread = threading.Thread(
+            target=pump, name="wal-shipping", daemon=True
+        )
+        self._repl_thread.start()
+
+    def stop_replication(self) -> None:
+        """Stop the background replication pump (idempotent)."""
+        if self._repl_thread is None:
+            return
+        self._repl_stop.set()
+        self._repl_thread.join()
+        self._repl_thread = None
+
+    # -- failover ------------------------------------------------------
+    def kill_primary(self, shard_id: str) -> None:
+        """Hard-kill a shard's primary (``kill -9`` semantics)."""
+        shard = self.shards[shard_id]
+        server = shard.primary
+        if self.network.is_registered(server.host):
+            self.network.unregister(server.host)
+        server.close()
+        if server.database.durability is not None:
+            server.database.durability.close()
+
+    def promote(self, shard_id: str, replica_host: str | None = None) -> SensingServer:
+        """Promote a replica to primary after the primary's death.
+
+        The replica does one final catch-up read from the dead
+        primary's surviving directory (acked == committed to WAL, so
+        nothing acked can be missing), then its database is wrapped in a
+        fresh ``SensingServer`` registered under the *same host name* —
+        task-id prefixes, ownership rows and idempotent replies all
+        remain valid. The promoted primary runs non-durable.
+        """
+        shard = self.shards[shard_id]
+        if self.network.is_registered(shard.primary.host):
+            raise ConfigurationError(
+                f"primary {shard.primary.host!r} is still registered; "
+                "kill it before promoting"
+            )
+        if not shard.replicas:
+            raise ConfigurationError(f"shard {shard_id!r} has no replica to promote")
+        replica = None
+        if replica_host is not None:
+            for candidate in shard.replicas:
+                if candidate.host == replica_host:
+                    replica = candidate
+                    break
+            if replica is None:
+                raise ConfigurationError(f"unknown replica {replica_host!r}")
+        else:
+            replica = shard.replicas[0]
+        replica.sync()  # final catch-up from the surviving log
+        replica.close()
+        shard.replicas.remove(replica)
+        self.table.set_replicas(
+            shard_id, tuple(item.host for item in shard.replicas)
+        )
+        promoted = SensingServer(
+            shard_id,
+            self.network,
+            self.clock,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            database=replica.database,
+            concurrency=self.concurrency,
+            io_delay_s=self.io_delay_s,
+        )
+        for application in self._pipelines.values():
+            if promoted.apps.get(application.app_id) is not None:
+                promoted.apps.attach_pipeline(
+                    application.app_id, application.pipeline
+                )
+        shard.primary = promoted
+        self._m_failovers.inc()
+        return promoted
+
+    # -- rebalancing ---------------------------------------------------
+    def rebalance(self) -> int:
+        """Move categories to their ring owners; returns the move count.
+
+        For every application whose category now hashes to a different
+        shard: the application row (and in-memory registration), the
+        category's ``feature_data`` rows and its ``ranking_versions``
+        row move to the new owner. Version numbers are preserved so a
+        replica cache entry keyed on an old version can never be served
+        as current. In-flight tasks stay pinned to the old shard via
+        task-id prefix routing until they finish.
+        """
+        moves = 0
+        with self._lock:
+            for shard in list(self.shards.values()):
+                source = shard.primary
+                for application in list(source.apps.all_apps()):
+                    owner_id = self.table.category_owner(application.category)
+                    if owner_id == shard.shard_id:
+                        continue
+                    target = self.shards[owner_id].primary
+                    self._move_application(source, target, application)
+                    moves += 1
+        return moves
+
+    def _move_application(
+        self,
+        source: SensingServer,
+        target: SensingServer,
+        application: Application,
+    ) -> None:
+        registered = self._pipelines.get(application.app_id, application)
+        removed = source.apps.remove(application.app_id)
+        if removed is None:
+            return
+        self._m_moves.inc(kind="application")
+        with target.database.transaction():
+            target.create_application(registered)
+            feature_table = source.database.table("feature_data")
+            rows = feature_table.select(eq("category", application.category))
+            target_features = target.database.table("feature_data")
+            for row in rows:
+                moved = dict(row)
+                moved.pop("feature_id", None)
+                target_features.insert(moved)
+                self._m_moves.inc(kind="feature_row")
+            versions = source.database.table("ranking_versions")
+            version_row = versions.get(application.category)
+            if version_row is not None:
+                target_versions = target.database.table("ranking_versions")
+                existing = target_versions.get(application.category)
+                version = int(version_row["data_version"])
+                if existing is None:
+                    target_versions.insert(
+                        {
+                            "category": application.category,
+                            "data_version": version,
+                        }
+                    )
+                else:
+                    target_versions.update(
+                        eq("category", application.category),
+                        {
+                            "data_version": max(
+                                version, int(existing["data_version"])
+                            )
+                        },
+                    )
+                self._m_moves.inc(kind="version")
+        with source.database.transaction():
+            feature_table = source.database.table("feature_data")
+            feature_table.delete(eq("category", application.category))
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Tear the whole fleet down (idempotent)."""
+        self.stop_replication()
+        if self.network.is_registered(self.ROUTER_HOST):
+            self.network.unregister(self.ROUTER_HOST)
+        for shard in self.shards.values():
+            for replica in shard.replicas:
+                replica.close()
+            server = shard.primary
+            if self.network.is_registered(server.host):
+                self.network.unregister(server.host)
+            server.close()
+            if server.database.durability is not None:
+                server.database.durability.close()

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -55,6 +56,7 @@ from repro.obs import MetricsRegistry, NullTracer
 from repro.server.app_manager import Application
 from repro.server.concurrency import ConcurrencyConfig
 from repro.server.server import SensingServer
+from repro.server.sharding import ShardCluster
 from repro.sim.arrivals import fixed_count_arrivals
 
 SERVER_HOST = "loadgen-server"
@@ -105,6 +107,13 @@ class LoadgenSpec:
     num_instants: int = 120
     pull_every: int = 4  # every Nth phone replays its participate
     rank_every: int = 16  # every Nth phone sends a rank query
+    # Sharded deployment: with shards > 1 the drivers talk to a
+    # ShardCluster's consistent-hash router instead of one server.
+    # ``categories`` partitions the places into that many rankable
+    # categories, pinned round-robin across the shards.
+    shards: int = 1
+    replicas: int = 1  # read-replicas per shard (sharded runs only)
+    categories: int = 1
 
     def __post_init__(self) -> None:
         if self.phones < 1:
@@ -119,6 +128,18 @@ class LoadgenSpec:
             raise ValidationError("places must be at least 1")
         if self.pull_every < 1 or self.rank_every < 1:
             raise ValidationError("pull_every/rank_every must be >= 1")
+        if self.shards < 1:
+            raise ValidationError("shards must be at least 1")
+        if self.replicas < 0:
+            raise ValidationError("replicas must be >= 0")
+        if self.categories < 1:
+            raise ValidationError("categories must be at least 1")
+        if self.places % self.categories != 0:
+            raise ValidationError("places must be a multiple of categories")
+        if self.categories > 1 and self.places // self.categories < 2:
+            raise ValidationError(
+                "each category needs at least two places to rank"
+            )
 
     @property
     def effective_clients(self) -> int:
@@ -173,6 +194,17 @@ def _place_location(place_index: int) -> LatLon:
     return LatLon(43.0 + 0.001 * place_index, -76.0)
 
 
+def _place_category(spec: LoadgenSpec, place_index: int) -> str:
+    """The category place ``place_index`` ranks in.
+
+    With one category this is the historical ``loadgen`` name, so
+    single-category workloads stay byte-identical to earlier releases.
+    """
+    if spec.categories == 1:
+        return CATEGORY
+    return f"{CATEGORY}-{place_index % spec.categories}"
+
+
 def build_workload(spec: LoadgenSpec) -> list[_PhoneScript]:
     """The full phone population, in arrival order, from the seed alone."""
     rng = np.random.default_rng(spec.seed)
@@ -213,7 +245,7 @@ def workload_digest(spec: LoadgenSpec, scripts: list[_PhoneScript]) -> str:
                 for key, value in vars(spec).items()
                 # Execution shape doesn't change what is sent.
                 if key not in ("mode", "clients", "workers", "queue_capacity",
-                               "io_delay_s")
+                               "io_delay_s", "shards", "replicas")
             },
             "phones": [
                 [
@@ -232,12 +264,52 @@ def workload_digest(spec: LoadgenSpec, scripts: list[_PhoneScript]) -> str:
 # ----------------------------------------------------------------------
 # the run
 # ----------------------------------------------------------------------
-def _build_server(spec: LoadgenSpec, metrics: MetricsRegistry) -> SensingServer:
-    network = Network(
+def _loadgen_application(spec: LoadgenSpec, place_index: int) -> Application:
+    return Application(
+        app_id=f"app-place-{place_index}",
+        creator="loadgen",
+        place_id=f"place-{place_index}",
+        place_name=f"Place {place_index}",
+        category=_place_category(spec, place_index),
+        location=_place_location(place_index),
+        script="local data = {}\nreturn data",
+        pipeline=FeaturePipeline(
+            [
+                FeatureSpec(feature, "microphone", MeanExtractor())
+                for feature in FEATURES
+            ]
+        ),
+        period_start=0.0,
+        period_end=spec.period_s,
+        num_instants=spec.num_instants,
+    )
+
+
+def _seed_features(spec: LoadgenSpec, server: SensingServer, place_index: int) -> None:
+    # Seed feature data so rank queries exercise the full Algorithm 2
+    # path (and the versioned ranking cache) instead of erroring out.
+    for feature_index, feature in enumerate(FEATURES):
+        server.database.table("feature_data").insert(
+            {
+                "place_id": f"place-{place_index}",
+                "category": _place_category(spec, place_index),
+                "feature": feature,
+                "value": float(10.0 + 7.0 * place_index + 3.0 * feature_index),
+                "computed_at": 0.0,
+            }
+        )
+
+
+def _make_network(spec: LoadgenSpec, metrics: MetricsRegistry) -> Network:
+    return Network(
         conditions=NetworkConditions(base_latency_s=0.0, jitter_s=0.0),
         rng=np.random.default_rng(spec.seed + 1),
         metrics=metrics,
     )
+
+
+def _build_server(spec: LoadgenSpec, metrics: MetricsRegistry) -> SensingServer:
+    network = _make_network(spec, metrics)
     concurrency = (
         ConcurrencyConfig(
             workers=spec.workers, queue_capacity=spec.queue_capacity
@@ -258,47 +330,80 @@ def _build_server(spec: LoadgenSpec, metrics: MetricsRegistry) -> SensingServer:
         io_delay_s=spec.io_delay_s,
     )
     for place_index in range(spec.places):
-        server.create_application(
-            Application(
-                app_id=f"app-place-{place_index}",
-                creator="loadgen",
-                place_id=f"place-{place_index}",
-                place_name=f"Place {place_index}",
-                category=CATEGORY,
-                location=_place_location(place_index),
-                script="local data = {}\nreturn data",
-                pipeline=FeaturePipeline(
-                    [
-                        FeatureSpec(feature, "microphone", MeanExtractor())
-                        for feature in FEATURES
-                    ]
-                ),
-                period_start=0.0,
-                period_end=spec.period_s,
-                num_instants=spec.num_instants,
-            )
-        )
-        # Seed feature data so rank queries exercise the full Algorithm 2
-        # path (and the versioned ranking cache) instead of erroring out.
-        for feature_index, feature in enumerate(FEATURES):
-            server.database.table("feature_data").insert(
-                {
-                    "place_id": f"place-{place_index}",
-                    "category": CATEGORY,
-                    "feature": feature,
-                    "value": float(
-                        10.0 + 7.0 * place_index + 3.0 * feature_index
-                    ),
-                    "computed_at": 0.0,
-                }
-            )
+        server.create_application(_loadgen_application(spec, place_index))
+        _seed_features(spec, server, place_index)
     return server
 
 
-class _Counts:
-    """One driver thread's tallies, merged after the join."""
+def _build_cluster(
+    spec: LoadgenSpec, metrics: MetricsRegistry, base_dir: str
+) -> ShardCluster:
+    """A sharded deployment for the drivers to load through the router.
 
-    __slots__ = ("ok", "by_type", "sessions", "errors", "mismatches")
+    Categories are pinned round-robin across the shards (directory
+    placement), so the offered load splits evenly and the 1→N scaling
+    the bench gates on measures shard capacity, not ring luck.
+    """
+    network = _make_network(spec, metrics)
+    concurrency = (
+        ConcurrencyConfig(
+            workers=spec.workers, queue_capacity=spec.queue_capacity
+        )
+        if spec.mode == "concurrent"
+        else None
+    )
+    cluster = ShardCluster(
+        network,
+        ManualClock(0.0),
+        base_dir,
+        num_shards=spec.shards,
+        replicas_per_shard=spec.replicas,
+        metrics=metrics,
+        tracer=NullTracer(),
+        concurrency=concurrency,
+        replica_concurrency=concurrency,
+        io_delay_s=spec.io_delay_s,
+        replica_io_delay_s=spec.io_delay_s,
+        fsync=False,
+        router_client=ResilientClient(
+            network,
+            policy=RetryPolicy(
+                max_attempts=8,
+                base_backoff_s=0.001,
+                max_backoff_s=0.02,
+                deadline_s=60.0,
+            ),
+            breaker_policy=BreakerPolicy(
+                failure_threshold=64, recovery_timeout_s=0.05
+            ),
+            rng=np.random.default_rng(spec.seed + 3),
+            sleep=time.sleep,
+            metrics=metrics,
+            tracer=NullTracer(),
+        ),
+    )
+    for place_index in range(spec.places):
+        category_index = place_index % spec.categories
+        primary = cluster.create_application(
+            _loadgen_application(spec, place_index),
+            pin_to=f"shard-{category_index % spec.shards}",
+        )
+        _seed_features(spec, primary, place_index)
+    return cluster
+
+
+class _Counts:
+    """One driver thread's tallies, merged after the join.
+
+    ``acked_schedules`` / ``acked_uploads`` record the task id of every
+    positive reply the "phone" saw — the ground truth the shard chaos
+    scenario audits against the surviving primaries' tables.
+    """
+
+    __slots__ = (
+        "ok", "by_type", "sessions", "errors", "mismatches",
+        "acked_schedules", "acked_uploads",
+    )
 
     def __init__(self) -> None:
         self.ok = 0
@@ -306,6 +411,8 @@ class _Counts:
         self.sessions = 0
         self.errors = 0
         self.mismatches = 0
+        self.acked_schedules: list[str] = []
+        self.acked_uploads: list[str] = []
 
     def count(self, kind: str, reply: Envelope) -> None:
         self.ok += 1
@@ -319,12 +426,13 @@ def _run_session(
     client: ResilientClient,
     counts: _Counts,
     spec: LoadgenSpec,
+    host: str = SERVER_HOST,
 ) -> None:
     """Drive one phone's closed-loop session end to end."""
 
     def post(envelope: Envelope) -> Envelope:
         response = client.send(
-            HttpRequest("POST", SERVER_HOST, "/sor", envelope.to_bytes())
+            HttpRequest("POST", host, "/sor", envelope.to_bytes())
         )
         return Envelope.from_bytes(response.body)
 
@@ -332,7 +440,7 @@ def _run_session(
     participate = Envelope(
         message_type=MessageType.PARTICIPATE,
         sender=sender,
-        recipient=SERVER_HOST,
+        recipient=host,
         payload={
             "app_id": script.app_id,
             "user_id": script.user_id,
@@ -348,6 +456,7 @@ def _run_session(
     if schedule.message_type is not MessageType.SCHEDULE:
         return  # error reply already tallied; session abandoned
     task_id = schedule.payload["task_id"]
+    counts.acked_schedules.append(task_id)
     if script.pull:
         # A schedule pull is a verbatim replay of the participate: the
         # idempotency layer must serve the *identical* stored reply.
@@ -358,7 +467,7 @@ def _run_session(
     upload = Envelope(
         message_type=MessageType.SENSED_DATA,
         sender=sender,
-        recipient=SERVER_HOST,
+        recipient=host,
         payload={
             "task_id": task_id,
             "token": script.token,
@@ -371,14 +480,17 @@ def _run_session(
     counts.count("upload", ack)
     if ack.message_type is not MessageType.ACK:
         return
+    counts.acked_uploads.append(task_id)
     if script.rank_profile >= 0:
         rank = post(
             Envelope(
                 message_type=MessageType.RANK_QUERY,
                 sender=sender,
-                recipient=SERVER_HOST,
+                recipient=host,
                 payload={
-                    "category": CATEGORY,
+                    "category": _place_category(
+                        spec, script.index % spec.places
+                    ),
                     "profiles": [PROFILES[script.rank_profile]],
                 },
             )
@@ -396,14 +508,35 @@ def run_loadgen(spec: LoadgenSpec) -> LoadgenReport:
     report = LoadgenReport(
         spec=spec, workload_digest=workload_digest(spec, scripts)
     )
-    server = _build_server(spec, metrics)
-    for script in scripts:
-        server.register_user(script.user_id, script.user_id.title(), script.token)
+    server: SensingServer | None = None
+    cluster: ShardCluster | None = None
+    tmp: tempfile.TemporaryDirectory | None = None
+    if spec.shards > 1:
+        tmp = tempfile.TemporaryDirectory(prefix="sor-loadgen-shards-")
+        cluster = _build_cluster(spec, metrics, tmp.name)
+        network = cluster.network
+        target_host = cluster.router_host
+        for script in scripts:
+            cluster.register_user(
+                script.user_id, script.user_id.title(), script.token
+            )
+        # Ship the seeded applications/features before taking traffic so
+        # an early rank query never finds a replica without its category.
+        cluster.sync_replicas()
+        cluster.start_replication(0.01)
+    else:
+        server = _build_server(spec, metrics)
+        network = server.network
+        target_host = SERVER_HOST
+        for script in scripts:
+            server.register_user(
+                script.user_id, script.user_id.title(), script.token
+            )
 
     num_clients = spec.effective_clients
     clients = [
         ResilientClient(
-            server.network,
+            network,
             # Patient on purpose: a saturated admission queue rejects
             # most attempts, and the drivers must ride out the busy
             # wave rather than abandon the run.
@@ -431,7 +564,7 @@ def run_loadgen(spec: LoadgenSpec) -> LoadgenReport:
         client = clients[client_index]
         try:
             for script in scripts[client_index::num_clients]:
-                _run_session(script, client, counts, spec)
+                _run_session(script, client, counts, spec, host=target_host)
         except TransportError as exc:  # retries exhausted: report, don't hang
             failures.append(exc)
 
@@ -448,7 +581,14 @@ def run_loadgen(spec: LoadgenSpec) -> LoadgenReport:
         for thread in threads:
             thread.join()
     report.duration_s = max(time.perf_counter() - started, 1e-9)
-    server.close()
+    if cluster is not None:
+        cluster.stop_replication()
+        cluster.sync_replicas()  # drain replica lag before teardown
+        cluster.close()
+        assert tmp is not None
+        tmp.cleanup()
+    elif server is not None:
+        server.close()
 
     if failures:
         raise TransportError(
@@ -473,7 +613,7 @@ def run_loadgen(spec: LoadgenSpec) -> LoadgenReport:
         report.busy_rejections = int(busy.value())  # type: ignore[union-attr]
     retries = metrics.get("sor_net_retries_total")
     if retries is not None:
-        report.retries = int(retries.value(host=SERVER_HOST))  # type: ignore[union-attr]
+        report.retries = int(retries.value(host=target_host))  # type: ignore[union-attr]
     return report
 
 

@@ -1,0 +1,366 @@
+"""Shard chaos scenario: kill a primary mid-run under a lossy network.
+
+:mod:`repro.sim.chaos` attacks the network of a single server and
+:mod:`repro.sim.crash` attacks its process; this module combines both
+against the sharded fleet. Driver threads push the loadgen protocol mix
+through the :class:`~repro.net.router.ShardRouter` while every leg
+(phone→router and router→shard alike) suffers seeded request/response
+drops — and once enough schedules have been acked, a controller
+hard-kills one shard's primary and promotes its WAL-fed replica in its
+place.
+
+The report audits the promise that makes the kill survivable: **acked
+means committed to the WAL**, and promotion replays that WAL, so
+
+* every task id a phone received in a SCHEDULE reply exists on exactly
+  one surviving primary (no lost schedules, no duplicate registrations),
+* every acked SENSED_DATA upload has exactly one ``raw_data`` row
+  (no lost readings, no duplicate ingestion),
+* after a final replication pump the fleet's replica lag drains to zero.
+
+Requests that hit the dead shard during the failover window are
+answered with the standard 503 BUSY envelope; the phones' resilient
+clients back off and re-send, and the idempotency layer dedupes
+whatever had already landed. ``tests/integration/test_sharding.py`` and
+the CI ``shard-smoke`` job assert :attr:`ShardChaosReport.data_intact`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.clock import ManualClock
+from repro.common.errors import TransportError, ValidationError
+from repro.net import NetworkConditions
+from repro.net.resilience import BreakerPolicy, ResilientClient, RetryPolicy
+from repro.net.transport import Network
+from repro.obs import MetricsRegistry, NullTracer, use_metrics
+from repro.server.concurrency import ConcurrencyConfig
+from repro.server.sharding import ShardCluster
+from repro.sim.loadgen import (
+    LoadgenSpec,
+    _Counts,
+    _loadgen_application,
+    _run_session,
+    _seed_features,
+    build_workload,
+)
+
+
+@dataclass(frozen=True)
+class ShardChaosSpec:
+    """One sharded chaos experiment: fleet shape, impairments, the kill."""
+
+    phones: int = 120
+    shards: int = 4
+    replicas: int = 1
+    categories: int = 8
+    places: int = 16
+    clients: int = 8
+    seed: int = 0
+    request_drop: float = 0.2
+    response_drop: float = 0.2
+    io_delay_s: float = 0.0005
+    kill_shard: int = 1
+    # Kill once this many schedules have been acked (mid-run by
+    # construction); the controller then promotes the shard's replica.
+    kill_after_schedules: int = 30
+    # Dead window between the kill and the promotion: long enough that
+    # requests for the victim's categories demonstrably hit the BUSY
+    # path and have to be re-sent after failover.
+    downtime_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.phones < 1:
+            raise ValidationError("phones must be at least 1")
+        if self.shards < 2:
+            raise ValidationError("shard chaos needs at least 2 shards")
+        if self.replicas < 1:
+            raise ValidationError(
+                "the killed shard needs a replica to promote"
+            )
+        if not 0.0 <= self.request_drop <= 1.0:
+            raise ValidationError("request_drop must be a probability")
+        if not 0.0 <= self.response_drop <= 1.0:
+            raise ValidationError("response_drop must be a probability")
+        if not 0 <= self.kill_shard < self.shards:
+            raise ValidationError("kill_shard must name an existing shard")
+        if not 0 < self.kill_after_schedules < self.phones:
+            raise ValidationError(
+                "kill_after_schedules must fall inside the run"
+            )
+        if self.downtime_s < 0:
+            raise ValidationError("downtime_s must be non-negative")
+
+    def loadgen_spec(self) -> LoadgenSpec:
+        """The deterministic workload this chaos run drives."""
+        return LoadgenSpec(
+            phones=self.phones,
+            seed=self.seed,
+            mode="concurrent",
+            clients=self.clients,
+            workers=2,
+            io_delay_s=self.io_delay_s,
+            places=self.places,
+            shards=self.shards,
+            replicas=self.replicas,
+            categories=self.categories,
+        )
+
+    def conditions(self) -> NetworkConditions:
+        """The lossy `NetworkConditions` this scenario injects."""
+        return NetworkConditions(
+            base_latency_s=0.0,
+            jitter_s=0.0,
+            drop_probability=self.request_drop,
+            response_drop_probability=self.response_drop,
+        )
+
+
+@dataclass
+class ShardChaosReport:
+    """What the kill did to acked data (nothing, if all is well)."""
+
+    phones: int
+    killed_shard: str
+    acked_schedules: int
+    acked_uploads: int
+    lost_schedules: int
+    duplicate_tasks: int
+    lost_uploads: int
+    duplicate_uploads: int
+    failovers: int
+    replica_lag_after_sync: int
+    requests_dropped: int
+    responses_dropped: int
+    busy_replies: float
+    metrics: MetricsRegistry = field(repr=False)
+
+    @property
+    def data_intact(self) -> bool:
+        """Zero acked data lost or duplicated, and the lag drained."""
+        return (
+            self.lost_schedules == 0
+            and self.lost_uploads == 0
+            and self.duplicate_tasks == 0
+            and self.duplicate_uploads == 0
+            and self.replica_lag_after_sync == 0
+        )
+
+
+def _driver_client(
+    network: Network, seed: int, stream: int, metrics: MetricsRegistry
+) -> ResilientClient:
+    # Patient on purpose: the drivers must ride out both the 20%-loss
+    # link and the failover window (BUSY replies) without abandoning.
+    return ResilientClient(
+        network,
+        policy=RetryPolicy(
+            max_attempts=64,
+            base_backoff_s=0.002,
+            max_backoff_s=0.05,
+            deadline_s=600.0,
+        ),
+        breaker_policy=BreakerPolicy(
+            failure_threshold=1_000_000, recovery_timeout_s=0.001
+        ),
+        rng=np.random.default_rng((seed, 2, stream)),
+        sleep=time.sleep,
+        metrics=metrics,
+        tracer=NullTracer(),
+    )
+
+
+def run_shard_chaos(spec: ShardChaosSpec) -> ShardChaosReport:
+    """Run the kill-a-primary-mid-run experiment; audit acked data."""
+    registry = MetricsRegistry()
+    lg = spec.loadgen_spec()
+    scripts = build_workload(lg)
+    victim = f"shard-{spec.kill_shard}"
+    with use_metrics(registry), tempfile.TemporaryDirectory(
+        prefix="sor-shard-chaos-"
+    ) as base_dir:
+        network = Network(
+            conditions=spec.conditions(),
+            rng=np.random.default_rng(spec.seed + 1),
+            metrics=registry,
+        )
+        cluster = ShardCluster(
+            network,
+            ManualClock(0.0),
+            base_dir,
+            num_shards=spec.shards,
+            replicas_per_shard=spec.replicas,
+            metrics=registry,
+            tracer=NullTracer(),
+            concurrency=ConcurrencyConfig(workers=2, queue_capacity=64),
+            replica_concurrency=None,
+            io_delay_s=spec.io_delay_s,
+            replica_io_delay_s=spec.io_delay_s,
+            fsync=False,
+            router_client=ResilientClient(
+                network,
+                # Fails fast while a shard is dead (the phone gets BUSY
+                # and backs off) but retries enough to shrug off drops.
+                policy=RetryPolicy(
+                    max_attempts=8,
+                    base_backoff_s=0.001,
+                    max_backoff_s=0.02,
+                    deadline_s=60.0,
+                ),
+                breaker_policy=BreakerPolicy(
+                    failure_threshold=16, recovery_timeout_s=0.05
+                ),
+                rng=np.random.default_rng(spec.seed + 3),
+                sleep=time.sleep,
+                metrics=registry,
+                tracer=NullTracer(),
+            ),
+        )
+        try:
+            for place_index in range(spec.places):
+                category_index = place_index % spec.categories
+                primary = cluster.create_application(
+                    _loadgen_application(lg, place_index),
+                    pin_to=f"shard-{category_index % spec.shards}",
+                )
+                _seed_features(lg, primary, place_index)
+            for script in scripts:
+                cluster.register_user(
+                    script.user_id, script.user_id.title(), script.token
+                )
+            # Ship the seed data before traffic so an early rank query
+            # never finds a replica without its category.
+            cluster.sync_replicas()
+            cluster.start_replication(0.005)
+
+            num_clients = lg.effective_clients
+            all_counts = [_Counts() for _ in range(num_clients)]
+            failures: list[BaseException] = []
+
+            def drive(client_index: int) -> None:
+                client = _driver_client(
+                    network, spec.seed, client_index, registry
+                )
+                counts = all_counts[client_index]
+                try:
+                    for script in scripts[client_index::num_clients]:
+                        _run_session(
+                            script, client, counts, lg,
+                            host=cluster.router_host,
+                        )
+                except TransportError as exc:
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=drive, args=(i,), name=f"sc-driver-{i}")
+                for i in range(num_clients)
+            ]
+            for thread in threads:
+                thread.start()
+
+            # The controller: wait until the run is demonstrably mid-way
+            # (enough acked schedules), then kill and promote.
+            while (
+                sum(len(c.acked_schedules) for c in all_counts)
+                < spec.kill_after_schedules
+                and any(thread.is_alive() for thread in threads)
+            ):
+                time.sleep(0.002)
+            cluster.kill_primary(victim)
+            if spec.downtime_s:
+                time.sleep(spec.downtime_s)
+            cluster.promote(victim)
+            for thread in threads:
+                thread.join()
+
+            if failures:
+                raise TransportError(
+                    f"{len(failures)} driver thread(s) exhausted retries: "
+                    f"{failures[0]}"
+                )
+
+            cluster.stop_replication()
+            cluster.sync_replicas()  # drain whatever the pump missed
+            lag = cluster.replica_lag_records()
+
+            acked_schedules = [
+                task_id
+                for counts in all_counts
+                for task_id in counts.acked_schedules
+            ]
+            acked_uploads = [
+                task_id
+                for counts in all_counts
+                for task_id in counts.acked_uploads
+            ]
+            tasks: list[dict] = []
+            raws: list[dict] = []
+            for shard in cluster.shards.values():
+                tasks.extend(shard.primary.database.table("tasks").select())
+                raws.extend(shard.primary.database.table("raw_data").select())
+            task_ids = TallyCounter(row["task_id"] for row in tasks)
+            tasks_per_user = TallyCounter(
+                (row["user_id"], row["app_id"]) for row in tasks
+            )
+            raws_per_task = TallyCounter(row["task_id"] for row in raws)
+
+            busy = registry.get("sor_server_busy_rejections_total")
+            failovers = registry.get("sor_shard_failovers_total")
+            report = ShardChaosReport(
+                phones=spec.phones,
+                killed_shard=victim,
+                acked_schedules=len(acked_schedules),
+                acked_uploads=len(acked_uploads),
+                lost_schedules=sum(
+                    1 for task_id in acked_schedules
+                    if task_ids.get(task_id, 0) == 0
+                ),
+                duplicate_tasks=sum(
+                    count - 1 for count in tasks_per_user.values()
+                ),
+                lost_uploads=sum(
+                    1 for task_id in acked_uploads
+                    if raws_per_task.get(task_id, 0) == 0
+                ),
+                duplicate_uploads=sum(
+                    count - 1 for count in raws_per_task.values()
+                ),
+                failovers=int(failovers.value()) if failovers else 0,  # type: ignore[union-attr]
+                replica_lag_after_sync=lag,
+                requests_dropped=network.stats.requests_dropped,
+                responses_dropped=network.stats.responses_dropped,
+                busy_replies=float(busy.value()) if busy else 0.0,  # type: ignore[union-attr]
+                metrics=registry,
+            )
+        finally:
+            cluster.close()
+    return report
+
+
+def format_shard_chaos_report(report: ShardChaosReport) -> str:
+    """The CLI's human-readable rendering of one shard chaos run."""
+    verdict = "INTACT" if report.data_intact else "DATA LOSS"
+    return "\n".join(
+        [
+            f"shard chaos — {report.phones} phones, killed "
+            f"{report.killed_shard} mid-run ({report.failovers} failover)",
+            f"acked schedules     : {report.acked_schedules} "
+            f"(lost {report.lost_schedules}, "
+            f"duplicates {report.duplicate_tasks})",
+            f"acked uploads       : {report.acked_uploads} "
+            f"(lost {report.lost_uploads}, "
+            f"duplicates {report.duplicate_uploads})",
+            f"replica lag (final) : {report.replica_lag_after_sync} records",
+            f"drops               : {report.requests_dropped} requests, "
+            f"{report.responses_dropped} responses",
+            f"busy replies        : {report.busy_replies:.0f}",
+            f"verdict             : {verdict}",
+        ]
+    )

@@ -1,0 +1,169 @@
+"""Tests for repro.db.replication: WAL shipping for read-replicas."""
+
+import pytest
+
+from repro.common.errors import DatabaseError, RecoveryError
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    DurabilityConfig,
+    Schema,
+)
+from repro.db.replication import (
+    ReplicationCursor,
+    WalShipper,
+    apply_records,
+    bootstrap_database,
+)
+from repro.db.wal import open_durable_database
+from repro.obs import MetricsRegistry
+
+
+def boot(tmp_path, **config_kwargs):
+    db, report = open_durable_database(
+        DurabilityConfig(directory=tmp_path, fsync=False, **config_kwargs),
+        metrics=MetricsRegistry(),
+    )
+    return db, report
+
+
+USERS = Schema(
+    name="users",
+    columns=(
+        Column("user_id", ColumnType.INT, nullable=False),
+        Column("name", ColumnType.TEXT),
+    ),
+    primary_key="user_id",
+)
+
+
+def make_users(db, count, start=0):
+    if not db.has_table("users"):
+        db.create_table(USERS)
+    for index in range(start, start + count):
+        db.table("users").insert({"user_id": index, "name": f"user-{index}"})
+
+
+def replica_of(batch, metrics=None):
+    """Apply one shipped batch to a fresh (or bootstrapped) database."""
+    if batch.snapshot is not None:
+        database = bootstrap_database(batch.snapshot, metrics=metrics)
+    else:
+        database = Database(name="replica", metrics=metrics or MetricsRegistry())
+    apply_records(database, batch.records)
+    return database
+
+
+class TestCursor:
+    def test_defaults_point_at_start_of_history(self):
+        cursor = ReplicationCursor()
+        assert (cursor.seq, cursor.offset) == (1, 0)
+
+    @pytest.mark.parametrize("kwargs", [{"seq": 0}, {"offset": -1}])
+    def test_invalid_cursor_rejected(self, kwargs):
+        with pytest.raises(DatabaseError):
+            ReplicationCursor(**kwargs)
+
+
+class TestShipping:
+    def test_full_history_rebuilds_identical_tables(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 5)
+        batch = WalShipper(tmp_path).ship(ReplicationCursor())
+        replica = replica_of(batch)
+        assert replica.table("users").select() == db.table("users").select()
+
+    def test_incremental_ship_returns_only_new_records(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 3)
+        shipper = WalShipper(tmp_path)
+        first = shipper.ship(ReplicationCursor())
+        assert first.records  # DDL + three inserts
+        # Nothing new: the advanced cursor ships an empty batch.
+        again = shipper.ship(first.cursor)
+        assert again.records == []
+        assert again.cursor == first.cursor
+        make_users(db, 2, start=3)
+        delta = shipper.ship(first.cursor)
+        assert len(delta.records) == 2
+        assert all(record["op"] == "insert" for record in delta.records)
+
+    def test_pending_counts_lag(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 2)
+        shipper = WalShipper(tmp_path)
+        cursor = shipper.ship(ReplicationCursor()).cursor
+        assert shipper.pending(cursor) == 0
+        make_users(db, 4, start=2)
+        assert shipper.pending(cursor) == 4
+
+    def test_transactions_ship_atomically(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 1)
+        shipper = WalShipper(tmp_path)
+        cursor = shipper.ship(ReplicationCursor()).cursor
+        with db.transaction():
+            db.table("users").insert({"user_id": 10, "name": "a"})
+            db.table("users").insert({"user_id": 11, "name": "b"})
+        batch = shipper.ship(cursor)
+        assert len(batch.records) == 2
+
+    def test_uncommitted_tail_is_held_back(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 1)
+        shipper = WalShipper(tmp_path)
+        cursor = shipper.ship(ReplicationCursor()).cursor
+        db.durability.simulate_partial_transaction(
+            [
+                {
+                    "op": "insert",
+                    "table": "users",
+                    "row": {"user_id": 99, "name": "ghost"},
+                }
+            ]
+        )
+        batch = shipper.ship(cursor)
+        # The unacked transaction must never reach a replica.
+        assert batch.records == []
+        # The cursor stays on the transaction boundary so a later commit
+        # marker would be picked up from the transaction's start.
+        assert batch.cursor == cursor
+
+    def test_empty_directory_ships_nothing(self, tmp_path):
+        batch = WalShipper(tmp_path / "nope").ship(ReplicationCursor())
+        assert batch.records == [] and batch.snapshot is None
+
+
+class TestBootstrap:
+    def test_pruned_history_bootstraps_from_checkpoint(self, tmp_path):
+        db, _ = boot(tmp_path, checkpoint_every_records=3, keep_checkpoints=1)
+        make_users(db, 10)  # auto-checkpoints prune early segments
+        assert not (tmp_path / "wal-00000001.log").exists()
+        batch = WalShipper(tmp_path).ship(ReplicationCursor())
+        assert batch.snapshot is not None
+        replica = replica_of(batch)
+        assert replica.table("users").select() == db.table("users").select()
+
+    def test_stale_cursor_follows_through_snapshot(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 2)
+        shipper = WalShipper(tmp_path)
+        stale = shipper.ship(ReplicationCursor()).cursor
+        db.durability.checkpoint()
+        db.durability.checkpoint()  # prunes the segment `stale` points at
+        make_users(db, 2, start=2)
+        batch = shipper.ship(stale)
+        assert batch.snapshot is not None
+        replica = replica_of(batch)
+        assert replica.table("users").select() == db.table("users").select()
+
+    def test_unreachable_history_raises(self, tmp_path):
+        db, _ = boot(tmp_path, keep_checkpoints=1)
+        make_users(db, 2)
+        db.durability.checkpoint()
+        db.durability.checkpoint()  # history now starts past segment 1
+        for checkpoint in tmp_path.glob("checkpoint-*.json"):
+            checkpoint.unlink()
+        with pytest.raises(RecoveryError, match="cannot catch up"):
+            WalShipper(tmp_path).ship(ReplicationCursor())

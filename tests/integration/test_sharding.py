@@ -1,0 +1,88 @@
+"""End-to-end sharding tests: lossy fleet, mid-run primary kill, audit.
+
+The chaos scenario is the PR's load-bearing claim: a shard primary dies
+mid-field-test under 20% loss on each network leg, a replica is
+promoted under the same host name, and *every* acked schedule and
+upload is still present in the surviving primaries' tables afterward —
+acked means committed to the WAL, and the WAL is the replication log.
+"""
+
+import pytest
+
+from repro.sim.loadgen import LoadgenSpec, run_loadgen
+from repro.sim.shard_chaos import (
+    ShardChaosSpec,
+    format_shard_chaos_report,
+    run_shard_chaos,
+)
+
+CHAOS = ShardChaosSpec(
+    phones=60,
+    shards=3,
+    replicas=1,
+    categories=6,
+    places=12,
+    clients=6,
+    seed=2014,
+    request_drop=0.2,
+    response_drop=0.2,
+    kill_shard=1,
+    kill_after_schedules=15,
+    downtime_s=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_report():
+    return run_shard_chaos(CHAOS)
+
+
+class TestShardChaos:
+    def test_loss_was_actually_injected(self, chaos_report):
+        assert chaos_report.requests_dropped > 0
+        assert chaos_report.responses_dropped > 0
+
+    def test_exactly_one_failover_happened(self, chaos_report):
+        assert chaos_report.failovers == 1
+        assert chaos_report.killed_shard == "shard-1"
+
+    def test_every_phone_completed(self, chaos_report):
+        assert chaos_report.acked_schedules == CHAOS.phones
+        assert chaos_report.acked_uploads == CHAOS.phones
+
+    def test_no_acked_data_was_lost(self, chaos_report):
+        assert chaos_report.lost_schedules == 0
+        assert chaos_report.lost_uploads == 0
+
+    def test_retries_never_duplicated_state(self, chaos_report):
+        assert chaos_report.duplicate_tasks == 0
+        assert chaos_report.duplicate_uploads == 0
+
+    def test_replica_lag_drains_to_zero(self, chaos_report):
+        assert chaos_report.replica_lag_after_sync == 0
+
+    def test_report_rolls_up_to_data_intact(self, chaos_report):
+        assert chaos_report.data_intact
+        text = format_shard_chaos_report(chaos_report)
+        assert "intact" in text.lower()
+
+
+class TestShardedLoadgen:
+    def test_sharded_run_matches_single_server_workload(self):
+        # Same phones, same seed: the only difference is the deployment.
+        # The workload digest (request contents in order, per phone)
+        # must be identical, so the bench compares like with like.
+        single = LoadgenSpec(
+            phones=80, seed=7, clients=4, workers=2, places=8,
+            categories=4, rank_every=2,
+        )
+        sharded = LoadgenSpec(
+            phones=80, seed=7, clients=4, workers=2, places=8,
+            categories=4, rank_every=2, shards=2, replicas=1,
+        )
+        base = run_loadgen(single)
+        result = run_loadgen(sharded)
+        assert result.sessions_completed == 80
+        assert result.error_replies == 0 and result.replay_mismatches == 0
+        assert result.workload_digest == base.workload_digest
+        assert result.requests_ok == base.requests_ok

@@ -1,0 +1,275 @@
+"""Concurrency regression tests for the circuit breaker and 5xx policy.
+
+Each test here pins a bug that shipped before the breaker grew its lock:
+``breaker_for`` could hand two threads distinct breakers for one host,
+concurrent ``record_failure`` calls lost updates, HALF_OPEN admitted a
+thundering herd of probes, and server-side 5xx replies sailed past the
+breaker entirely.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import (
+    CircuitOpenError,
+    ServerBusyError,
+    TransportError,
+)
+from repro.net import HttpRequest, HttpResponse
+from repro.net.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitState,
+    ResilientClient,
+    RetryPolicy,
+)
+from repro.obs import MetricsRegistry
+
+REQUEST = HttpRequest("POST", "host-a", "/sor", b"payload")
+
+
+def make_client(network, *, policy=None, breaker=None, seed=0):
+    clock = ManualClock()
+    client = ResilientClient(
+        network,
+        policy=policy or RetryPolicy(max_attempts=4, base_backoff_s=0.1,
+                                     max_backoff_s=5.0, deadline_s=60.0),
+        breaker_policy=breaker or BreakerPolicy(failure_threshold=3,
+                                                recovery_timeout_s=10.0),
+        clock=clock,
+        rng=np.random.default_rng(seed),
+        metrics=MetricsRegistry(),
+    )
+    return client, clock
+
+
+class TestBreakerForAtomicity:
+    def test_hammering_threads_share_one_breaker_per_host(self):
+        client, _ = make_client(None)
+        barrier = threading.Barrier(16)
+
+        def grab(index):
+            barrier.wait()
+            return client.breaker_for(f"host-{index % 4}")
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            breakers = list(pool.map(grab, range(160)))
+        by_host = {}
+        for index, breaker in enumerate(breakers[:16]):
+            by_host.setdefault(f"host-{index % 4}", set()).add(id(breaker))
+        for index, breaker in enumerate(breakers):
+            assert id(breaker) == id(client.breaker_for(f"host-{index % 4}"))
+        assert all(len(ids) == 1 for ids in by_host.values())
+
+    def test_concurrent_failures_never_lose_updates(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=10_000, recovery_timeout_s=10.0),
+            clock=ManualClock(),
+        )
+        per_thread, threads = 250, 8
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                breaker.record_failure()
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        # A torn read-modify-write would undercount; the lock makes the
+        # tally exact.
+        assert breaker.consecutive_failures == per_thread * threads
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_threshold_crossing_opens_exactly_once(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=100, recovery_timeout_s=10.0),
+            clock=clock,
+        )
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(50):
+                breaker.record_failure()
+
+        workers = [threading.Thread(target=hammer) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert breaker.state is CircuitState.OPEN
+        assert not breaker.allow()
+
+
+class TestHalfOpenProbeToken:
+    def open_breaker(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, recovery_timeout_s=10.0),
+            clock=clock,
+        )
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        clock.advance(10.1)
+        return breaker, clock
+
+    def test_only_one_probe_is_admitted(self):
+        breaker, _ = self.open_breaker()
+        assert breaker.allow()  # takes the probe token, OPEN -> HALF_OPEN
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert not breaker.allow()  # second caller fails fast
+        assert not breaker.allow()
+
+    def test_probe_stampede_admits_exactly_one_thread(self):
+        breaker, _ = self.open_breaker()
+        barrier = threading.Barrier(16)
+        admitted = []
+
+        def probe():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        workers = [threading.Thread(target=probe) for _ in range(16)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(admitted) == 1
+
+    def test_probe_success_closes_and_releases(self):
+        breaker, _ = self.open_breaker()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+        assert breaker.allow() and breaker.allow()  # no token held
+
+    def test_probe_failure_reopens_and_releases(self):
+        breaker, clock = self.open_breaker()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        clock.advance(10.1)
+        assert breaker.allow()  # a later recovery window gets a new probe
+
+    def test_abort_probe_returns_the_token(self):
+        breaker, _ = self.open_breaker()
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.abort_probe()  # the probe never completed (e.g. deadline)
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.allow()  # token is available again
+
+    def test_client_sheds_load_while_probe_is_in_flight(self):
+        class StuckNetwork:
+            def __init__(self):
+                self.attempts = 0
+
+            def send(self, request):
+                self.attempts += 1
+                raise TransportError("down")
+
+        network = StuckNetwork()
+        client, clock = make_client(
+            network,
+            policy=RetryPolicy(max_attempts=1, base_backoff_s=0.1,
+                               max_backoff_s=1.0, deadline_s=60.0),
+            breaker=BreakerPolicy(failure_threshold=1,
+                                  recovery_timeout_s=10.0),
+        )
+        with pytest.raises(TransportError):
+            client.send(REQUEST)  # opens the breaker
+        with pytest.raises(CircuitOpenError):
+            client.send(REQUEST)  # open: rejected without touching the wire
+        assert network.attempts == 1
+        clock.advance(10.1)
+        with pytest.raises(TransportError):
+            client.send(REQUEST)  # the probe itself
+        assert network.attempts == 2
+        with pytest.raises(CircuitOpenError):
+            client.send(REQUEST)  # reopened by the failed probe
+        assert network.attempts == 2
+
+
+class StatusNetwork:
+    """Replays a scripted list of HTTP statuses, then succeeds forever."""
+
+    def __init__(self, statuses):
+        self.statuses = list(statuses)
+        self.attempts = 0
+
+    def send(self, request):
+        self.attempts += 1
+        if self.statuses:
+            status = self.statuses.pop(0)
+            return HttpResponse(status=status, body=b"scripted")
+        return HttpResponse(status=200, body=b"ok")
+
+
+class TestServerErrorPolicy:
+    def test_500_is_retried_and_counts_as_breaker_failure(self):
+        network = StatusNetwork([500, 500])
+        client, _ = make_client(
+            network,
+            breaker=BreakerPolicy(failure_threshold=50,
+                                  recovery_timeout_s=10.0),
+        )
+        response = client.send(REQUEST)
+        assert response.status == 200
+        assert network.attempts == 3
+        assert client.metrics.get("sor_net_retries_total").value(host="host-a") == 2
+
+    def test_persistent_5xx_opens_the_breaker(self):
+        network = StatusNetwork([502] * 100)
+        client, _ = make_client(
+            network,
+            policy=RetryPolicy(max_attempts=2, base_backoff_s=0.1,
+                               max_backoff_s=1.0, deadline_s=60.0),
+            breaker=BreakerPolicy(failure_threshold=3,
+                                  recovery_timeout_s=10.0),
+        )
+        with pytest.raises(TransportError):
+            client.send(REQUEST)
+        with pytest.raises((TransportError, CircuitOpenError)):
+            client.send(REQUEST)
+        assert client.breaker_for("host-a").state is CircuitState.OPEN
+
+    def test_503_maps_to_server_busy_and_is_retried(self):
+        network = StatusNetwork([503])
+        client, _ = make_client(network)
+        response = client.send(REQUEST)
+        assert response.status == 200
+        assert network.attempts == 2
+
+    def test_exhausted_503s_surface_as_server_busy(self):
+        network = StatusNetwork([503] * 10)
+        client, _ = make_client(
+            network,
+            policy=RetryPolicy(max_attempts=2, base_backoff_s=0.1,
+                               max_backoff_s=1.0, deadline_s=60.0),
+            breaker=BreakerPolicy(failure_threshold=50,
+                                  recovery_timeout_s=10.0),
+        )
+        with pytest.raises(TransportError, match="after 2 attempts") as info:
+            client.send(REQUEST)
+        assert isinstance(info.value.__cause__, ServerBusyError)
+        assert network.attempts == 2
+
+    def test_4xx_is_returned_verbatim_without_retry(self):
+        network = StatusNetwork([404])
+        client, _ = make_client(network)
+        response = client.send(REQUEST)
+        assert response.status == 404
+        assert network.attempts == 1
+        breaker = client.breaker_for("host-a")
+        assert breaker.consecutive_failures == 0
+        assert breaker.state is CircuitState.CLOSED

@@ -1,0 +1,319 @@
+"""Tests for repro.server.sharding: replicas, promotion, rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import ConfigurationError
+from repro.common.geo import LatLon
+from repro.core.features import FeaturePipeline, FeatureSpec, MeanExtractor
+from repro.db import eq
+from repro.net import NetworkConditions
+from repro.net.http import HttpRequest
+from repro.net.messages import Envelope, MessageType
+from repro.net.transport import Network
+from repro.obs import MetricsRegistry, NullTracer
+from repro.server.app_manager import Application
+from repro.server.ranker_service import bump_data_version
+from repro.server.sharding import ShardCluster
+
+FEATURES = ("noise_db", "wifi_mbps")
+
+PROFILE = {
+    "name": "quiet",
+    "preferences": {
+        "noise_db": {"preferred": "min", "weight": 5},
+        "wifi_mbps": {"preferred": "max", "weight": 2},
+    },
+}
+
+
+def make_cluster(tmp_path, *, num_shards=2, replicas=1):
+    metrics = MetricsRegistry()
+    network = Network(
+        conditions=NetworkConditions(base_latency_s=0.0, jitter_s=0.0),
+        rng=np.random.default_rng(0),
+        metrics=metrics,
+    )
+    cluster = ShardCluster(
+        network,
+        ManualClock(0.0),
+        tmp_path,
+        num_shards=num_shards,
+        replicas_per_shard=replicas,
+        metrics=metrics,
+        tracer=NullTracer(),
+        fsync=False,
+    )
+    return cluster, network
+
+
+def make_app(index, category):
+    return Application(
+        app_id=f"app-{index}",
+        creator="test",
+        place_id=f"place-{index}",
+        place_name=f"Place {index}",
+        category=category,
+        location=LatLon(43.0 + 0.001 * index, -76.0),
+        script="local data = {}\nreturn data",
+        pipeline=FeaturePipeline(
+            [
+                FeatureSpec(feature, "microphone", MeanExtractor())
+                for feature in FEATURES
+            ]
+        ),
+        period_start=0.0,
+        period_end=100.0,
+        num_instants=4,
+    )
+
+
+def seed_features(primary, index, category, *, base=10.0):
+    for feature_index, feature in enumerate(FEATURES):
+        primary.database.table("feature_data").insert(
+            {
+                "place_id": f"place-{index}",
+                "category": category,
+                "feature": feature,
+                "value": float(base + 7.0 * index + 3.0 * feature_index),
+                "computed_at": 0.0,
+            }
+        )
+
+
+def place_category(cluster, indices, category, *, pin_to=None):
+    for index in indices:
+        primary = cluster.create_application(
+            make_app(index, category), pin_to=pin_to
+        )
+        seed_features(primary, index, category)
+    return primary
+
+
+def rank_query(category):
+    return Envelope(
+        message_type=MessageType.RANK_QUERY,
+        sender="phone-1",
+        recipient="",
+        payload={"category": category, "profiles": [PROFILE]},
+    )
+
+
+def post(network, host, envelope):
+    return network.send(HttpRequest("POST", host, "/sor", envelope.to_bytes()))
+
+
+class TestReplica:
+    def test_replica_serves_rank_from_shipped_wal(self, tmp_path):
+        cluster, network = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            applied = cluster.sync_replicas()
+            assert applied > 0
+            response = post(network, "shard-0-r0", rank_query("museums"))
+            assert response.status == 200
+            reply = Envelope.from_bytes(response.body)
+            assert reply.message_type is MessageType.RANKING
+            places = reply.payload["rankings"][0]["places"]
+            assert sorted(places) == ["place-0", "place-1"]
+        finally:
+            cluster.close()
+
+    def test_replica_matches_primary_ranking_exactly(self, tmp_path):
+        cluster, network = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1, 2), "museums", pin_to="shard-0")
+            cluster.sync_replicas()
+            primary_reply = Envelope.from_bytes(
+                post(network, "shard-0", rank_query("museums")).body
+            )
+            replica_reply = Envelope.from_bytes(
+                post(network, "shard-0-r0", rank_query("museums")).body
+            )
+            assert primary_reply.payload == replica_reply.payload
+        finally:
+            cluster.close()
+
+    def test_staleness_is_bounded_and_versioned(self, tmp_path):
+        cluster, network = make_cluster(tmp_path)
+        try:
+            primary = place_category(
+                cluster, (0, 1), "museums", pin_to="shard-0"
+            )
+            cluster.sync_replicas()
+            stale = Envelope.from_bytes(
+                post(network, "shard-0-r0", rank_query("museums")).body
+            )
+            # The primary moves on: new data, bumped version.
+            with primary.database.transaction():
+                seed_features(primary, 2, "museums", base=500.0)
+                version = bump_data_version(primary.database, "museums")
+            replica = cluster.shards["shard-0"].replicas[0]
+            assert replica.pending() > 0  # lag is measurable...
+            behind = Envelope.from_bytes(
+                post(network, "shard-0-r0", rank_query("museums")).body
+            )
+            # ...and visible: the stale reply still declares the version
+            # it was computed against instead of impersonating the new one.
+            assert behind.payload["data_version"] == stale.payload["data_version"]
+            assert behind.payload["data_version"] < version
+            cluster.sync_replicas()
+            fresh = Envelope.from_bytes(
+                post(network, "shard-0-r0", rank_query("museums")).body
+            )
+            assert fresh.payload["data_version"] == version
+            assert replica.pending() == 0
+        finally:
+            cluster.close()
+
+    def test_replica_is_read_only(self, tmp_path):
+        cluster, network = make_cluster(tmp_path)
+        try:
+            envelope = Envelope(
+                message_type=MessageType.PARTICIPATE,
+                sender="phone-1",
+                recipient="",
+                payload={"app_id": "app-0"},
+            ).with_idempotency_key()
+            response = post(network, "shard-0-r0", envelope)
+            assert response.status == 405
+        finally:
+            cluster.close()
+
+
+class TestPromotion:
+    def test_promote_refuses_while_primary_lives(self, tmp_path):
+        cluster, _ = make_cluster(tmp_path)
+        try:
+            with pytest.raises(ConfigurationError, match="still registered"):
+                cluster.promote("shard-0")
+        finally:
+            cluster.close()
+
+    def test_promote_without_replicas_refuses(self, tmp_path):
+        cluster, _ = make_cluster(tmp_path, replicas=0)
+        try:
+            cluster.kill_primary("shard-0")
+            with pytest.raises(ConfigurationError, match="no replica"):
+                cluster.promote("shard-0")
+        finally:
+            cluster.close()
+
+    def test_promotion_preserves_acked_data_and_host(self, tmp_path):
+        cluster, network = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            # Deliberately do NOT sync before the kill: promotion's final
+            # catch-up read of the dead primary's directory must recover
+            # everything that was acked, not just what was shipped.
+            cluster.kill_primary("shard-0")
+            promoted = cluster.promote("shard-0")
+            assert promoted.host == "shard-0"  # task-id prefixes stay valid
+            assert cluster.shards["shard-0"].primary is promoted
+            rows = promoted.database.table("feature_data").select(
+                eq("category", "museums")
+            )
+            assert len(rows) == 2 * len(FEATURES)
+            # The routing table no longer lists the consumed replica.
+            assert cluster.table.shards["shard-0"].replicas == ()
+            response = post(network, "shard-0", rank_query("museums"))
+            assert Envelope.from_bytes(response.body).message_type is (
+                MessageType.RANKING
+            )
+            failovers = cluster.metrics.get("sor_shard_failovers_total")
+            assert failovers.value() == 1
+        finally:
+            cluster.close()
+
+    def test_promoted_primary_serves_writes_via_router(self, tmp_path):
+        cluster, network = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            cluster.register_user("user-1", "User One", "token-1")
+            cluster.kill_primary("shard-0")
+            cluster.promote("shard-0")
+            envelope = Envelope(
+                message_type=MessageType.PARTICIPATE,
+                sender="user-1",
+                recipient="",
+                payload={
+                    "app_id": "app-0",
+                    "user_id": "user-1",
+                    "token": "token-1",
+                    "budget": 2,
+                    "latitude": 43.0,
+                    "longitude": -76.0,
+                },
+            ).with_idempotency_key()
+            response = post(network, cluster.router_host, envelope)
+            assert response.status == 200
+            reply = Envelope.from_bytes(response.body)
+            assert reply.message_type is not MessageType.ERROR
+        finally:
+            cluster.close()
+
+
+class TestRebalance:
+    def test_add_shard_moves_ring_owned_categories(self, tmp_path):
+        cluster, _ = make_cluster(tmp_path, num_shards=1, replicas=0)
+        try:
+            categories = [f"cat-{index}" for index in range(8)]
+            for index, category in enumerate(categories):
+                primary = cluster.create_application(make_app(index, category))
+                seed_features(primary, index, category)
+                bump_data_version(primary.database, category)
+            cluster.add_shard()
+            moved = [
+                category
+                for category in categories
+                if cluster.table.category_owner(category) == "shard-1"
+            ]
+            assert moved  # the ring hands shard-1 a share of the space
+            assert len(moved) < len(categories)  # ...not everything
+            for index, category in enumerate(categories):
+                owner = cluster.shards[
+                    cluster.table.category_owner(category)
+                ].primary
+                rows = owner.database.table("feature_data").select(
+                    eq("category", category)
+                )
+                assert len(rows) == len(FEATURES)
+                assert owner.apps.get(f"app-{index}") is not None
+                # Version numbers survive the move, so replica caches
+                # keyed on (category, version) can never alias.
+                assert (
+                    owner.database.table("ranking_versions")
+                    .get(category)["data_version"]
+                    == 1
+                )
+            # Nothing left behind on the old owner.
+            for category in moved:
+                stale = cluster.shards["shard-0"].primary
+                assert stale.database.table("feature_data").select(
+                    eq("category", category)
+                ) == []
+                assert stale.apps.get(f"app-{categories.index(category)}") is None
+        finally:
+            cluster.close()
+
+    def test_pinned_categories_never_rebalance(self, tmp_path):
+        cluster, _ = make_cluster(tmp_path, num_shards=2, replicas=0)
+        try:
+            place_category(cluster, (0,), "museums", pin_to="shard-0")
+            cluster.add_shard()
+            assert cluster.table.category_owner("museums") == "shard-0"
+            primary = cluster.shards["shard-0"].primary
+            assert primary.apps.get("app-0") is not None
+        finally:
+            cluster.close()
+
+    def test_new_shard_knows_registered_users(self, tmp_path):
+        cluster, _ = make_cluster(tmp_path, num_shards=1, replicas=0)
+        try:
+            cluster.register_user("user-1", "User One", "token-1")
+            shard = cluster.add_shard()
+            users = shard.primary.database.table("users").select()
+            assert [row["user_id"] for row in users] == ["user-1"]
+        finally:
+            cluster.close()
