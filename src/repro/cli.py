@@ -254,12 +254,17 @@ def _cmd_ablate(args: argparse.Namespace) -> str:
 
 
 def _cmd_shardchaos(args: argparse.Namespace) -> str:
-    """Kill one shard's primary mid-run and audit the acked data.
+    """Kill shard primaries mid-run (repeatedly) and audit acked data.
 
     Drives the loadgen protocol mix through the shard router under a
-    lossy network, hard-kills ``--kill-shard``'s primary once the run is
-    mid-way, promotes its WAL-fed replica, and reports whether every
-    acked schedule and upload survived on a surviving primary.
+    lossy network and runs ``--kills`` kill→promote→reseed cycles: the
+    first hard-kills ``--kill-shard``'s primary and durably promotes
+    its WAL-fed replica; with ``--kills 2`` or more, the second kill
+    hits the *same shard again* — the freshly promoted primary — and
+    lands mid-reseed via a crash hook; later kills walk the remaining
+    shards. Ends by killing the victim's promoted primary once more and
+    recovering it from its re-attached WAL, then reports whether every
+    acked schedule and upload survived.
     """
     from repro.sim.shard_chaos import (
         ShardChaosSpec,
@@ -274,6 +279,7 @@ def _cmd_shardchaos(args: argparse.Namespace) -> str:
         categories=args.categories if args.categories > 1 else 8,
         seed=args.seed,
         kill_shard=args.kill_shard,
+        kills=args.kills,
     )
     report = run_shard_chaos(spec)
     if not report.data_intact:
@@ -335,7 +341,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--kills",
         type=int,
         default=2,
-        help="server kills for the crash command (default 2)",
+        help="server kills for the crash command / kill-promote-reseed "
+        "cycles for shardchaos (default 2)",
     )
     parser.add_argument(
         "--durability-dir",

@@ -36,6 +36,7 @@ from repro.db.wal import (
     DurabilityConfig,
     DurabilityManager,
     RecoveryReport,
+    attach_durability,
     open_durable_database,
 )
 
@@ -51,6 +52,7 @@ __all__ = [
     "Table",
     "Transaction",
     "and_",
+    "attach_durability",
     "between",
     "dump_database",
     "eq",

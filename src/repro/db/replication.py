@@ -91,6 +91,30 @@ class WalShipper:
         """How many committed records are waiting past ``cursor`` (lag)."""
         return len(self.ship(cursor).records)
 
+    def bootstrap(self) -> tuple[dict[str, Any] | None, ReplicationCursor]:
+        """The newest checkpoint and the cursor to resume shipping from.
+
+        The fast path for a replica joining an established primary —
+        e.g. the replacement replica re-seeded after a failover: load
+        the checkpoint via :func:`bootstrap_database` and ship only the
+        records past it, instead of replaying history from segment 1
+        (which may be pruned anyway). Returns ``(None, cursor-at-
+        start-of-history)`` when the directory has no checkpoint yet.
+        """
+        if not self.directory.is_dir():
+            return None, ReplicationCursor()
+        checkpoints, _wals = _scan_directory(self.directory)
+        if not checkpoints:
+            return None, ReplicationCursor()
+        seq = max(checkpoints)
+        try:
+            snapshot = json.loads(checkpoints[seq].read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RecoveryError(
+                f"{self.directory}: checkpoint {seq} unreadable: {exc!r}"
+            ) from exc
+        return snapshot, ReplicationCursor(seq=seq, offset=0)
+
     def ship(self, cursor: ReplicationCursor) -> ShippedBatch:
         """Everything committed past ``cursor``, plus where to resume.
 
@@ -140,7 +164,13 @@ class WalShipper:
                     f"(have up to {max_seq})"
                 )
             final = seq == max_seq
-            entries, clean_bytes, torn = read_wal_file(path)
+            try:
+                entries, clean_bytes, torn = read_wal_file(path)
+            except OSError as exc:
+                # A segment can vanish between the scan and the read if
+                # the primary checkpoints (prunes) concurrently; surface
+                # a typed error so callers retry from a fresh scan.
+                raise RecoveryError(f"{path.name}: unreadable: {exc!r}") from exc
             if torn and not final:
                 raise RecoveryError(f"{path.name}: torn record in a non-final segment")
             if offset:

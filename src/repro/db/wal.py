@@ -30,6 +30,16 @@ The :class:`DurabilityManager` also carries one-shot crash hooks
 (:meth:`~DurabilityManager.arm`) used by :mod:`repro.sim.crash` to kill
 the process at the nastiest possible instants — mid-batch, pre-fsync,
 between the checkpoint temp write and its rename.
+
+:func:`attach_durability` is the inverse of recovery: it takes a
+database that is already populated *in memory* (a promoted read-replica
+rebuilt from shipped WAL records) and makes it durable in place — the
+current state becomes a fresh checkpoint, the next WAL generation opens,
+and commits resume. The directory may already hold the dead
+predecessor's generations; the inherited final segment is sanitized
+(torn frames and uncommitted transaction tails physically truncated,
+exactly as recovery would) so a later recovery or replication pass can
+replay straight across the generation boundary.
 """
 
 from __future__ import annotations
@@ -264,6 +274,30 @@ def _apply_record(database: Database, record: dict[str, Any], path: Path) -> Non
         ) from exc
 
 
+def _sanitize_segment_tail(path: Path) -> int:
+    """Truncate a segment to its committed prefix; returns bytes removed.
+
+    Applies the exact keep-bytes rule recovery uses for a *final*
+    segment — torn frames and transactions whose commit marker never
+    landed are cut off. Re-attach runs this on the generation it
+    inherits so that segment, which is about to stop being final, can
+    never trip the "torn record in a non-final segment" corruption
+    check in recovery or replication.
+    """
+    entries, clean_bytes, _torn = read_wal_file(path)
+    _records, keep_bytes, _incomplete = _resolve_transactions(
+        entries, clean_bytes, final_segment=True, path=path
+    )
+    size = path.stat().st_size
+    if keep_bytes >= size:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return size - keep_bytes
+
+
 def _scan_directory(directory: Path) -> tuple[dict[int, Path], dict[int, Path]]:
     checkpoints: dict[int, Path] = {}
     wals: dict[int, Path] = {}
@@ -302,6 +336,10 @@ class DurabilityManager:
         self._database = database
         self._seq = seq
         self._writer = WalWriter(self._wal_path(seq), fsync=config.fsync)
+        # The segment file itself must survive power loss, not just its
+        # contents: a newly created directory entry lives in the parent
+        # directory's data until that is flushed too.
+        self._sync_directory()
         self._txn_counter = 0
         self._records_since_checkpoint = 0
         self._closed = False
@@ -362,6 +400,11 @@ class DurabilityManager:
 
     def _checkpoint_path(self, seq: int) -> Path:
         return self.directory / _CHECKPOINT_PATTERN.format(seq=seq)
+
+    def _sync_directory(self) -> None:
+        """Flush the directory entry table (gated on ``config.fsync``)."""
+        if self.config.fsync:
+            fsync_directory(self.directory)
 
     def _count_record(self, record: dict[str, Any], written: int) -> None:
         self._m_bytes.inc(written)
@@ -431,12 +474,27 @@ class DurabilityManager:
         self._writer.sync()
         new_seq = self._seq + 1
         new_writer = WalWriter(self._wal_path(new_seq), fsync=self.config.fsync)
+        self._sync_directory()  # the new segment's directory entry
         old_writer = self._writer
         self._writer = new_writer
         self._seq = new_seq
         old_writer.close()
 
-        target = self._checkpoint_path(new_seq)
+        self._write_snapshot(new_seq)
+
+        self._records_since_checkpoint = 0
+        self._m_checkpoints.inc()
+        self._prune()
+        return new_seq
+
+    def _write_snapshot(self, seq: int) -> None:
+        """Dump the database into ``checkpoint-(seq)`` atomically.
+
+        Temp file + fsync + ``os.replace`` + directory fsync: a crash at
+        any step leaves either no checkpoint or a complete one, never a
+        half-written file under the checkpoint name.
+        """
+        target = self._checkpoint_path(seq)
         payload = json.dumps(dump_database(self._database)).encode("utf-8")
         tmp = target.with_name(f".{target.name}.tmp")
         with open(tmp, "wb") as handle:
@@ -445,13 +503,8 @@ class DurabilityManager:
             os.fsync(handle.fileno())
         self._fire("checkpoint.pre_replace")
         os.replace(tmp, target)
-        fsync_directory(self.directory)
+        self._sync_directory()
         self._fire("checkpoint.post_replace")
-
-        self._records_since_checkpoint = 0
-        self._m_checkpoints.inc()
-        self._prune()
-        return new_seq
 
     def _prune(self) -> None:
         checkpoints, wals = _scan_directory(self.directory)
@@ -582,3 +635,68 @@ def open_durable_database(
         buckets=_RECOVERY_BUCKETS,
     ).observe(report.duration_s)
     return database, report
+
+
+def attach_durability(
+    database: Database,
+    directory: str | Path,
+    *,
+    fsync: bool = True,
+    checkpoint_every_records: int = 0,
+    keep_checkpoints: int = 2,
+    metrics: MetricsRegistry | None = None,
+) -> DurabilityManager:
+    """Make an already-populated in-memory database durable in place.
+
+    The inverse of :func:`open_durable_database`: instead of rebuilding
+    memory from disk, the current in-memory state becomes the disk
+    state. Used by shard failover — the promoted replica's database is
+    a faithful replay of the dead primary's log, so snapshotting it
+    *is* a checkpoint of that history.
+
+    Steps, in crash-safe order:
+
+    1. sanitize the inherited final segment (truncate torn frames and
+       uncommitted transaction tails, exactly as recovery would) so it
+       can safely stop being the final segment;
+    2. open WAL segment ``G+1`` where ``G`` is the newest sequence
+       number on disk (checkpoint or segment);
+    3. write ``checkpoint-(G+1)`` atomically (temp + fsync +
+       ``os.replace`` + directory fsync).
+
+    A crash between 2 and 3 recovers through the *old* generations —
+    the sanitized history replays to exactly the snapshotted state.
+    Nothing is pruned here: the pre-kill generations stay on disk until
+    the next regular checkpoint, so a corrupt re-attach checkpoint can
+    still degrade to full-history replay. Returns the live manager
+    (also attached to ``database``, which routes commits into it).
+    """
+    if database.durability is not None:
+        raise DatabaseError("database already has durability attached")
+    if database._active_transaction is not None:
+        raise DatabaseError("cannot attach durability during an active transaction")
+    config = DurabilityConfig(
+        directory=directory,
+        fsync=fsync,
+        checkpoint_every_records=checkpoint_every_records,
+        keep_checkpoints=keep_checkpoints,
+    )
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    checkpoints, wals = _scan_directory(target)
+    if wals:
+        _sanitize_segment_tail(wals[max(wals)])
+    seq = max([*checkpoints, *wals], default=0) + 1
+
+    manager = DurabilityManager(database, config, seq=seq, metrics=metrics)
+    manager._write_snapshot(seq)
+    for stray in target.glob(".*.tmp"):
+        stray.unlink(missing_ok=True)
+    database.attach_durability(manager)
+
+    registry = metrics if metrics is not None else database.metrics
+    registry.counter(
+        "sor_db_wal_reattach_total",
+        "databases made durable in place by attach_durability",
+    ).inc()
+    return manager

@@ -22,11 +22,18 @@ Failover: killing a primary (`kill -9` semantics — handles closed, no
 flush) loses nothing that was acked, because acked means "commit record
 on disk". :meth:`ShardCluster.promote` has the surviving replica do one
 final catch-up read of the dead primary's directory (file-level
-shipping needs no cooperating process), then wraps the replica's
-database in a fresh ``SensingServer`` under the *same host name*, so
-task-id prefixes, application ownership rows and idempotent replies all
-line up. The promoted primary runs non-durable — re-attaching a WAL is
-a deliberate non-goal of this layer (documented in docs/SHARDING.md).
+shipping needs no cooperating process), refuses if the replica is still
+behind the log after that, then **re-attaches durability**
+(:func:`~repro.db.wal.attach_durability`: the replica's state becomes a
+fresh checkpoint and the next WAL generation opens in the same
+directory) before wrapping the database in a fresh ``SensingServer``
+under the *same host name* — task-id prefixes, application ownership
+rows and idempotent replies all line up, and the promoted primary
+commits durably, so it survives being killed again. Promotion then
+**re-seeds** the shard (:meth:`ShardCluster.reseed`): a replacement
+replica bootstraps from the promotion checkpoint and rejoins the
+router's replica set, restoring read fan-out and the next failover's
+candidate pool.
 
 Rebalancing: adding a shard re-rings the category space;
 :meth:`ShardCluster.rebalance` moves each reassigned category's
@@ -49,6 +56,7 @@ from repro.common.errors import (
     ConfigurationError,
     DatabaseError,
     RankingError,
+    SimulatedCrashError,
 )
 from repro.db import Database, DurabilityConfig, eq
 from repro.db.replication import (
@@ -57,6 +65,7 @@ from repro.db.replication import (
     apply_records,
     bootstrap_database,
 )
+from repro.db.wal import attach_durability
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.messages import Envelope, MessageType
 from repro.net.resilience import ResilientClient
@@ -100,6 +109,7 @@ class ShardReplica:
         concurrency: ConcurrencyConfig | None = None,
         io_delay_s: float = 0.0,
         ranking_cache_capacity: int = 256,
+        bootstrap: bool = False,
     ) -> None:
         self.host = host
         self.network = network
@@ -117,6 +127,7 @@ class ShardReplica:
         # promotion's final catch-up must never ship from the same
         # cursor concurrently (double-apply).
         self._sync_mutex = threading.Lock()
+        self._closed = False
         self._cache_capacity = ranking_cache_capacity
         self.database = Database(name=host, metrics=self.metrics)
         self._build_ranker()
@@ -151,10 +162,21 @@ class ShardReplica:
             "clock seconds since the replica last synced its primary",
             labels=("replica",),
         )
+        # A re-seeded replica joins an established primary: start from
+        # the newest checkpoint instead of replaying (possibly pruned)
+        # history from segment 1.
+        self.bootstrap_records = 0
+        if bootstrap:
+            snapshot, cursor = self._shipper.bootstrap()
+            if snapshot is not None:
+                self.database = bootstrap_database(snapshot, metrics=self.metrics)
+                self._build_ranker()
+                self._cursor = cursor
+                self._m_bootstraps.inc(replica=self.host)
         # Catch up before taking traffic: the primary's WAL already
         # holds the schema DDL, so a freshly-built replica must never
         # serve a query against an empty, table-less database.
-        self.sync()
+        self.bootstrap_records = self.sync()
         network.register(host, self)
 
     def _build_ranker(self) -> None:
@@ -171,6 +193,8 @@ class ShardReplica:
     # -- replication ---------------------------------------------------
     def pending(self) -> int:
         """Committed primary records this replica has not yet applied."""
+        if self._closed:
+            return 0
         return self._shipper.pending(self._cursor)
 
     def sync(self) -> int:
@@ -178,8 +202,12 @@ class ShardReplica:
 
         File-level: works identically whether the primary is alive or
         already killed, which is what promotion's final catch-up needs.
+        No-op once closed, so a background pump tick can never mutate a
+        database that promotion has already snapshotted.
         """
         with self._sync_mutex:
+            if self._closed:
+                return 0
             return self._sync_locked()
 
     def _sync_locked(self) -> int:
@@ -273,7 +301,14 @@ class ShardReplica:
         )
 
     def close(self) -> None:
-        """Unhook from the network and stop the worker pool (idempotent)."""
+        """Unhook from the network and stop the worker pool (idempotent).
+
+        Waits for any in-flight ``sync()`` pass to finish, so after
+        ``close()`` returns the database is frozen — safe to hand to a
+        promotion's :func:`~repro.db.wal.attach_durability` snapshot.
+        """
+        with self._sync_mutex:
+            self._closed = True
         if self.network.is_registered(self.host):
             self.network.unregister(self.host)
         if self._executor is not None:
@@ -288,6 +323,10 @@ class Shard:
     directory: Path
     primary: SensingServer
     replicas: list[ShardReplica] = field(default_factory=list)
+    # Monotonic replica-host allocator: a re-seeded replacement must
+    # never reuse a dead replica's host name (stale circuit-breaker
+    # state and old idempotent replies key on the host).
+    next_replica_index: int = 0
 
     @property
     def host(self) -> str:
@@ -349,6 +388,27 @@ class ShardCluster:
             "sor_shard_failovers_total",
             "replica promotions after a primary death",
         )
+        self._m_reseeds = self.metrics.counter(
+            "sor_shard_reseeds_total",
+            "replacement replicas spawned after promotions, by shard",
+            labels=("shard",),
+        )
+        self._m_reseed_lag = self.metrics.gauge(
+            "sor_shard_reseed_lag_records",
+            "records the latest re-seeded replica applied past its "
+            "bootstrap checkpoint before taking traffic",
+            labels=("shard",),
+        )
+        self._m_reseed_seconds = self.metrics.histogram(
+            "sor_shard_reseed_seconds",
+            "wall time to build, bootstrap and register a replacement replica",
+            buckets=(0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+        )
+        self._m_catchup = self.metrics.counter(
+            "sor_shard_promote_catchup_records_total",
+            "records applied by promotion's final file-level catch-up, by shard",
+            labels=("shard",),
+        )
         self._m_moves = self.metrics.counter(
             "sor_shard_rebalance_moves_total",
             "ownership moves during rebalancing, by kind",
@@ -384,8 +444,8 @@ class ShardCluster:
             io_delay_s=self.io_delay_s,
         )
         shard = Shard(shard_id=shard_id, directory=directory, primary=primary)
-        for index in range(self.replicas_per_shard):
-            shard.replicas.append(self._build_replica(shard, index))
+        for _ in range(self.replicas_per_shard):
+            shard.replicas.append(self._build_replica(shard))
         self.shards[shard_id] = shard
         self.table.add_shard(
             ShardInfo(
@@ -396,7 +456,9 @@ class ShardCluster:
         )
         return shard
 
-    def _build_replica(self, shard: Shard, index: int) -> ShardReplica:
+    def _build_replica(self, shard: Shard, *, bootstrap: bool = False) -> ShardReplica:
+        index = shard.next_replica_index
+        shard.next_replica_index += 1
         return ShardReplica(
             f"{shard.shard_id}-r{index}",
             self.network,
@@ -406,6 +468,7 @@ class ShardCluster:
             tracer=self.tracer,
             concurrency=self.replica_concurrency,
             io_delay_s=self.replica_io_delay_s,
+            bootstrap=bootstrap,
         )
 
     def add_shard(self) -> Shard:
@@ -450,10 +513,15 @@ class ShardCluster:
 
     # -- replication ---------------------------------------------------
     def sync_replicas(self) -> int:
-        """One replication pump over every live replica; total applied."""
+        """One replication pump over every live replica; total applied.
+
+        Iterates over list copies: promotion and re-seeding mutate the
+        replica lists from other threads while the pump runs, and a
+        just-closed replica's ``sync()`` is a safe no-op.
+        """
         applied = 0
-        for shard in self.shards.values():
-            for replica in shard.replicas:
+        for shard in list(self.shards.values()):
+            for replica in list(shard.replicas):
                 applied += replica.sync()
         return applied
 
@@ -461,8 +529,8 @@ class ShardCluster:
         """Total committed-but-unapplied records across the fleet."""
         return sum(
             replica.pending()
-            for shard in self.shards.values()
-            for replica in shard.replicas
+            for shard in list(self.shards.values())
+            for replica in list(shard.replicas)
         )
 
     def start_replication(self, interval_s: float = 0.02) -> None:
@@ -492,25 +560,67 @@ class ShardCluster:
         self._repl_thread = None
 
     # -- failover ------------------------------------------------------
-    def kill_primary(self, shard_id: str) -> None:
-        """Hard-kill a shard's primary (``kill -9`` semantics)."""
+    def kill_primary(self, shard_id: str, *, wreck: bool = False) -> None:
+        """Hard-kill a shard's primary (``kill -9`` semantics).
+
+        The server is unregistered first and then drained
+        (``server.close()`` joins the worker pool), so every request
+        that was acked has its commit record on disk before the
+        durability handles close — exactly the kill -9 contract.
+
+        ``wreck=True`` leaves the nastiest crash-consistent directory a
+        real kill can: the process dies *inside checkpoint compaction*
+        (via the armed ``checkpoint.pre_replace`` crash hook — a fresh
+        segment is open, the checkpoint temp file never got renamed)
+        and the new live segment ends in an uncommitted transaction
+        plus a torn frame. Nothing of that wreckage is acked; recovery,
+        replication and a later re-attach must all discard it.
+        """
         shard = self.shards[shard_id]
         server = shard.primary
+        manager = server.database.durability
         if self.network.is_registered(server.host):
             self.network.unregister(server.host)
         server.close()
-        if server.database.durability is not None:
-            server.database.durability.close()
+        if manager is None:
+            return
+        if wreck and not manager.closed:
+            manager.arm("checkpoint.pre_replace")
+            try:
+                manager.checkpoint()
+            except SimulatedCrashError:
+                pass
+            manager.simulate_partial_transaction(
+                [{"op": "insert", "table": "raw_data", "row": {"doomed": True}}]
+            )
+            manager.simulate_torn_append(
+                {"op": "insert", "table": "tasks", "row": {"doomed": True}},
+                keep=0.4,
+            )
+        manager.close()
 
-    def promote(self, shard_id: str, replica_host: str | None = None) -> SensingServer:
-        """Promote a replica to primary after the primary's death.
+    def promote(
+        self,
+        shard_id: str,
+        replica_host: str | None = None,
+        *,
+        reseed: bool = True,
+    ) -> SensingServer:
+        """Promote a replica to durable primary after the primary's death.
 
         The replica does one final catch-up read from the dead
         primary's surviving directory (acked == committed to WAL, so
-        nothing acked can be missing), then its database is wrapped in a
-        fresh ``SensingServer`` registered under the *same host name* —
+        nothing acked can be missing) and promotion *refuses* if the
+        replica is still behind the log after it — promoting a laggy
+        replica would silently shadow acked data. Durability is then
+        re-attached (:func:`~repro.db.wal.attach_durability`): the
+        replica's state becomes a fresh checkpoint in the same
+        directory and the next WAL generation opens, so the promoted
+        ``SensingServer`` — registered under the *same host name*, with
         task-id prefixes, ownership rows and idempotent replies all
-        remain valid. The promoted primary runs non-durable.
+        still valid — commits durably and survives being killed again.
+        Unless ``reseed=False``, a replacement replica is spawned from
+        that checkpoint before returning.
         """
         shard = self.shards[shard_id]
         if self.network.is_registered(shard.primary.host):
@@ -530,11 +640,25 @@ class ShardCluster:
                 raise ConfigurationError(f"unknown replica {replica_host!r}")
         else:
             replica = shard.replicas[0]
-        replica.sync()  # final catch-up from the surviving log
-        replica.close()
+        caught_up = replica.sync()  # final catch-up from the surviving log
+        behind = replica.pending()
+        if behind:
+            raise ConfigurationError(
+                f"replica {replica.host!r} is still {behind} committed "
+                "records behind its primary's log after the final "
+                "catch-up; refusing to promote a laggy replica"
+            )
+        self._m_catchup.inc(caught_up, shard=shard_id)
+        replica.close()  # freezes the database: no pump tick can touch it now
         shard.replicas.remove(replica)
         self.table.set_replicas(
             shard_id, tuple(item.host for item in shard.replicas)
+        )
+        attach_durability(
+            replica.database,
+            shard.directory,
+            fsync=self.fsync,
+            metrics=self.metrics,
         )
         promoted = SensingServer(
             shard_id,
@@ -553,7 +677,32 @@ class ShardCluster:
                 )
         shard.primary = promoted
         self._m_failovers.inc()
+        if reseed:
+            self.reseed(shard_id)
         return promoted
+
+    def reseed(self, shard_id: str) -> ShardReplica:
+        """Spawn a replacement replica from the newest checkpoint.
+
+        The replica bootstraps via
+        :meth:`~repro.db.replication.WalShipper.bootstrap` — load the
+        promotion checkpoint, then ship only the records past it — and
+        registers with the network before this method re-points the
+        router's replica set, so the first routed read already finds a
+        caught-up endpoint. Safe to run while traffic is flowing; the
+        background pump picks the newcomer up on its next tick.
+        """
+        shard = self.shards[shard_id]
+        started = time.perf_counter()
+        replica = self._build_replica(shard, bootstrap=True)
+        shard.replicas.append(replica)
+        self.table.set_replicas(
+            shard_id, tuple(item.host for item in shard.replicas)
+        )
+        self._m_reseeds.inc(shard=shard_id)
+        self._m_reseed_lag.set(replica.bootstrap_records, shard=shard_id)
+        self._m_reseed_seconds.observe(time.perf_counter() - started)
+        return replica
 
     # -- rebalancing ---------------------------------------------------
     def rebalance(self) -> int:

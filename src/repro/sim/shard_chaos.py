@@ -1,28 +1,43 @@
-"""Shard chaos scenario: kill a primary mid-run under a lossy network.
+"""Shard chaos scenario: repeated primary kills under a lossy network.
 
 :mod:`repro.sim.chaos` attacks the network of a single server and
 :mod:`repro.sim.crash` attacks its process; this module combines both
 against the sharded fleet. Driver threads push the loadgen protocol mix
 through the :class:`~repro.net.router.ShardRouter` while every leg
 (phone→router and router→shard alike) suffers seeded request/response
-drops — and once enough schedules have been acked, a controller
-hard-kills one shard's primary and promotes its WAL-fed replica in its
-place.
+drops — and a controller runs ``kills`` kill→promote→reseed cycles
+against the fleet. The schedule is deliberately vicious:
 
-The report audits the promise that makes the kill survivable: **acked
-means committed to the WAL**, and promotion replays that WAL, so
+* **cycle 0** hard-kills the victim shard's primary and promotes its
+  WAL-fed replica (durably: the replica's state becomes a checkpoint
+  and a new WAL generation opens), skipping the reseed;
+* **cycle 1** (when ``kills >= 2``) kills the *same shard again* — the
+  freshly promoted, re-attached primary — and lands the kill
+  **mid-reseed**: the replacement replica is bootstrapping from the
+  promotion checkpoint while the primary dies inside checkpoint
+  compaction via the armed ``checkpoint.pre_replace`` crash hook,
+  leaving a torn frame and an uncommitted transaction on disk;
+* later cycles walk the remaining shards, one plain kill each.
+
+The report audits the promise that makes all of this survivable:
+**acked means committed to the WAL**, promotion replays that WAL, and
+re-attach makes the promoted primary's WAL real again, so
 
 * every task id a phone received in a SCHEDULE reply exists on exactly
   one surviving primary (no lost schedules, no duplicate registrations),
 * every acked SENSED_DATA upload has exactly one ``raw_data`` row
   (no lost readings, no duplicate ingestion),
-* after a final replication pump the fleet's replica lag drains to zero.
+* after a final replication pump the fleet's replica lag drains to zero,
+* the victim's *promoted* primary is itself durable: the run ends by
+  hard-killing it one last time and recovering its database from disk
+  alone (:attr:`ShardChaosReport.promoted_recovery_ok`).
 
-Requests that hit the dead shard during the failover window are
-answered with the standard 503 BUSY envelope; the phones' resilient
-clients back off and re-send, and the idempotency layer dedupes
-whatever had already landed. ``tests/integration/test_sharding.py`` and
-the CI ``shard-smoke`` job assert :attr:`ShardChaosReport.data_intact`.
+Requests that hit a dead shard during a failover window are answered
+with the standard 503 BUSY envelope; the phones' resilient clients back
+off and re-send, and the idempotency layer dedupes whatever had already
+landed. ``tests/integration/test_sharding.py`` and the CI
+``shard-smoke`` job (``repro shardchaos --kills 3``) assert
+:attr:`ShardChaosReport.data_intact`.
 """
 
 from __future__ import annotations
@@ -37,6 +52,7 @@ import numpy as np
 
 from repro.common.clock import ManualClock
 from repro.common.errors import TransportError, ValidationError
+from repro.db import DurabilityConfig, open_durable_database
 from repro.net import NetworkConditions
 from repro.net.resilience import BreakerPolicy, ResilientClient, RetryPolicy
 from repro.net.transport import Network
@@ -70,11 +86,16 @@ class ShardChaosSpec:
     kill_shard: int = 1
     # Kill once this many schedules have been acked (mid-run by
     # construction); the controller then promotes the shard's replica.
+    # With several kills, cycle k fires at (k+1) times this threshold.
     kill_after_schedules: int = 30
     # Dead window between the kill and the promotion: long enough that
     # requests for the victim's categories demonstrably hit the BUSY
     # path and have to be re-sent after failover.
     downtime_s: float = 0.05
+    # Kill→promote→reseed cycles. With >= 2, the first two cycles both
+    # hit kill_shard (the second lands mid-reseed, wrecking the WAL tail
+    # via a crash hook); later cycles walk the remaining shards.
+    kills: int = 1
 
     def __post_init__(self) -> None:
         if self.phones < 1:
@@ -91,9 +112,12 @@ class ShardChaosSpec:
             raise ValidationError("response_drop must be a probability")
         if not 0 <= self.kill_shard < self.shards:
             raise ValidationError("kill_shard must name an existing shard")
-        if not 0 < self.kill_after_schedules < self.phones:
+        if self.kills < 1:
+            raise ValidationError("kills must be at least 1")
+        if not 0 < self.kills * self.kill_after_schedules < self.phones:
             raise ValidationError(
-                "kill_after_schedules must fall inside the run"
+                "every kill threshold must fall inside the run "
+                "(kills * kill_after_schedules < phones)"
             )
         if self.downtime_s < 0:
             raise ValidationError("downtime_s must be non-negative")
@@ -129,6 +153,7 @@ class ShardChaosReport:
 
     phones: int
     killed_shard: str
+    kills: int
     acked_schedules: int
     acked_uploads: int
     lost_schedules: int
@@ -136,6 +161,8 @@ class ShardChaosReport:
     lost_uploads: int
     duplicate_uploads: int
     failovers: int
+    reseeds: int
+    promoted_recovery_ok: bool
     replica_lag_after_sync: int
     requests_dropped: int
     responses_dropped: int
@@ -144,13 +171,15 @@ class ShardChaosReport:
 
     @property
     def data_intact(self) -> bool:
-        """Zero acked data lost or duplicated, and the lag drained."""
+        """Zero acked data lost or duplicated, the lag drained, and the
+        promoted primary provably recoverable from its re-attached WAL."""
         return (
             self.lost_schedules == 0
             and self.lost_uploads == 0
             and self.duplicate_tasks == 0
             and self.duplicate_uploads == 0
             and self.replica_lag_after_sync == 0
+            and self.promoted_recovery_ok
         )
 
 
@@ -265,18 +294,46 @@ def run_shard_chaos(spec: ShardChaosSpec) -> ShardChaosReport:
             for thread in threads:
                 thread.start()
 
-            # The controller: wait until the run is demonstrably mid-way
-            # (enough acked schedules), then kill and promote.
-            while (
-                sum(len(c.acked_schedules) for c in all_counts)
-                < spec.kill_after_schedules
-                and any(thread.is_alive() for thread in threads)
-            ):
-                time.sleep(0.002)
-            cluster.kill_primary(victim)
-            if spec.downtime_s:
-                time.sleep(spec.downtime_s)
-            cluster.promote(victim)
+            # The controller: each cycle waits until the run has acked
+            # demonstrably more data than the last kill left behind,
+            # then kills a primary and promotes. Cycles 0 and 1 both
+            # target the victim shard (the second kill hits the freshly
+            # promoted, re-attached primary — and lands mid-reseed);
+            # later cycles walk the remaining shards.
+            def await_acked(threshold: int) -> None:
+                while (
+                    sum(len(c.acked_schedules) for c in all_counts) < threshold
+                    and any(thread.is_alive() for thread in threads)
+                ):
+                    time.sleep(0.002)
+
+            targets = [
+                victim
+                if cycle <= 1
+                else f"shard-{(spec.kill_shard + cycle - 1) % spec.shards}"
+                for cycle in range(spec.kills)
+            ]
+            for cycle, target in enumerate(targets):
+                await_acked((cycle + 1) * spec.kill_after_schedules)
+                if cycle == 1:
+                    # Cycle 0 skipped its reseed so this one races the
+                    # kill: the replacement replica bootstraps from the
+                    # promotion checkpoint while the primary it reads
+                    # from dies inside checkpoint compaction, leaving a
+                    # torn frame + uncommitted transaction on disk.
+                    reseeder = threading.Thread(
+                        target=cluster.reseed, args=(target,), name="sc-reseed"
+                    )
+                    reseeder.start()
+                    cluster.kill_primary(target, wreck=True)
+                    reseeder.join()
+                else:
+                    cluster.kill_primary(target)
+                if spec.downtime_s:
+                    time.sleep(spec.downtime_s)
+                cluster.promote(
+                    target, reseed=(cycle != 0 or spec.kills == 1)
+                )
             for thread in threads:
                 thread.join()
 
@@ -311,11 +368,59 @@ def run_shard_chaos(spec: ShardChaosSpec) -> ShardChaosReport:
             )
             raws_per_task = TallyCounter(row["task_id"] for row in raws)
 
+            # Durability proof for the re-attached WAL: hard-kill the
+            # victim's *promoted* primary one final time and recover its
+            # database from disk alone — every task and upload it held
+            # in memory must come back through checkpoint + replay.
+            proof_shard = cluster.shards[victim]
+            expected_tasks = sorted(
+                row["task_id"]
+                for row in proof_shard.primary.database.table("tasks").select()
+            )
+            expected_uploads = sorted(
+                row["task_id"]
+                for row in proof_shard.primary.database.table(
+                    "raw_data"
+                ).select()
+            )
+            cluster.kill_primary(victim)
+            recovered, _recovery = open_durable_database(
+                DurabilityConfig(directory=proof_shard.directory, fsync=False),
+                name=f"{victim}-proof",
+                metrics=MetricsRegistry(),
+            )
+            promoted_recovery_ok = (
+                sorted(
+                    row["task_id"]
+                    for row in recovered.table("tasks").select()
+                )
+                == expected_tasks
+                and sorted(
+                    row["task_id"]
+                    for row in recovered.table("raw_data").select()
+                )
+                == expected_uploads
+            )
+            if recovered.durability is not None:
+                recovered.durability.close()
+
             busy = registry.get("sor_server_busy_rejections_total")
             failovers = registry.get("sor_shard_failovers_total")
+            reseed_counter = registry.get("sor_shard_reseeds_total")
+            reseeds = (
+                int(
+                    sum(
+                        reseed_counter.value(shard=shard_id)  # type: ignore[union-attr]
+                        for shard_id in cluster.shards
+                    )
+                )
+                if reseed_counter is not None
+                else 0
+            )
             report = ShardChaosReport(
                 phones=spec.phones,
                 killed_shard=victim,
+                kills=spec.kills,
                 acked_schedules=len(acked_schedules),
                 acked_uploads=len(acked_uploads),
                 lost_schedules=sum(
@@ -333,6 +438,8 @@ def run_shard_chaos(spec: ShardChaosSpec) -> ShardChaosReport:
                     count - 1 for count in raws_per_task.values()
                 ),
                 failovers=int(failovers.value()) if failovers else 0,  # type: ignore[union-attr]
+                reseeds=reseeds,
+                promoted_recovery_ok=promoted_recovery_ok,
                 replica_lag_after_sync=lag,
                 requests_dropped=network.stats.requests_dropped,
                 responses_dropped=network.stats.responses_dropped,
@@ -347,10 +454,12 @@ def run_shard_chaos(spec: ShardChaosSpec) -> ShardChaosReport:
 def format_shard_chaos_report(report: ShardChaosReport) -> str:
     """The CLI's human-readable rendering of one shard chaos run."""
     verdict = "INTACT" if report.data_intact else "DATA LOSS"
+    recovery = "OK" if report.promoted_recovery_ok else "LOST DATA"
     return "\n".join(
         [
-            f"shard chaos — {report.phones} phones, killed "
-            f"{report.killed_shard} mid-run ({report.failovers} failover)",
+            f"shard chaos — {report.phones} phones, {report.kills} "
+            f"kill(s) starting at {report.killed_shard} "
+            f"({report.failovers} failovers, {report.reseeds} reseeds)",
             f"acked schedules     : {report.acked_schedules} "
             f"(lost {report.lost_schedules}, "
             f"duplicates {report.duplicate_tasks})",
@@ -358,6 +467,8 @@ def format_shard_chaos_report(report: ShardChaosReport) -> str:
             f"(lost {report.lost_uploads}, "
             f"duplicates {report.duplicate_uploads})",
             f"replica lag (final) : {report.replica_lag_after_sync} records",
+            f"promoted recovery   : {recovery} "
+            "(promoted primary killed and recovered from its re-attached WAL)",
             f"drops               : {report.requests_dropped} requests, "
             f"{report.responses_dropped} responses",
             f"busy replies        : {report.busy_replies:.0f}",

@@ -167,3 +167,61 @@ class TestBootstrap:
             checkpoint.unlink()
         with pytest.raises(RecoveryError, match="cannot catch up"):
             WalShipper(tmp_path).ship(ReplicationCursor())
+
+
+class TestBootstrapCall:
+    """WalShipper.bootstrap(): the re-seed fast path."""
+
+    def test_no_checkpoint_starts_from_history(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 3)
+        snapshot, cursor = WalShipper(tmp_path).bootstrap()
+        assert snapshot is None
+        assert cursor == ReplicationCursor(seq=1, offset=0)
+        db.durability.close()
+
+    def test_missing_directory_starts_from_history(self, tmp_path):
+        snapshot, cursor = WalShipper(tmp_path / "nope").bootstrap()
+        assert snapshot is None
+        assert cursor == ReplicationCursor(seq=1, offset=0)
+
+    def test_newest_checkpoint_plus_tail_matches_primary(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 3)
+        db.durability.checkpoint()
+        make_users(db, 2, start=3)  # the tail past the checkpoint
+        shipper = WalShipper(tmp_path)
+        snapshot, cursor = shipper.bootstrap()
+        assert snapshot is not None
+        assert cursor == ReplicationCursor(seq=2, offset=0)
+        replica = bootstrap_database(snapshot, metrics=MetricsRegistry())
+        assert replica.table("users").count() == 3
+        apply_records(replica, shipper.ship(cursor).records)
+        assert replica.table("users").select() == db.table("users").select()
+        db.durability.close()
+
+    def test_unreadable_checkpoint_raises(self, tmp_path):
+        db, _ = boot(tmp_path)
+        make_users(db, 3)
+        db.durability.checkpoint()
+        db.durability.close()
+        (tmp_path / "checkpoint-00000002.json").write_bytes(b"{broken")
+        with pytest.raises(RecoveryError, match="unreadable"):
+            WalShipper(tmp_path).bootstrap()
+
+
+class TestShippingRaces:
+    def test_vanished_segment_is_a_typed_error(self, tmp_path, monkeypatch):
+        """A segment pruned between scan and read must surface as
+        RecoveryError (which the pump retries), not a raw OSError."""
+        db, _ = boot(tmp_path)
+        make_users(db, 3)
+        db.durability.close()
+        import repro.db.replication as replication_module
+
+        def gone(path):
+            raise FileNotFoundError(f"{path} pruned concurrently")
+
+        monkeypatch.setattr(replication_module, "read_wal_file", gone)
+        with pytest.raises(RecoveryError, match="unreadable"):
+            WalShipper(tmp_path).ship(ReplicationCursor())

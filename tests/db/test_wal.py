@@ -10,11 +10,14 @@ from repro.common.errors import (
 from repro.db import (
     Column,
     ColumnType,
+    Database,
     DurabilityConfig,
     Schema,
+    attach_durability,
     eq,
     open_durable_database,
 )
+from repro.db.replication import ReplicationCursor, WalShipper, apply_records
 from repro.db.wal import WalWriter, read_wal_file
 from repro.obs import MetricsRegistry
 
@@ -334,3 +337,198 @@ class TestMetrics:
         )
         replayed = reopened_registry.counter("sor_db_recovery_replayed_records")
         assert replayed.value() == report.records_replayed
+
+
+def _wreck_generation_one(tmp_path):
+    """A killed primary's directory: 4 committed rows, then wreckage
+    (an uncommitted transaction and a torn frame at the tail)."""
+    db, _ = boot(tmp_path)
+    table = db.table("events")
+    for index in range(4):
+        table.insert({"label": f"pre-{index}", "blob": None})
+    manager = db.durability
+    manager.simulate_partial_transaction(
+        [{"op": "insert", "table": "events", "row": {"label": "doomed"}}]
+    )
+    manager.simulate_torn_append(
+        {"op": "insert", "table": "events", "row": {"label": "torn"}}
+    )
+    manager.close()
+
+
+def _replay_into_replica(tmp_path):
+    """What failover does: rebuild a database purely from shipped WAL."""
+    replica = Database(name="replica")
+    batch = WalShipper(tmp_path).ship(ReplicationCursor())
+    apply_records(replica, batch.records)
+    return replica
+
+
+class TestReattach:
+    def test_attach_to_fresh_directory(self, tmp_path):
+        database = Database(name="fresh")
+        database.create_table(SCHEMA)
+        database.table("events").insert({"label": "pre", "blob": None})
+        manager = attach_durability(database, tmp_path, fsync=False)
+        assert manager.seq == 1
+        assert (tmp_path / "checkpoint-00000001.json").exists()
+        assert (tmp_path / "wal-00000001.log").exists()
+        database.table("events").insert({"label": "post", "blob": None})
+        manager.close()
+        reopened, report = open_durable_database(
+            DurabilityConfig(directory=tmp_path)
+        )
+        labels = sorted(r["label"] for r in reopened.table("events").select())
+        assert labels == ["post", "pre"]
+        assert report.clean_boot and report.checkpoint_seq == 1
+        shutdown(reopened)
+
+    def test_attach_over_killed_generation(self, tmp_path):
+        """The failover shape: replica replay of a wrecked directory,
+        then attach — the inherited tail is sanitized, the state becomes
+        checkpoint 2, and commits resume in generation 2."""
+        _wreck_generation_one(tmp_path)
+        replica = _replay_into_replica(tmp_path)
+        assert len(replica.table("events").select()) == 4
+        manager = attach_durability(replica, tmp_path, fsync=False)
+        assert manager.seq == 2
+        # The inherited segment was physically truncated to its
+        # committed prefix: no torn bytes, no uncommitted transaction.
+        entries, clean, torn = read_wal_file(tmp_path / "wal-00000001.log")
+        assert not torn
+        assert all(e[0].get("op") != "begin" for e in entries)
+        replica.table("events").insert({"label": "gen2", "blob": None})
+        manager.close()
+        reopened, report = open_durable_database(
+            DurabilityConfig(directory=tmp_path)
+        )
+        labels = sorted(r["label"] for r in reopened.table("events").select())
+        assert labels == ["gen2", "pre-0", "pre-1", "pre-2", "pre-3"]
+        assert report.clean_boot and report.checkpoint_seq == 2
+        shutdown(reopened)
+
+    def test_shipping_crosses_the_generation_boundary(self, tmp_path):
+        """A replica whose cursor predates the re-attach keeps working:
+        the sanitized old generation replays straight into the new one."""
+        _wreck_generation_one(tmp_path)
+        replica = _replay_into_replica(tmp_path)
+        manager = attach_durability(replica, tmp_path, fsync=False)
+        replica.table("events").insert({"label": "gen2", "blob": None})
+        manager.close()
+        follower = Database(name="follower")
+        batch = WalShipper(tmp_path).ship(ReplicationCursor())
+        apply_records(follower, batch.records)
+        labels = sorted(r["label"] for r in follower.table("events").select())
+        assert labels == ["gen2", "pre-0", "pre-1", "pre-2", "pre-3"]
+        assert batch.cursor.seq == 2
+
+    def test_mixed_generation_recovery_with_torn_final_record(self, tmp_path):
+        """Satellite: pre-kill segments + re-attach checkpoint +
+        post-promotion segment whose final record is torn."""
+        _wreck_generation_one(tmp_path)
+        replica = _replay_into_replica(tmp_path)
+        manager = attach_durability(replica, tmp_path, fsync=False)
+        replica.table("events").insert({"label": "gen2", "blob": None})
+        manager.simulate_torn_append(
+            {"op": "insert", "table": "events", "row": {"label": "torn2"}}
+        )
+        manager.close()
+        reopened, report = open_durable_database(
+            DurabilityConfig(directory=tmp_path)
+        )
+        labels = sorted(r["label"] for r in reopened.table("events").select())
+        assert labels == ["gen2", "pre-0", "pre-1", "pre-2", "pre-3"]
+        assert report.checkpoint_seq == 2
+        assert report.torn_tail_bytes_discarded > 0
+        shutdown(reopened)
+
+    def test_corrupt_reattach_checkpoint_degrades_to_previous_generation(
+        self, tmp_path
+    ):
+        """Satellite: attach prunes nothing, so when its checkpoint is
+        corrupt, recovery degrades to replaying the full pre-kill
+        history plus the post-promotion segments."""
+        _wreck_generation_one(tmp_path)
+        replica = _replay_into_replica(tmp_path)
+        manager = attach_durability(replica, tmp_path, fsync=False)
+        replica.table("events").insert({"label": "gen2", "blob": None})
+        manager.close()
+        (tmp_path / "checkpoint-00000002.json").write_bytes(b"{not json")
+        reopened, report = open_durable_database(
+            DurabilityConfig(directory=tmp_path)
+        )
+        labels = sorted(r["label"] for r in reopened.table("events").select())
+        assert labels == ["gen2", "pre-0", "pre-1", "pre-2", "pre-3"]
+        assert report.corrupt_checkpoints_skipped == 1
+        assert report.checkpoint_seq == 0  # full-history replay
+        assert report.wal_files_replayed == 2
+        shutdown(reopened)
+
+    def test_attach_refuses_double_attach(self, tmp_path):
+        db, _ = boot(tmp_path)
+        with pytest.raises(DatabaseError, match="already has durability"):
+            attach_durability(db, tmp_path)
+        shutdown(db)
+
+    def test_attach_refuses_mid_transaction(self, tmp_path):
+        database = Database(name="txn")
+        database.create_table(SCHEMA)
+        with pytest.raises(DatabaseError, match="active transaction"):
+            with database.transaction():
+                database.table("events").insert({"label": "a", "blob": None})
+                attach_durability(database, tmp_path)
+
+    def test_attach_counts_reattach_metric(self, tmp_path):
+        registry = MetricsRegistry()
+        database = Database(name="m", metrics=registry)
+        database.create_table(SCHEMA)
+        manager = attach_durability(
+            database, tmp_path, fsync=False, metrics=registry
+        )
+        assert registry.counter("sor_db_wal_reattach_total").value() == 1
+        manager.close()
+
+
+class TestDirectoryFsync:
+    def _record_calls(self, monkeypatch):
+        import repro.db.wal as wal_module
+
+        calls = []
+        monkeypatch.setattr(
+            wal_module, "fsync_directory", lambda path: calls.append(path)
+        )
+        return calls
+
+    def test_segment_and_checkpoint_creation_sync_the_directory(
+        self, tmp_path, monkeypatch
+    ):
+        calls = self._record_calls(monkeypatch)
+        db, _ = boot(tmp_path, fsync=True)
+        assert len(calls) == 1  # the first segment's directory entry
+        db.table("events").insert({"label": "a", "blob": None})
+        db.durability.checkpoint()
+        # + the new segment's creation, + the checkpoint os.replace
+        assert len(calls) == 3
+        shutdown(db)
+
+    def test_reattach_syncs_the_directory(self, tmp_path, monkeypatch):
+        calls = self._record_calls(monkeypatch)
+        database = Database(name="d")
+        database.create_table(SCHEMA)
+        manager = attach_durability(database, tmp_path, fsync=True)
+        # Segment creation and the checkpoint rename both hit the dirfd.
+        assert len(calls) == 2
+        manager.close()
+
+    def test_fsync_off_never_touches_the_directory_fd(
+        self, tmp_path, monkeypatch
+    ):
+        calls = self._record_calls(monkeypatch)
+        db, _ = boot(tmp_path, fsync=False)
+        db.table("events").insert({"label": "a", "blob": None})
+        db.durability.checkpoint()
+        shutdown(db)
+        database = Database(name="d2")
+        database.create_table(SCHEMA)
+        attach_durability(database, tmp_path / "other", fsync=False).close()
+        assert calls == []

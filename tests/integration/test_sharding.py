@@ -1,10 +1,14 @@
-"""End-to-end sharding tests: lossy fleet, mid-run primary kill, audit.
+"""End-to-end sharding tests: lossy fleet, repeated primary kills, audit.
 
-The chaos scenario is the PR's load-bearing claim: a shard primary dies
-mid-field-test under 20% loss on each network leg, a replica is
-promoted under the same host name, and *every* acked schedule and
-upload is still present in the surviving primaries' tables afterward —
-acked means committed to the WAL, and the WAL is the replication log.
+The chaos scenario is the load-bearing claim for durable failover:
+three shard primaries die mid-field-test under 20% loss on each network
+leg — the victim shard twice in a row, the second kill landing on the
+freshly *promoted* primary mid-reseed with a wrecked WAL tail — and
+*every* acked schedule and upload is still present in the surviving
+primaries' tables afterward. Acked means committed to the WAL, the WAL
+is the replication log, and promotion re-attaches a live WAL, so the
+run ends by killing the promoted primary once more and recovering it
+from disk alone.
 """
 
 import pytest
@@ -27,8 +31,9 @@ CHAOS = ShardChaosSpec(
     request_drop=0.2,
     response_drop=0.2,
     kill_shard=1,
-    kill_after_schedules=15,
+    kill_after_schedules=12,
     downtime_s=0.05,
+    kills=3,
 )
 
 
@@ -42,9 +47,18 @@ class TestShardChaos:
         assert chaos_report.requests_dropped > 0
         assert chaos_report.responses_dropped > 0
 
-    def test_exactly_one_failover_happened(self, chaos_report):
-        assert chaos_report.failovers == 1
+    def test_every_kill_cycle_failed_over(self, chaos_report):
+        assert chaos_report.kills == 3
+        assert chaos_report.failovers == 3
         assert chaos_report.killed_shard == "shard-1"
+
+    def test_every_promotion_was_reseeded(self, chaos_report):
+        # Cycle 0 defers its reseed so cycle 1 can race the kill against
+        # it; every cycle still ends with a replacement replica.
+        assert chaos_report.reseeds == 3
+
+    def test_promoted_primary_recovers_from_reattached_wal(self, chaos_report):
+        assert chaos_report.promoted_recovery_ok
 
     def test_every_phone_completed(self, chaos_report):
         assert chaos_report.acked_schedules == CHAOS.phones

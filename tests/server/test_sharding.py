@@ -215,8 +215,13 @@ class TestPromotion:
                 eq("category", "museums")
             )
             assert len(rows) == 2 * len(FEATURES)
-            # The routing table no longer lists the consumed replica.
-            assert cluster.table.shards["shard-0"].replicas == ()
+            # The consumed replica is gone from the routing table; the
+            # re-seeded replacement (fresh host, never reused) is in.
+            assert cluster.table.shards["shard-0"].replicas == ("shard-0-r1",)
+            # The promoted primary is durable: commits flow into a
+            # re-attached WAL in the same directory.
+            assert promoted.database.durability is not None
+            assert not promoted.database.durability.closed
             response = post(network, "shard-0", rank_query("museums"))
             assert Envelope.from_bytes(response.body).message_type is (
                 MessageType.RANKING
@@ -250,6 +255,132 @@ class TestPromotion:
             assert response.status == 200
             reply = Envelope.from_bytes(response.body)
             assert reply.message_type is not MessageType.ERROR
+        finally:
+            cluster.close()
+
+
+class TestDurableFailover:
+    def test_promoted_primary_survives_second_kill(self, tmp_path):
+        """The core durable-promotion claim: kill the shard twice.
+
+        Data written *after* the first promotion goes through the
+        re-attached WAL, so the second promotion (from the re-seeded
+        replica) must recover it too.
+        """
+        cluster, _ = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            cluster.kill_primary("shard-0")
+            promoted = cluster.promote("shard-0")
+            # New acked data on the promoted primary, never synced to
+            # the replacement replica before the second kill.
+            seed_features(promoted, 2, "museums")
+            cluster.kill_primary("shard-0")
+            second = cluster.promote("shard-0")
+            rows = second.database.table("feature_data").select(
+                eq("category", "museums")
+            )
+            assert len(rows) == 3 * len(FEATURES)
+            assert second.database.durability is not None
+            failovers = cluster.metrics.get("sor_shard_failovers_total")
+            assert failovers.value() == 2
+        finally:
+            cluster.close()
+
+    def test_promote_refuses_laggy_replica(self, tmp_path):
+        """A replica whose catch-up leaves shipped records unapplied
+        must not be silently promoted over acked data."""
+        cluster, _ = make_cluster(tmp_path)
+        try:
+            # Written after the replica's constructor sync, never
+            # shipped: the replica is genuinely behind the log.
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            cluster.kill_primary("shard-0")
+            replica = cluster.shards["shard-0"].replicas[0]
+            replica.sync = lambda: 0  # a catch-up pass that goes nowhere
+            with pytest.raises(ConfigurationError, match="laggy"):
+                cluster.promote("shard-0")
+        finally:
+            cluster.close()
+
+    def test_promote_reports_catchup_count_in_metrics(self, tmp_path):
+        cluster, _ = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            cluster.kill_primary("shard-0")
+            cluster.promote("shard-0")
+            catchup = cluster.metrics.get(
+                "sor_shard_promote_catchup_records_total"
+            )
+            # The feature rows written after the ctor sync were only
+            # recovered by promotion's final file-level catch-up.
+            assert catchup.value(shard="shard-0") >= 2 * len(FEATURES)
+        finally:
+            cluster.close()
+
+    def test_reseeded_replica_bootstraps_from_checkpoint(self, tmp_path):
+        cluster, network = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            cluster.kill_primary("shard-0")
+            cluster.promote("shard-0")
+            shard = cluster.shards["shard-0"]
+            assert [replica.host for replica in shard.replicas] == [
+                "shard-0-r1"
+            ]
+            replacement = shard.replicas[0]
+            # Bootstrapped from the promotion checkpoint (generation 2),
+            # not a full replay of segment 1.
+            assert replacement._cursor.seq >= 2
+            reseeds = cluster.metrics.get("sor_shard_reseeds_total")
+            assert reseeds.value(shard="shard-0") == 1
+            bootstraps = cluster.metrics.get(
+                "sor_shard_replica_bootstraps_total"
+            )
+            assert bootstraps.value(replica="shard-0-r1") == 1
+            # And it serves rank queries for the shard's category.
+            response = post(network, "shard-0-r1", rank_query("museums"))
+            assert response.status == 200
+            assert Envelope.from_bytes(response.body).message_type is (
+                MessageType.RANKING
+            )
+        finally:
+            cluster.close()
+
+    def test_promote_without_reseed_leaves_replica_set_empty(self, tmp_path):
+        cluster, _ = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            cluster.kill_primary("shard-0")
+            cluster.promote("shard-0", reseed=False)
+            assert cluster.shards["shard-0"].replicas == []
+            assert cluster.table.shards["shard-0"].replicas == ()
+        finally:
+            cluster.close()
+
+    def test_wreck_kill_is_survivable(self, tmp_path):
+        """A kill inside checkpoint compaction plus a torn, uncommitted
+        WAL tail: promotion must discard the wreckage, keep the acked
+        rows, and re-attach cleanly on top."""
+        cluster, _ = make_cluster(tmp_path)
+        try:
+            place_category(cluster, (0, 1), "museums", pin_to="shard-0")
+            cluster.kill_primary("shard-0", wreck=True)
+            promoted = cluster.promote("shard-0")
+            rows = promoted.database.table("feature_data").select(
+                eq("category", "museums")
+            )
+            assert len(rows) == 2 * len(FEATURES)
+            assert not any("doomed" in str(row) for row in rows)
+            # And the wrecked directory still recovers after yet
+            # another kill — the re-attach sanitized the torn tail.
+            seed_features(promoted, 2, "museums")
+            cluster.kill_primary("shard-0")
+            second = cluster.promote("shard-0")
+            rows = second.database.table("feature_data").select(
+                eq("category", "museums")
+            )
+            assert len(rows) == 3 * len(FEATURES)
         finally:
             cluster.close()
 
