@@ -1,0 +1,220 @@
+"""The CI scaling gate: city-scale horizons stay fast and linear.
+
+Runs the lazy-vs-stochastic scaling curve
+(:func:`repro.experiments.ablations.run_scaling_ablation`) up to 10⁵
+instants with a 10³-pick budget and gates four properties:
+
+1. **speed** — at the 10⁵-instant point the stochastic greedy must be
+   at least ``--min-speedup`` faster than the exact accelerated sweep
+   (the sampled pick is O((N/B)·log(1/ε)) per pick, horizon-free);
+2. **value** — every point's stochastic objective must stay within
+   ``--min-value-ratio`` of the exact greedy value (the
+   ``(1 − 1/e − ε)`` bound holds in expectation; in practice the ratio
+   sits at ~0.99);
+3. **memory** — the tracemalloc peak of a banded stochastic solve must
+   stay under ``--max-bytes-per-instant`` × N at every point (the
+   banded representation is O(N·window); the dense |T|×|T| matrices
+   would need 80 GB at N = 10⁵) and under ``--max-peak-mb`` overall;
+4. **exactness** — at the smallest point the banded and dense
+   representations must produce bitwise-identical exact-greedy
+   schedules and objective values (the band is a different *layout* of
+   the same floats, not an approximation).
+
+The whole curve must finish inside ``--max-seconds`` wall seconds.
+Writes ``BENCH_scaling.json`` in the canonical gate schema that
+``compare_bench.py`` diffs against the committed baseline in
+``benchmarks/baselines/``.
+
+Usage::
+
+    python benchmarks/bench_scaling.py               # CI defaults
+    python benchmarks/bench_scaling.py --rounds 1    # quicker local run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--users", type=int, default=50)
+    parser.add_argument("--budget", type=int, default=20)
+    parser.add_argument(
+        "--instants",
+        type=int,
+        nargs="+",
+        default=[2_000, 20_000, 100_000],
+        help="horizon lengths; the last one is the gated point",
+    )
+    # The measured speedup at 10^5 instants is ~5.3x; the hard floor
+    # sits below it so shared-runner jitter on the lazy baseline cannot
+    # flake the job, while the committed BENCH_scaling.json baseline
+    # pins the 5x expectation with its own tolerance.
+    parser.add_argument("--min-speedup", type=float, default=4.0)
+    parser.add_argument("--min-value-ratio", type=float, default=0.9)
+    parser.add_argument("--max-bytes-per-instant", type=float, default=1000.0)
+    parser.add_argument("--max-peak-mb", type=float, default=2048.0)
+    parser.add_argument("--max-seconds", type=float, default=60.0)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_scaling.json"))
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from repro.core.scheduling import (
+        GaussianKernel,
+        GreedyScheduler,
+        SchedulingPeriod,
+        SchedulingProblem,
+    )
+    from repro.experiments.ablations import PERIOD_S, run_scaling_ablation
+    from repro.sim.arrivals import uniform_arrivals
+
+    failures: list[str] = []
+    started = time.perf_counter()
+
+    points = run_scaling_ablation(
+        instant_counts=tuple(args.instants),
+        users=args.users,
+        budget=args.budget,
+        seed=args.seed,
+        rounds=args.rounds,
+    )
+    print(
+        f"{'N':>8} {'sigma_s':>8} {'lazy':>9} {'stochastic':>11} "
+        f"{'speedup':>8} {'value':>7} {'peak':>9}"
+    )
+    for point in points:
+        print(
+            f"{point.num_instants:>8} {point.sigma_s:>8.2f} "
+            f"{point.lazy_seconds * 1000:>7.1f}ms "
+            f"{point.stochastic_seconds * 1000:>9.1f}ms "
+            f"{point.speedup:>7.2f}x {point.value_ratio:>7.4f} "
+            f"{point.peak_bytes / 1e6:>7.1f}MB"
+        )
+        if point.value_ratio < args.min_value_ratio:
+            failures.append(
+                f"N={point.num_instants}: stochastic value ratio "
+                f"{point.value_ratio:.4f} below {args.min_value_ratio}"
+            )
+        if point.peak_bytes_per_instant > args.max_bytes_per_instant:
+            failures.append(
+                f"N={point.num_instants}: tracemalloc peak "
+                f"{point.peak_bytes_per_instant:.0f} B/instant exceeds "
+                f"{args.max_bytes_per_instant:.0f} (banded memory must "
+                "stay O(N*window))"
+            )
+        if point.peak_bytes > args.max_peak_mb * 1e6:
+            failures.append(
+                f"N={point.num_instants}: tracemalloc peak "
+                f"{point.peak_bytes / 1e6:.0f} MB exceeds "
+                f"{args.max_peak_mb:.0f} MB"
+            )
+    gated = points[-1]
+    if gated.speedup < args.min_speedup:
+        failures.append(
+            f"N={gated.num_instants}: stochastic speedup {gated.speedup:.2f}x "
+            f"below required {args.min_speedup:.1f}x"
+        )
+
+    # Bitwise banded-vs-dense replay at the smallest (dense-feasible)
+    # horizon: same assignments, exactly equal objective value.
+    replay_instants = min(args.instants)
+    rng = np.random.default_rng(args.seed)
+    period = SchedulingPeriod(0.0, PERIOD_S, replay_instants)
+    problem = SchedulingProblem(
+        period,
+        uniform_arrivals(args.users, PERIOD_S, args.budget, rng),
+        GaussianKernel(sigma=100_000.0 / replay_instants),
+    )
+    banded = GreedyScheduler(mode="lazy", representation="banded").solve(problem)
+    dense = GreedyScheduler(mode="lazy", representation="dense").solve(problem)
+    bitwise = (
+        banded.assignments == dense.assignments
+        and banded.objective_value == dense.objective_value
+    )
+    print(
+        f"banded-vs-dense bitwise replay at N={replay_instants}: "
+        f"{'identical' if bitwise else 'DIVERGED'}"
+    )
+    if not bitwise:
+        failures.append(
+            f"banded and dense representations diverged at "
+            f"N={replay_instants}: value {banded.objective_value!r} vs "
+            f"{dense.objective_value!r}"
+        )
+
+    elapsed = time.perf_counter() - started
+    print(f"curve wall time {elapsed:.1f}s (budget {args.max_seconds:.0f}s)")
+    if elapsed > args.max_seconds:
+        failures.append(
+            f"scaling curve took {elapsed:.1f}s, over the "
+            f"{args.max_seconds:.0f}s budget"
+        )
+
+    payload = {
+        "metrics": {
+            "scaling_stochastic_speedup": {
+                "value": gated.speedup,
+                "direction": "higher",
+                "tolerance_pct": 25,
+            },
+            "scaling_value_ratio": {
+                "value": gated.value_ratio,
+                "direction": "higher",
+                "tolerance_pct": 5,
+            },
+            "scaling_peak_bytes_per_instant": {
+                "value": max(p.peak_bytes_per_instant for p in points),
+                "direction": "lower",
+                "tolerance_pct": 100,
+            },
+            "scaling_stochastic_seconds": {
+                "value": gated.stochastic_seconds,
+                "direction": "lower",
+                "tolerance_pct": 200,
+            },
+        },
+        "info": {
+            "seed": args.seed,
+            "rounds": args.rounds,
+            "users": args.users,
+            "budget": args.budget,
+            "total_budget": args.users * args.budget,
+            "instants": list(args.instants),
+            "curve": [
+                {
+                    "num_instants": p.num_instants,
+                    "sigma_s": p.sigma_s,
+                    "lazy_seconds": p.lazy_seconds,
+                    "stochastic_seconds": p.stochastic_seconds,
+                    "speedup": p.speedup,
+                    "value_ratio": p.value_ratio,
+                    "peak_bytes": p.peak_bytes,
+                }
+                for p in points
+            ],
+            "banded_dense_bitwise": bitwise,
+            "wall_seconds": elapsed,
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if failures:
+        print(f"\nscaling gate FAILED ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("scaling gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

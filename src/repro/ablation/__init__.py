@@ -1,15 +1,18 @@
 """Automated ablation harness: leave-one-out matrix over the injectable
-components (scheduling backend, lazy greedy, ranking cache, concurrency,
-resilience, durability), a pinned-seed benchmark slate, and a ranked
-component-importance report with CI gates. See docs/ABLATION.md.
+components (scheduling backend, lazy greedy, stochastic sampling,
+ranking cache, concurrency, resilience, durability), a pinned-seed
+benchmark slate, and a ranked component-importance report with CI
+gates. See docs/ABLATION.md.
 """
 
 from repro.ablation.apply import (
     effective_greedy_values,
     effective_server_values,
+    effective_stochastic_values,
     effective_system_values,
     greedy_kwargs,
     server_kwargs,
+    stochastic_greedy_kwargs,
     system_kwargs,
 )
 from repro.ablation.benches import (
@@ -60,12 +63,14 @@ __all__ = [
     "effect_ratio",
     "effective_greedy_values",
     "effective_server_values",
+    "effective_stochastic_values",
     "effective_system_values",
     "format_report",
     "greedy_kwargs",
     "render",
     "run_ablation",
     "server_kwargs",
+    "stochastic_greedy_kwargs",
     "system_kwargs",
     "to_bench_json",
 ]

@@ -21,7 +21,7 @@ from repro.server.concurrency import ConcurrencyConfig
 from repro.server.server import SensingServer
 from repro.server.system import SORSystem
 
-from repro.ablation.registry import ON
+from repro.ablation.registry import OFF, ON
 
 
 def _value(values: Mapping[str, Any], name: str, default: Any) -> Any:
@@ -38,6 +38,30 @@ def greedy_kwargs(values: Mapping[str, Any]) -> dict[str, Any]:
         "backend": _value(values, "backend", "numpy"),
         "lazy": mode == "lazy",
     }
+
+
+def stochastic_greedy_kwargs(
+    values: Mapping[str, Any], *, seed: int = 2014
+) -> dict[str, Any]:
+    """``GreedyScheduler`` keywords for the long-horizon stochastic cell.
+
+    Pinned to the numpy backend on purpose: the ``stochastic`` switch
+    measures sampled picks against the exact accelerated sweep, and
+    running its long-horizon cell on the scalar reference backend would
+    conflate that with the ``backend`` switch (and take minutes). The
+    ablated value falls back to the exact mode the ``lazy_greedy``
+    switch selects, so the twin is the system as it would actually run
+    without sampling.
+    """
+    value = _value(values, "stochastic", ON)
+    if value not in (ON, OFF):
+        raise AblationError(f"stochastic must be 'on' or 'off', got {value!r}")
+    mode = (
+        "stochastic"
+        if value == ON
+        else _value(values, "lazy_greedy", "lazy")
+    )
+    return {"backend": "numpy", "mode": mode, "seed": seed}
 
 
 def server_kwargs(
@@ -89,6 +113,11 @@ def effective_greedy_values(scheduler: Any) -> dict[str, Any]:
         "backend": scheduler.backend,
         "lazy_greedy": "lazy" if scheduler.lazy else "argmax",
     }
+
+
+def effective_stochastic_values(scheduler: Any) -> dict[str, Any]:
+    """Probe the stochastic cell's ``GreedyScheduler`` back out."""
+    return {"stochastic": ON if scheduler.mode == "stochastic" else OFF}
 
 
 def effective_server_values(server: SensingServer) -> dict[str, Any]:

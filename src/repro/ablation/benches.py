@@ -4,10 +4,14 @@ Four benches, one per subsystem the switch matrix touches:
 
 * ``scheduling`` — offline greedy on a seeded problem; times the
   configured backend/strategy pair (the ``backend`` switch's primary
-  metric) and the configured strategy on the scalar reference backend
+  metric), the configured strategy on the scalar reference backend
   (the ``lazy_greedy`` switch's primary — on the numpy backend the
   maintained gains array makes both strategies equally cheap, so the
-  lazy heap's contribution is only measurable where it actually runs);
+  lazy heap's contribution is only measurable where it actually runs),
+  and a long-horizon cell pinned to the numpy backend where the
+  ``stochastic`` switch's sampled picks race the exact sweep (the cell
+  emits its objective value too, so a run can eyeball the value cost
+  of sampling — no digest: stochastic schedules legitimately differ);
 * ``ranking`` — repeated warm ``rank_many`` over unchanged data against
   a seeded feature table (the ``ranking_cache`` switch);
 * ``loadgen`` — a scaled-down :mod:`repro.sim.loadgen` run with
@@ -36,7 +40,11 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from repro.ablation.apply import greedy_kwargs, system_kwargs
+from repro.ablation.apply import (
+    greedy_kwargs,
+    stochastic_greedy_kwargs,
+    system_kwargs,
+)
 from repro.core.scheduling import (
     GaussianKernel,
     GreedyScheduler,
@@ -64,6 +72,13 @@ class BenchScale:
     scheduling_users: int = 40
     scheduling_budget: int = 15
     scheduling_sigma_s: float = 60.0
+    # The stochastic cell needs a horizon long enough that a dense sweep
+    # per pick actually hurts; sigma shrinks with the spacing so the
+    # kernel band stays ~60 instants wide.
+    stochastic_instants: int = 20_000
+    stochastic_users: int = 40
+    stochastic_budget: int = 15
+    stochastic_sigma_s: float = 5.0
     ranking_places: int = 8
     ranking_features: int = 4
     ranking_rounds: int = 30
@@ -128,6 +143,18 @@ def _scheduling_problem(seed: int, scale: BenchScale) -> SchedulingProblem:
     )
 
 
+def _stochastic_problem(seed: int, scale: BenchScale) -> SchedulingProblem:
+    rng = np.random.default_rng(seed)
+    period = SchedulingPeriod(0.0, PERIOD_S, scale.stochastic_instants)
+    return SchedulingProblem(
+        period,
+        uniform_arrivals(
+            scale.stochastic_users, PERIOD_S, scale.stochastic_budget, rng
+        ),
+        GaussianKernel(sigma=scale.stochastic_sigma_s),
+    )
+
+
 def bench_scheduling(
     values: Mapping[str, Any], *, seed: int, repeat: int, scale: BenchScale
 ) -> BenchResult:
@@ -142,11 +169,24 @@ def bench_scheduling(
     reference_seconds, reference_schedule = _best_of(
         repeat, lambda: reference.solve(problem)
     )
+    # Long-horizon cell: sampled picks (baseline) vs the exact sweep
+    # (ablated twin), numpy backend only — see stochastic_greedy_kwargs.
+    # The schedule is deterministic under the pinned seed but differs
+    # from exact greedy by design, so it contributes no digest.
+    long_problem = _stochastic_problem(seed, scale)
+    stochastic = GreedyScheduler(
+        metrics=MetricsRegistry(), **stochastic_greedy_kwargs(values, seed=seed)
+    )
+    stochastic_seconds, stochastic_schedule = _best_of(
+        repeat, lambda: stochastic.solve(long_problem)
+    )
     return BenchResult(
         metrics={
             "scheduling_seconds": seconds,
             "scheduling_reference_seconds": reference_seconds,
             "scheduling_value": schedule.objective_value,
+            "scheduling_stochastic_seconds": stochastic_seconds,
+            "scheduling_stochastic_value": stochastic_schedule.objective_value,
         },
         digests={
             "schedule": _digest(schedule.assignments),

@@ -218,6 +218,21 @@ def default_registry() -> SwitchRegistry:
     )
     registry.register(
         Switch(
+            name="stochastic",
+            description="stochastic-greedy sampled picks vs the exact "
+            "accelerated sweep on the long-horizon scheduling cell "
+            "(approximate by design: schedules differ from exact greedy, "
+            "so no behavior digest is promised)",
+            baseline=ON,
+            ablated=OFF,
+            primary_metric="scheduling_stochastic_seconds",
+            gate=True,
+            gate_floor=2.0,
+            gate_tolerance_pct=50.0,
+        )
+    )
+    registry.register(
+        Switch(
             name="ranking_cache",
             description="versioned ranking cache vs running the full "
             "Algorithm 2 pipeline on every rank query",

@@ -100,6 +100,17 @@ class SchedulingError(ReproError):
     """Raised by the sensing scheduler (infeasible request, bad period)."""
 
 
+class KernelValidationError(SchedulingError):
+    """A coverage kernel returned an out-of-range probability.
+
+    Off the diagonal (distance > 0) probabilities must lie in [0, 1):
+    a probability of exactly 1 at nonzero distance makes the log-space
+    survival state ``log1p(-p) = -inf`` and silently poisons every
+    objective value downstream, so the build rejects it up front, naming
+    the kernel and the offending distance.
+    """
+
+
 class RankingError(ReproError):
     """Raised by the personalizable ranking pipeline."""
 

@@ -32,9 +32,11 @@ from repro.core.scheduling.coverage import (
 )
 from repro.core.scheduling.evaluate import average_coverage, evaluate_instants
 from repro.core.scheduling.greedy import (
+    GREEDY_MODES,
     GreedyScheduler,
     argmax_tied_low,
     brute_force_optimal,
+    stochastic_sample_size,
 )
 from repro.core.scheduling.matroid import BudgetPartitionMatroid, Matroid
 from repro.core.scheduling.multikernel import (
@@ -45,15 +47,20 @@ from repro.core.scheduling.multikernel import (
 from repro.core.scheduling.objective import (
     BACKENDS,
     DEFAULT_BACKEND,
+    DEFAULT_REPRESENTATION,
+    REPRESENTATIONS,
     CoverageObjective,
+    KernelMatrices,
     clear_kernel_matrix_cache,
     coverage_of_instants,
     kernel_matrices,
+    kernel_matrix_cache_bytes,
     make_objective,
 )
 from repro.core.scheduling.reference import (
     ReferenceCoverageObjective,
     reference_coverage_of_instants,
+    validate_kernel_weights,
 )
 from repro.core.scheduling.peruser import PerUserGreedyScheduler, per_user_sum_value
 from repro.core.scheduling.problem import (
@@ -66,6 +73,9 @@ from repro.core.scheduling.problem import (
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "DEFAULT_REPRESENTATION",
+    "GREEDY_MODES",
+    "REPRESENTATIONS",
     "BudgetPartitionMatroid",
     "CoverageKernel",
     "CoverageObjective",
@@ -73,6 +83,7 @@ __all__ = [
     "FeatureKernel",
     "GaussianKernel",
     "GreedyScheduler",
+    "KernelMatrices",
     "Matroid",
     "MobileUser",
     "MultiKernelGreedyScheduler",
@@ -91,7 +102,10 @@ __all__ = [
     "coverage_of_instants",
     "evaluate_instants",
     "kernel_matrices",
+    "kernel_matrix_cache_bytes",
     "make_objective",
     "per_user_sum_value",
     "reference_coverage_of_instants",
+    "stochastic_sample_size",
+    "validate_kernel_weights",
 ]

@@ -6,22 +6,43 @@ when no user can be scheduled further. Because the objective is monotone
 submodular and the constraint a (partition) matroid, greedy achieves at
 least half the optimum [paper ref 10].
 
-Two execution strategies produce **identical** schedules:
+Three execution modes; the first two produce **identical** schedules:
 
-* ``lazy=False`` — the paper's O(N²) loop: recompute every instant's
-  gain each iteration and take the argmax,
-* ``lazy=True`` (default) — accelerated evaluation. On the reference
-  backend this is the classic lazy max-heap: keep stale gains and only
-  re-evaluate the top, valid because marginal gains only decrease as
-  the solution grows (submodularity). On the numpy backend the
-  objective *maintains* its gains array incrementally
+* ``mode="argmax"`` (``lazy=False``) — the paper's O(N²) loop:
+  recompute every instant's gain each iteration and take the argmax,
+* ``mode="lazy"`` (``lazy=True``, default) — accelerated evaluation.
+  On the reference backend this is the classic lazy max-heap: keep
+  stale gains and only re-evaluate the top, valid because marginal
+  gains only decrease as the solution grows (submodularity). On the
+  numpy backend the objective *maintains* its gains array incrementally
   (``maintains_gains``), so re-evaluation is free and the heap is pure
   overhead — the accelerated path is a dense masked argmax per pick
   over the maintained array.
+* ``mode="stochastic"`` — stochastic greedy (Mirzasoleiman et al.'s
+  "lazier than lazy greedy", applied to sensor scheduling by Hashemi
+  et al., arXiv:1709.08823): each pick draws
+  ``s = ⌈(|T|/B)·ln(1/ε)⌉`` candidates uniformly from the feasible
+  instants with an injected seeded rng and takes the best sampled
+  gain — O(s) gain reads per pick instead of O(|T|), keeping the
+  ``(1 − 1/e − ε)``-of-optimal guarantee *in expectation*. Exact under
+  a fixed seed (the scaling bench and the hypothesis suite pin both
+  determinism and value-within-ε), but NOT schedule-identical to the
+  exact modes — use it when the horizon is too long for a dense sweep
+  per pick (≳10⁴ instants; see docs/SCHEDULING.md). A dry sample
+  (every sampled gain below ``min_gain``) falls back to one exact
+  masked sweep, so the loop terminates exactly when exact greedy
+  would and never stops early on an unlucky draw.
 
-All variants read the same maintained/recomputed gain values and break
-exact ties toward the lower instant index, so their outputs match
-bitwise within a backend.
+The exact variants read the same maintained/recomputed gain values and
+break exact ties toward the lower instant index, so their outputs match
+bitwise within and across backends. The stochastic mode is exactly
+deterministic under a fixed seed *within* a backend, but its schedules
+are not guaranteed identical across backends: the numpy backend scores
+sampled candidates with one BLAS dot per window (accumulation order
+differs from the fold tree by ~1 ulp — see ``CoverageObjective.
+gains_at``) and breaks exact ties toward the first-drawn candidate,
+while the reference backend walks a sorted, deduplicated sample with
+fold-order gains.
 
 Both strategies run on either coverage backend (``backend="numpy"`` —
 the vectorized default — or ``"reference"``, the scalar specification;
@@ -40,6 +61,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,8 +80,32 @@ from repro.obs import MetricsRegistry, get_metrics
 
 AnyCoverageObjective = CoverageObjective | ReferenceCoverageObjective
 
+#: The selectable greedy execution modes.
+GREEDY_MODES = ("lazy", "argmax", "stochastic")
+
 #: Sentinel key for infeasible users in the `_pick_user` argmin.
 _INFEASIBLE_KEY = np.iinfo(np.int64).max
+
+
+def stochastic_sample_size(
+    num_candidates: int, total_budget: int, epsilon: float
+) -> int:
+    """Per-pick sample size ``⌈(N/B)·ln(1/ε)⌉``, clamped to [1, N].
+
+    The stochastic-greedy bound: drawing this many uniform candidates
+    per pick keeps the expected value within ``(1 − 1/e − ε)`` of
+    optimal (Mirzasoleiman et al. 2015; Hashemi et al.,
+    arXiv:1709.08823, for the scheduling setting). A non-positive
+    budget degenerates to the full candidate count.
+    """
+    if num_candidates <= 0:
+        return 0
+    if total_budget <= 0:
+        return num_candidates
+    size = math.ceil(
+        (num_candidates / total_budget) * math.log(1.0 / epsilon)
+    )
+    return int(max(1, min(num_candidates, size)))
 
 
 @dataclass
@@ -87,7 +133,7 @@ def argmax_tied_low(values: np.ndarray) -> int:
     load-bearing for the differential tests, so it lives behind a name
     with a regression test rather than an implementation detail.)
     """
-    return int(np.argmax(values))
+    return int(np.asarray(values).argmax())
 
 
 class GreedyScheduler:
@@ -97,6 +143,20 @@ class GreedyScheduler:
     below it: scheduling a measurement that adds (numerically) nothing
     would only burn a phone's budget and battery. Set it to 0 to run the
     matroid to a basis like the paper's literal while-condition.
+
+    ``mode`` selects the execution strategy (``"lazy"``, ``"argmax"``
+    or ``"stochastic"``; see the module docstring) and wins over the
+    older ``lazy`` boolean when both are given. The stochastic mode
+    samples with ``rng`` if injected, else a fresh
+    ``np.random.default_rng(seed)`` per solve — so a scheduler object
+    re-solved with the same seed is exactly deterministic, while an
+    injected generator advances across solves under the caller's
+    control. ``sample_epsilon`` is the ε of the sample-size formula
+    (smaller ε → larger samples → tighter guarantee).
+
+    ``representation`` threads through to the numpy objective's
+    kernel-matrix layout (banded by default; dense only for the
+    differential suite).
     """
 
     def __init__(
@@ -106,10 +166,32 @@ class GreedyScheduler:
         min_gain: float = 1e-12,
         backend: str = DEFAULT_BACKEND,
         metrics: MetricsRegistry | None = None,
+        mode: str | None = None,
+        sample_epsilon: float = 0.1,
+        seed: int = 2014,
+        rng: np.random.Generator | None = None,
+        representation: str | None = None,
     ) -> None:
-        self.lazy = lazy
+        if mode is None:
+            mode = "lazy" if lazy else "argmax"
+        if mode not in GREEDY_MODES:
+            raise SchedulingError(
+                f"unknown greedy mode {mode!r}; expected one of {GREEDY_MODES}"
+            )
+        if not 0.0 < sample_epsilon < 1.0:
+            raise SchedulingError(
+                f"sample_epsilon must be in (0, 1), got {sample_epsilon!r}"
+            )
+        self.mode = mode
+        #: Back-compat view of ``mode``: every non-argmax mode uses
+        #: accelerated evaluation.
+        self.lazy = mode != "argmax"
         self.min_gain = min_gain
         self.backend = backend
+        self.sample_epsilon = sample_epsilon
+        self.seed = seed
+        self.rng = rng
+        self.representation = representation
         self.metrics = metrics if metrics is not None else get_metrics()
         # Evaluation counts are accumulated locally inside the loops and
         # reported once per solve, so instrumentation stays off the
@@ -127,13 +209,34 @@ class GreedyScheduler:
             "sor_greedy_coverage",
             "average coverage achieved by the most recent solve",
         )
+        self._m_samples = self.metrics.counter(
+            "sor_greedy_stochastic_samples_total",
+            "candidate draws made by the stochastic greedy sampler",
+        )
+        self._m_fallbacks = self.metrics.counter(
+            "sor_greedy_stochastic_fallbacks_total",
+            "dry stochastic samples resolved by an exact masked sweep",
+        )
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def solve(self, problem: SchedulingProblem) -> Schedule:
         """Compute a schedule for every user of ``problem``."""
-        objective = make_objective(problem.period, problem.kernel, self.backend)
+        objective_kwargs = (
+            {"representation": self.representation}
+            if self.representation is not None
+            else {}
+        )
+        if self.mode == "stochastic":
+            # The sampling loop only scores O((N/B)·log(1/ε)) candidates
+            # per pick via the batched ``gains_at``, so the numpy
+            # backend's per-add full-band gains maintenance would be
+            # pure overhead — turn it off.
+            objective_kwargs["maintain_gains"] = False
+        objective = make_objective(
+            problem.period, problem.kernel, self.backend, **objective_kwargs
+        )
         num_users = len(problem.users)
         remaining = np.array(
             [user.budget for user in problem.users], dtype=np.int64
@@ -176,7 +279,17 @@ class GreedyScheduler:
         assigned: dict[int, set[int]] = {
             user_index: set() for user_index in range(num_users)
         }
-        if self.lazy and not getattr(objective, "maintains_gains", False):
+        if self.mode == "stochastic":
+            rng = (
+                self.rng
+                if self.rng is not None
+                else np.random.default_rng(self.seed)
+            )
+            evaluations = self._run_stochastic(
+                problem, objective, pick_state, remaining, available, assigned,
+                rng,
+            )
+        elif self.lazy and not getattr(objective, "maintains_gains", False):
             evaluations = self._run_lazy(
                 problem, objective, pick_state, remaining, available, assigned
             )
@@ -199,9 +312,8 @@ class GreedyScheduler:
             objective_value=objective.value(),
         )
         schedule.validate()
-        self._m_evaluations.inc(
-            evaluations, strategy="lazy" if self.lazy else "naive"
-        )
+        strategy = {"lazy": "lazy", "argmax": "naive"}.get(self.mode, self.mode)
+        self._m_evaluations.inc(evaluations, strategy=strategy)
         self._m_selected.inc(sum(len(instants) for instants in assigned.values()))
         self._m_coverage.set(schedule.average_coverage)
         return schedule
@@ -360,6 +472,188 @@ class GreedyScheduler:
                     break
             if not committed:
                 return evaluations
+
+    # ------------------------------------------------------------------
+    # stochastic-sampling loop
+    # ------------------------------------------------------------------
+    def _run_stochastic(
+        self,
+        problem: SchedulingProblem,
+        objective: AnyCoverageObjective,
+        pick_state: _PickState,
+        remaining: np.ndarray,
+        available: np.ndarray,
+        assigned: dict[int, set[int]],
+        rng: np.random.Generator,
+    ) -> int:
+        """Stochastic-greedy loop; returns the number of gain evaluations.
+
+        Per pick: draw ``s = ⌈(N/B)·ln(1/ε)⌉`` uniform candidates from
+        the feasible instants (with replacement — the coupon-style bound
+        ``P(sample misses the top set) ≤ (1 − k/N)^s`` holds verbatim,
+        and an O(s) draw keeps the pick cost independent of the
+        horizon), score them in one batched ``gains_at`` call (numpy
+        backend) or one ``objective.gain`` call per distinct candidate
+        (reference), and commit the best sampled gain to the user with
+        the most remaining budget. Only when that single best candidate
+        has no free user does the pick fall back to a best-first walk
+        over the rest of the sample. A dry sample — nothing drawn
+        clears ``min_gain`` or has a free user — falls back to one
+        exact masked sweep: stop if the true best is below ``min_gain``
+        (exact greedy would stop here too), else commit it. The
+        fallback preserves termination and can only raise the achieved
+        value, so the ``(1 − 1/e − ε)`` expectation bound is untouched.
+        """
+        num_instants = problem.period.num_instants
+        maintained = getattr(objective, "maintains_gains", False)
+        # The numpy backend scores an arbitrary candidate set in one
+        # banded matvec (duplicates from the with-replacement draw are
+        # scored twice — cheaper than deduplicating); the reference
+        # backend pays a scalar ``gain()`` per candidate, so that path
+        # deduplicates first.
+        gains_at = getattr(objective, "gains_at", None)
+        pooled: set[int] = set()
+        evaluations = 0
+        samples_drawn = 0
+        fallbacks = 0
+        budget_left = int(remaining.sum())
+        sample_size = stochastic_sample_size(
+            num_instants, budget_left, self.sample_epsilon
+        )
+        feasible_mask = available > 0
+        feasible_indices = np.flatnonzero(feasible_mask)
+        # Draws are taken in chunks of up to 32 picks: one
+        # ``rng.integers`` call per chunk instead of per pick (the
+        # generator's per-call overhead is comparable to the whole rest
+        # of a pick). The feasible pool only shrinks when a user's
+        # budget empties, so a chunk stays valid until the next refresh;
+        # unconsumed rows are then discarded (the schedule remains a
+        # deterministic function of the seed — only the mapping from
+        # stream to picks changes).
+        draw_chunk: np.ndarray | None = None
+        draw_row = 0
+        while budget_left > 0 and feasible_indices.size:
+            if draw_chunk is None or draw_row >= draw_chunk.shape[0]:
+                draw_chunk = rng.integers(
+                    0,
+                    feasible_indices.size,
+                    size=(
+                        max(1, min(32, budget_left)),
+                        min(sample_size, int(feasible_indices.size)),
+                    ),
+                )
+                draw_row = 0
+            draws = draw_chunk[draw_row]
+            draw_row += 1
+            candidates = feasible_indices[draws]
+            if gains_at is not None:
+                gains = gains_at(candidates)
+            else:
+                # np.unique also sorts ascending, giving this path a
+                # lowest-index tie-break under argmax_tied_low.
+                candidates = np.unique(candidates)
+                if maintained:
+                    gains = objective.current_gains[candidates]
+                else:
+                    gains = np.array(
+                        [objective.gain(int(c)) for c in candidates]
+                    )
+            samples_drawn += int(draws.size)
+            evaluations += int(candidates.size)
+            committed = False
+            refresh = False
+            # argmax_tied_low inlined (first occurrence = first drawn).
+            best = int(gains.argmax())
+            if gains[best] >= self.min_gain:
+                user_index = self._pick_user(
+                    pick_state, int(candidates[best]), assigned, pooled
+                )
+                if user_index is not None:
+                    refresh = self._commit(
+                        problem,
+                        objective,
+                        pick_state,
+                        int(candidates[best]),
+                        user_index,
+                        remaining,
+                        available,
+                        assigned,
+                        pooled,
+                    )
+                    budget_left -= 1
+                    committed = True
+                else:
+                    # Rare: the sampled best has no free user — walk the
+                    # rest of the sample best-first before giving up.
+                    for position in np.argsort(-gains, kind="stable"):
+                        if gains[position] < self.min_gain:
+                            break
+                        candidate = int(candidates[position])
+                        user_index = self._pick_user(
+                            pick_state, candidate, assigned, pooled
+                        )
+                        if user_index is None:
+                            continue
+                        refresh = self._commit(
+                            problem,
+                            objective,
+                            pick_state,
+                            candidate,
+                            user_index,
+                            remaining,
+                            available,
+                            assigned,
+                            pooled,
+                        )
+                        budget_left -= 1
+                        committed = True
+                        break
+            if not committed:
+                fallbacks += 1
+                if maintained:
+                    gains_full = objective.current_gains
+                    evaluations += 1
+                else:
+                    # One exact sweep (the numpy backend recomputes the
+                    # whole band; the reference walks every instant).
+                    gains_full = objective.gains_all()
+                    evaluations += num_instants
+                masked = np.where(feasible_mask, gains_full, -np.inf)
+                for candidate in np.argsort(-masked, kind="stable"):
+                    if (
+                        not feasible_mask[candidate]
+                        or masked[candidate] < self.min_gain
+                    ):
+                        break
+                    user_index = self._pick_user(
+                        pick_state, int(candidate), assigned, pooled
+                    )
+                    if user_index is not None:
+                        refresh = self._commit(
+                            problem,
+                            objective,
+                            pick_state,
+                            int(candidate),
+                            user_index,
+                            remaining,
+                            available,
+                            assigned,
+                            pooled,
+                        )
+                        budget_left -= 1
+                        committed = True
+                        break
+                if not committed:
+                    break  # nothing feasible clears min_gain anywhere
+            if refresh:
+                feasible_mask = available > 0
+                feasible_indices = np.flatnonzero(feasible_mask)
+                draw_chunk = None
+        if samples_drawn:
+            self._m_samples.inc(samples_drawn)
+        if fallbacks:
+            self._m_fallbacks.inc(fallbacks)
+        return evaluations
 
     # ------------------------------------------------------------------
     # lazy-heap loop

@@ -24,9 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import ValidationError
+from repro.common.errors import SchedulingError, ValidationError
 from repro.core.scheduling.coverage import CoverageKernel
-from repro.core.scheduling.greedy import argmax_tied_low
+from repro.core.scheduling.greedy import (
+    GREEDY_MODES,
+    argmax_tied_low,
+    stochastic_sample_size,
+)
 from repro.core.scheduling.objective import DEFAULT_BACKEND, make_objective
 from repro.core.scheduling.problem import Schedule, SchedulingPeriod, SchedulingProblem
 
@@ -55,6 +59,7 @@ class MultiKernelObjective:
         features: list[FeatureKernel],
         *,
         backend: str = DEFAULT_BACKEND,
+        representation: str | None = None,
     ) -> None:
         if not features:
             raise ValidationError("need at least one feature kernel")
@@ -64,8 +69,12 @@ class MultiKernelObjective:
         self.period = period
         self.features = list(features)
         self.backend = backend
+        objective_kwargs = (
+            {"representation": representation} if representation is not None else {}
+        )
         self._objectives = [
-            make_objective(period, feature.kernel, backend) for feature in features
+            make_objective(period, feature.kernel, backend, **objective_kwargs)
+            for feature in features
         ]
 
     @property
@@ -118,21 +127,41 @@ class MultiKernelGreedyScheduler:
         *,
         min_gain: float = 1e-12,
         backend: str = DEFAULT_BACKEND,
+        mode: str = "argmax",
+        sample_epsilon: float = 0.1,
+        seed: int = 2014,
+        representation: str | None = None,
     ) -> None:
         if not features:
             raise ValidationError("need at least one feature kernel")
+        if mode not in GREEDY_MODES:
+            raise SchedulingError(
+                f"unknown greedy mode {mode!r}; expected one of {GREEDY_MODES}"
+            )
         self.features = list(features)
         self.min_gain = min_gain
         self.backend = backend
+        self.mode = mode
+        self.sample_epsilon = sample_epsilon
+        self.seed = seed
+        self.representation = representation
 
     def solve(self, problem: SchedulingProblem) -> Schedule:
         """Schedule ``problem``'s users against the blended objective.
 
         ``problem.kernel`` is ignored — coverage comes from the feature
-        kernels this scheduler was built with.
+        kernels this scheduler was built with. In ``mode="stochastic"``
+        each pick evaluates the blended gain only at a seeded sample of
+        the still-available instants, with the exact full sweep as the
+        dry-sample fallback.
         """
+        stochastic = self.mode == "stochastic"
+        rng = np.random.default_rng(self.seed) if stochastic else None
         objective = MultiKernelObjective(
-            problem.period, self.features, backend=self.backend
+            problem.period,
+            self.features,
+            backend=self.backend,
+            representation=self.representation,
         )
         remaining = [user.budget for user in problem.users]
         available = np.zeros(problem.period.num_instants, dtype=np.int64)
@@ -143,12 +172,32 @@ class MultiKernelGreedyScheduler:
         assigned: dict[int, set[int]] = {
             user_index: set() for user_index in range(len(problem.users))
         }
+        sample_size = stochastic_sample_size(
+            problem.period.num_instants,
+            problem.total_budget(),
+            self.sample_epsilon,
+        )
         while available.max(initial=0) > 0:
-            gains = objective.gains_fast()
-            masked = np.where(available > 0, gains, -np.inf)
-            best = argmax_tied_low(masked)
-            if masked[best] < self.min_gain:
-                break
+            best: int | None = None
+            if stochastic:
+                feasible = np.flatnonzero(available > 0)
+                draws = rng.integers(
+                    0, feasible.size, size=min(sample_size, int(feasible.size))
+                )
+                candidates = np.unique(feasible[draws])
+                gains = np.array(
+                    [objective.gain(int(c)) for c in candidates]
+                )
+                pick = argmax_tied_low(gains)
+                if gains[pick] >= self.min_gain:
+                    best = int(candidates[pick])
+            if best is None:
+                # argmax mode, or a dry stochastic sample: exact sweep.
+                gains = objective.gains_fast()
+                masked = np.where(available > 0, gains, -np.inf)
+                best = argmax_tied_low(masked)
+                if masked[best] < self.min_gain:
+                    break
             user_index = self._pick_user(problem, best, remaining, assigned)
             if user_index is None:
                 # Everyone covering the best instant holds it already;

@@ -5,7 +5,7 @@
 incremental interface:
 
 * ``"numpy"`` (this module, :class:`CoverageObjective`) — the hot path.
-  It precomputes the |T|×|T| kernel matrix ``P[i,j] = p(|i-j|·Δ)`` once
+  It precomputes the kernel band ``p(d·Δ)`` for ``d ∈ [-w, w]`` once
   per (kernel, horizon) in a σ-keyed cache, and maintains two coverage
   representations side by side. The *gain path* keeps the survival
   products ``s_j = Π_{i∈Ψ}(1 - p_ij)`` directly, updated by windowed
@@ -22,6 +22,19 @@ incremental interface:
 * ``"reference"`` (:mod:`repro.core.scheduling.reference`) — the
   scalar specification the numpy backend is differentially tested
   against (values to 1e-9, identical greedy schedules).
+
+Memory model — banded vs dense. The update rows are Toeplitz
+(``P[i, j] = p(|i - j|·Δ)``), and only the ``2w+1`` in-band entries of
+any row are ever read, so the default ``"banded"`` representation
+stores one mirrored band of length ``2w+1`` per array — O(window)
+memory, independent of the horizon, which is what lets the core scale
+to 10⁵ instants (a dense |T|×|T| float matrix would be ~80 GB there).
+A row slice of the dense matrix and the matching band slice hold
+bitwise-identical floats (both are built from the same ``weights``
+array by the same operations), so switching representation changes
+*which array is indexed*, never a single float operation — the
+``"dense"`` representation is kept selectable purely so the
+differential suite can assert that equivalence.
 
 The maintained gains are *recomputed* (not delta-updated) over the
 affected band using a per-element operation sequence that never varies
@@ -49,6 +62,7 @@ values agree to ~|T|·|Ψ|·ε ≈ 1e-9 at far beyond paper scale (|T| =
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -60,12 +74,17 @@ from repro.core.scheduling.problem import SchedulingPeriod
 from repro.core.scheduling.reference import (
     ReferenceCoverageObjective,
     reference_coverage_of_instants,
+    validate_kernel_weights,
 )
 from repro.obs import get_metrics
 
 #: The selectable scheduling-core backends.
 BACKENDS = ("numpy", "reference")
 DEFAULT_BACKEND = "numpy"
+
+#: The selectable kernel-matrix memory layouts (numpy backend only).
+REPRESENTATIONS = ("banded", "dense")
+DEFAULT_REPRESENTATION = "banded"
 
 
 # ----------------------------------------------------------------------
@@ -75,28 +94,64 @@ DEFAULT_BACKEND = "numpy"
 class KernelMatrices:
     """Precomputed per-(kernel, horizon) arrays shared across objectives.
 
-    ``probability`` is the |T|×|T| coverage matrix (Toeplitz: row i is
-    the kernel weights centred on i, zero outside the support window);
-    ``complement`` is ``1 - probability`` (the survival-product update
-    rows — the same ``1 - w_d`` values the scalar reference multiplies
-    by, so the two backends' survival products are bitwise identical);
-    ``log_complement`` is ``log1p(-probability)`` (the log-space add
-    rows, −inf on the diagonal where p = 1). Frozen: objectives must
-    treat the arrays as read-only because they are shared via the cache.
+    The banded (default) layout stores the mirrored kernel band only:
+    ``complement_band[d + window] = 1 - p(|d|·Δ)`` for ``d ∈ [-w, w]``
+    (the survival-product update values — the same ``1 - w_d`` floats
+    the scalar reference multiplies by, so the two backends' survival
+    products are bitwise identical) and ``log_complement_band =
+    log1p(-p)`` (the log-space add values, −inf only at the centre
+    where p may be 1). The ``"dense"`` layout additionally materializes
+    the full |T|×|T| ``probability`` / ``complement`` /
+    ``log_complement`` Toeplitz matrices whose row slices equal the
+    band slices float-for-float; it exists so the differential suite
+    can pin that equality. Frozen: objectives must treat the arrays as
+    read-only because they are shared via the cache.
     """
 
     window: int
     weights: np.ndarray
-    probability: np.ndarray
-    complement: np.ndarray
-    log_complement: np.ndarray
+    representation: str
+    complement_band: np.ndarray
+    log_complement_band: np.ndarray
+    probability: np.ndarray | None = None
+    complement: np.ndarray | None = None
+    log_complement: np.ndarray | None = None
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by this entry (the cache's eviction unit)."""
+        total = (
+            self.weights.nbytes
+            + self.complement_band.nbytes
+            + self.log_complement_band.nbytes
+        )
+        for dense in (self.probability, self.complement, self.log_complement):
+            if dense is not None:
+                total += dense.nbytes
+        return total
 
 
 _MATRIX_CACHE: OrderedDict[tuple, KernelMatrices] = OrderedDict()
-_MATRIX_CACHE_CAPACITY = 16
+#: Eviction is by total ``nbytes``, not entry count: one wide-window
+#: band at 10⁵ instants outweighs dozens of paper-scale entries.
+_MATRIX_CACHE_MAX_BYTES = 64 * 1024 * 1024
+#: Guards every read-modify-write of the LRU above — kernel_matrices is
+#: called from the server worker pool, and an unlocked OrderedDict
+#: corrupts under concurrent get/move_to_end/setitem/popitem.
+_MATRIX_CACHE_LOCK = threading.Lock()
+_matrix_cache_bytes = 0
+
+_CACHE_BYTES_GAUGE = (
+    "sor_kernel_matrix_cache_bytes",
+    "total bytes of kernel matrices/bands held by the LRU cache",
+)
 
 
-def _build_matrices(period: SchedulingPeriod, kernel: CoverageKernel) -> KernelMatrices:
+def _build_matrices(
+    period: SchedulingPeriod,
+    kernel: CoverageKernel,
+    representation: str,
+) -> KernelMatrices:
     num_instants = period.num_instants
     spacing = period.spacing
     window = int(math.ceil(kernel.support() / spacing))
@@ -104,67 +159,138 @@ def _build_matrices(period: SchedulingPeriod, kernel: CoverageKernel) -> KernelM
     weights = np.array(
         [kernel.probability(d * spacing) for d in range(window + 1)]
     )
-    padded = np.zeros(num_instants)
-    padded[: window + 1] = weights
-    offsets = np.abs(
-        np.arange(num_instants)[:, None] - np.arange(num_instants)[None, :]
-    )
-    probability = padded[offsets]
-    complement = 1.0 - probability
+    validate_kernel_weights(weights, kernel, spacing)
+    # The mirrored band: index d + window holds p(|d|·Δ). Built by
+    # fancy-indexing the same weights array the dense rows are built
+    # from, so band and dense entries are the same float objects and
+    # every derived value (1 - p, log1p(-p)) is computed by the same
+    # operation — bitwise-equal across representations.
+    band_probability = weights[np.abs(np.arange(-window, window + 1))]
+    complement_band = 1.0 - band_probability
     with np.errstate(divide="ignore"):
-        log_complement = np.log1p(-probability)
-    probability.setflags(write=False)
-    complement.setflags(write=False)
-    log_complement.setflags(write=False)
+        # −inf can only appear at the centre (p(0) = 1 is legitimate —
+        # a measurement fully covers its own instant);
+        # validate_kernel_weights rejected p ≥ 1 off the diagonal.
+        log_complement_band = np.log1p(-band_probability)
+    probability = complement = log_complement = None
+    if representation == "dense":
+        padded = np.zeros(num_instants)
+        padded[: window + 1] = weights
+        offsets = np.abs(
+            np.arange(num_instants)[:, None] - np.arange(num_instants)[None, :]
+        )
+        probability = padded[offsets]
+        complement = 1.0 - probability
+        with np.errstate(divide="ignore"):
+            log_complement = np.log1p(-probability)
+        probability.setflags(write=False)
+        complement.setflags(write=False)
+        log_complement.setflags(write=False)
     weights.setflags(write=False)
+    complement_band.setflags(write=False)
+    log_complement_band.setflags(write=False)
     return KernelMatrices(
         window=window,
         weights=weights,
+        representation=representation,
+        complement_band=complement_band,
+        log_complement_band=log_complement_band,
         probability=probability,
         complement=complement,
         log_complement=log_complement,
     )
 
 
-def kernel_matrices(period: SchedulingPeriod, kernel: CoverageKernel) -> KernelMatrices:
-    """The cached |T|×|T| kernel matrices for a (kernel, horizon) pair.
+def kernel_matrices(
+    period: SchedulingPeriod,
+    kernel: CoverageKernel,
+    representation: str = DEFAULT_REPRESENTATION,
+) -> KernelMatrices:
+    """The cached kernel band (or dense matrices) for a (kernel, horizon).
 
-    Keyed on ``(kernel.cache_key(), num_instants, spacing)``; kernels
-    without a ``cache_key`` are built fresh every time (correct, just
-    uncached). The cache is a small LRU so σ-sweeps don't grow memory
-    without bound.
+    Keyed on ``(kernel.cache_key(), num_instants, spacing,
+    representation)``; kernels without a ``cache_key`` are built fresh
+    every time (correct, just uncached). The cache is a byte-bounded
+    LRU guarded by a lock — it is shared by every scheduler thread in
+    the server worker pool — and exports its size as
+    ``sor_kernel_matrix_cache_bytes``. Entries larger than the cap are
+    returned uncached rather than evicting the whole cache.
     """
+    if representation not in REPRESENTATIONS:
+        raise SchedulingError(
+            f"unknown kernel-matrix representation {representation!r}; "
+            f"expected one of {REPRESENTATIONS}"
+        )
+    global _matrix_cache_bytes
     metrics = get_metrics()
     key_fn = getattr(kernel, "cache_key", None)
     key = (
-        (key_fn(), period.num_instants, period.spacing)
+        (key_fn(), period.num_instants, period.spacing, representation)
         if callable(key_fn)
         else None
     )
     if key is not None:
-        cached = _MATRIX_CACHE.get(key)
+        with _MATRIX_CACHE_LOCK:
+            cached = _MATRIX_CACHE.get(key)
+            if cached is not None:
+                _MATRIX_CACHE.move_to_end(key)
         if cached is not None:
-            _MATRIX_CACHE.move_to_end(key)
             metrics.counter(
                 "sor_kernel_matrix_cache_hits_total",
                 "kernel-matrix cache hits",
             ).inc()
             return cached
-    built = _build_matrices(period, kernel)
+        metrics.counter(
+            "sor_kernel_matrix_cache_misses_total",
+            "cacheable kernel-matrix lookups that had to build",
+        ).inc()
+    built = _build_matrices(period, kernel, representation)
     metrics.counter(
         "sor_kernel_matrix_builds_total",
-        "|T|x|T| kernel matrices computed (cache misses + uncacheable)",
+        "kernel matrices/bands computed (cache misses + uncacheable)",
     ).inc()
-    if key is not None:
-        _MATRIX_CACHE[key] = built
-        while len(_MATRIX_CACHE) > _MATRIX_CACHE_CAPACITY:
-            _MATRIX_CACHE.popitem(last=False)
+    if key is not None and built.nbytes <= _MATRIX_CACHE_MAX_BYTES:
+        evictions = 0
+        with _MATRIX_CACHE_LOCK:
+            racing = _MATRIX_CACHE.get(key)
+            if racing is not None:
+                # Two threads built concurrently; share the first
+                # winner so objectives keep aliasing one array set.
+                _MATRIX_CACHE.move_to_end(key)
+                built = racing
+            else:
+                _MATRIX_CACHE[key] = built
+                _matrix_cache_bytes += built.nbytes
+                while (
+                    _matrix_cache_bytes > _MATRIX_CACHE_MAX_BYTES
+                    and len(_MATRIX_CACHE) > 1
+                ):
+                    _, evicted = _MATRIX_CACHE.popitem(last=False)
+                    _matrix_cache_bytes -= evicted.nbytes
+                    evictions += 1
+            cache_bytes = _matrix_cache_bytes
+        metrics.gauge(*_CACHE_BYTES_GAUGE).set(float(cache_bytes))
+        if evictions:
+            metrics.counter(
+                "sor_kernel_matrix_cache_evictions_total",
+                "kernel-matrix cache entries evicted by the byte cap",
+            ).inc(evictions)
     return built
+
+
+def kernel_matrix_cache_bytes() -> int:
+    """Current total bytes held by the kernel-matrix cache."""
+    with _MATRIX_CACHE_LOCK:
+        return _matrix_cache_bytes
 
 
 def clear_kernel_matrix_cache() -> None:
     """Drop every cached kernel matrix (tests and memory pressure)."""
-    _MATRIX_CACHE.clear()
+    global _matrix_cache_bytes
+    with _MATRIX_CACHE_LOCK:
+        _MATRIX_CACHE.clear()
+        _matrix_cache_bytes = 0
+    get_metrics().gauge(*_CACHE_BYTES_GAUGE).set(0.0)
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +310,12 @@ class CoverageObjective:
     why the band is *recomputed* in the initial sweep's exact operation
     order rather than delta-updated — the tie discipline the
     cross-backend differential tests pin down depends on it.
+
+    ``representation`` selects the kernel-matrix memory layout:
+    ``"banded"`` (default, O(window) memory — the city-scale path) or
+    ``"dense"`` (O(|T|²), kept for the differential suite; see the
+    module docstring's memory-model section). The two index the same
+    float values, so every result is bitwise identical either way.
     """
 
     backend = "numpy"
@@ -191,15 +323,34 @@ class CoverageObjective:
     #: the dense argmax loop over the lazy heap (re-evaluation is free).
     maintains_gains = True
 
-    def __init__(self, period: SchedulingPeriod, kernel: CoverageKernel) -> None:
+    def __init__(
+        self,
+        period: SchedulingPeriod,
+        kernel: CoverageKernel,
+        representation: str = DEFAULT_REPRESENTATION,
+        maintain_gains: bool = True,
+    ) -> None:
         self.period = period
         self.kernel = kernel
-        matrices = kernel_matrices(period, kernel)
+        # ``maintain_gains=False`` skips the O(window²) banded recompute
+        # on every add: gains are then computed on demand — batched for
+        # a candidate set via :meth:`gains_at`, or as a full sweep on
+        # the first :meth:`gains_fast`/:meth:`current_gains` read after
+        # a mutation. The stochastic greedy runs this way: it only ever
+        # looks at O((|T|/B)·log(1/ε)) sampled candidates per pick, so
+        # paying the full-band maintenance for them is pure waste.
+        self.maintains_gains = bool(maintain_gains)
+        matrices = kernel_matrices(period, kernel, representation)
+        self.representation = matrices.representation
         self.window = matrices.window
         self.weights = matrices.weights
-        self._probability = matrices.probability
-        self._complement = matrices.complement
-        self._log_complement = matrices.log_complement
+        self._complement_band = matrices.complement_band
+        self._log_complement_band = matrices.log_complement_band
+        # Dense rows are only populated under representation="dense";
+        # ``add`` reads them there so the differential suite genuinely
+        # exercises the dense indexing path against the banded one.
+        self._dense_complement = matrices.complement
+        self._dense_log_complement = matrices.log_complement
         num_instants = period.num_instants
         self._log_survival = np.zeros(num_instants)
         # Survival products live inside a zero-padded buffer so the
@@ -226,6 +377,16 @@ class CoverageObjective:
         self._shift_center = shifts[self.window]
         self._shift_left = shifts[self.window - 1 :: -1] if self.window else None
         self._shift_right = shifts[self.window + 1 :] if self.window else None
+        # Row j of this view is the survival stretch s_{j-w} … s_{j+w}
+        # (live, via the same padded buffer) — :meth:`gains_at` gathers
+        # candidate rows from it in one contiguous copy and dots them
+        # against the mirrored weight band.
+        self._candidate_windows = np.lib.stride_tricks.sliding_window_view(
+            self._padded_survival, 2 * self.window + 1
+        )
+        self._band_weights = self.weights[
+            np.abs(np.arange(-self.window, self.window + 1))
+        ]
         self._gains = np.empty(num_instants)
         # The recompute walks the band in column blocks so its scratch
         # rows stay cache-resident across the add/multiply/fold passes
@@ -241,7 +402,12 @@ class CoverageObjective:
         else:
             self._block_columns = num_instants
             self._terms_buffer = None
-        self._recompute_gains(0, num_instants)
+        # When gains are maintained, ``_gains`` is always fresh; when
+        # not, it is refreshed lazily on the next full-sweep read.
+        self._gains_fresh = False
+        if self.maintains_gains:
+            self._recompute_gains(0, num_instants)
+            self._gains_fresh = True
 
     def _recompute_gains(self, lo: int, hi: int) -> None:
         """Recompute the maintained gains over instants ``[lo, hi)``.
@@ -319,34 +485,82 @@ class CoverageObjective:
         """Per-instant coverage probabilities ``1 - s_j``."""
         return 1.0 - self.survival
 
+    def _refresh_gains(self) -> None:
+        """Bring ``_gains`` up to date (no-op while gains are maintained)."""
+        if not self._gains_fresh:
+            self._recompute_gains(0, self.period.num_instants)
+            self._gains_fresh = True
+
     @property
     def current_gains(self) -> np.ndarray:
-        """The live maintained marginal-gains array (treat as read-only).
+        """The live marginal-gains array (treat as read-only).
 
         Chosen instants are held at exactly 0.0. Schedulers read this
-        directly — copy before mutating.
+        directly — copy before mutating. With ``maintain_gains=False``
+        the first read after a mutation pays one full-sweep recompute.
         """
+        self._refresh_gains()
         return self._gains
 
     def gain(self, instant_index: int) -> float:
-        """Marginal gain of adding ``instant_index``: an O(1) array read."""
+        """Marginal gain of adding ``instant_index``.
+
+        An O(1) array read while gains are maintained; an O(window)
+        banded computation otherwise.
+        """
         if instant_index in self._chosen:
             return 0.0
-        return float(self._gains[instant_index])
+        if self._gains_fresh:
+            return float(self._gains[instant_index])
+        return float(self.gains_at(np.array([instant_index]))[0])
+
+    def gains_at(self, indices: np.ndarray) -> np.ndarray:
+        """Marginal gains of ``indices`` only, as a fresh array.
+
+        One row-contiguous gather of the padded survival stretches
+        ``s_{j-w} … s_{j+w}`` (the padding supplies exact 0.0 beyond
+        the horizon) and one matvec against the mirrored kernel band:
+        ``gain(j) = Σ_d w_{|d|} · s_{j+d}``. O(window · |indices|)
+        work, independent of the horizon, in two vector calls — this is
+        the stochastic greedy's per-pick candidate scoring, where a
+        fold-tree evaluation's per-call overhead would dominate the
+        pick.
+
+        The dot accumulates in BLAS order, not the backend-contract
+        fold order, so values agree with the maintained array and the
+        scalar reference to a few ulp rather than bitwise. That is the
+        deliberate trade: the exact greedy modes never call this (their
+        tie discipline is pinned by :meth:`_recompute_gains`), and the
+        stochastic mode's guarantees — seed determinism and
+        value-within-ε — survive any fixed rounding of the sampled
+        scores.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        out = self._candidate_windows[idx] @ self._band_weights
+        # Already-chosen instants must read 0.0 (their window dot is the
+        # gain of multiplying their probabilities in *again*). Samples
+        # rarely contain one — skip the masked store when none do.
+        chosen = self._chosen_mask[idx]
+        if chosen.any():
+            out[chosen] = 0.0
+        return out
 
     def gains_all(self) -> np.ndarray:
-        """Marginal gains of every instant (a copy of the maintained array).
+        """Marginal gains of every instant (a copy of the gains array).
 
         Bitwise identical to per-instant :meth:`gain` reads by
         construction, so the lazy/naive greedy variants resolve exact
         ties the same way.
         """
+        self._refresh_gains()
         return self._gains.copy()
 
     def gains_fast(self) -> np.ndarray:
         """Same values as :meth:`gains_all` — kept as the historical name
-        for the vectorized path; both are now O(|T|) copies of the
-        maintained array."""
+        for the vectorized path; both are O(|T|) copies of the gains
+        array (plus, with ``maintain_gains=False``, one full-sweep
+        recompute when stale)."""
+        self._refresh_gains()
         return self._gains.copy()
 
     # ------------------------------------------------------------------
@@ -356,26 +570,48 @@ class CoverageObjective:
         """Add an instant; returns its realized marginal gain.
 
         Two windowed vector updates — the survival products
-        ``s *= 1 - P[i]`` (the gain path, bitwise-pinned to the
-        reference backend) and the log-space state ``ℓ += log1p(-P[i])``
-        (the value path) — followed by the banded recompute of the
-        maintained gains over :meth:`affected_range`. Rows are zero
-        outside the support window, so untouched instants keep s = 1
-        and ℓ = 0 exactly. Everything is O(window), independent of both
-        the horizon length and how many picks came before.
+        ``s *= 1 - p`` (the gain path, bitwise-pinned to the reference
+        backend) and the log-space state ``ℓ += log1p(-p)`` (the value
+        path) — followed by the banded recompute of the maintained
+        gains over :meth:`affected_range`. The update values come from
+        the mirrored kernel band (or, under ``representation="dense"``,
+        the matching dense row slice — same floats, see the module
+        docstring); instants outside the support window keep s = 1 and
+        ℓ = 0 exactly. Everything is O(window), independent of both the
+        horizon length and how many picks came before.
         """
         if not 0 <= instant_index < self.period.num_instants:
             raise SchedulingError(f"instant index {instant_index} out of range")
         if instant_index in self._chosen:
             return 0.0
-        gain = float(self._gains[instant_index])
+        gain = (
+            float(self._gains[instant_index])
+            if self._gains_fresh
+            else float(self._candidate_windows[instant_index] @ self._band_weights)
+        )
         lo = max(0, instant_index - self.window)
         hi = min(self.period.num_instants, instant_index + self.window + 1)
-        self.survival[lo:hi] *= self._complement[instant_index, lo:hi]
-        self._log_survival[lo:hi] += self._log_complement[instant_index, lo:hi]
+        if self._dense_complement is not None:
+            self.survival[lo:hi] *= self._dense_complement[instant_index, lo:hi]
+            self._log_survival[lo:hi] += self._dense_log_complement[
+                instant_index, lo:hi
+            ]
+        else:
+            # band index (j - i) + window for j in [lo, hi): the slice
+            # [lo + shift, hi + shift) with shift = window - i.
+            shift = self.window - instant_index
+            self.survival[lo:hi] *= self._complement_band[
+                lo + shift : hi + shift
+            ]
+            self._log_survival[lo:hi] += self._log_complement_band[
+                lo + shift : hi + shift
+            ]
         self._chosen.add(instant_index)
         self._chosen_mask[instant_index] = True
-        self._recompute_gains(*self.affected_range(instant_index))
+        if self.maintains_gains:
+            self._recompute_gains(*self.affected_range(instant_index))
+        else:
+            self._gains_fresh = False
         return gain
 
     def affected_range(self, instant_index: int) -> tuple[int, int]:
@@ -396,10 +632,25 @@ def make_objective(
     period: SchedulingPeriod,
     kernel: CoverageKernel,
     backend: str = DEFAULT_BACKEND,
+    *,
+    representation: str = DEFAULT_REPRESENTATION,
+    maintain_gains: bool = True,
 ) -> CoverageObjective | ReferenceCoverageObjective:
-    """Construct the coverage objective for the requested backend."""
+    """Construct the coverage objective for the requested backend.
+
+    ``representation`` selects the numpy backend's kernel-matrix layout
+    and ``maintain_gains=False`` turns off its per-add gains
+    maintenance (the stochastic sampling path); the scalar reference
+    has no matrices and recomputes gains on demand anyway, so it
+    ignores both.
+    """
     if backend == "numpy":
-        return CoverageObjective(period, kernel)
+        return CoverageObjective(
+            period,
+            kernel,
+            representation=representation,
+            maintain_gains=maintain_gains,
+        )
     if backend == "reference":
         return ReferenceCoverageObjective(period, kernel)
     raise SchedulingError(
@@ -427,12 +678,16 @@ def coverage_of_instants(
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "DEFAULT_REPRESENTATION",
+    "REPRESENTATIONS",
     "CoverageObjective",
     "KernelMatrices",
     "ReferenceCoverageObjective",
     "clear_kernel_matrix_cache",
     "coverage_of_instants",
     "kernel_matrices",
+    "kernel_matrix_cache_bytes",
     "make_objective",
     "reference_coverage_of_instants",
+    "validate_kernel_weights",
 ]

@@ -23,7 +23,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.scheduling.greedy import argmax_tied_low
+from repro.common.errors import SchedulingError
+from repro.core.scheduling.greedy import (
+    GREEDY_MODES,
+    argmax_tied_low,
+    stochastic_sample_size,
+)
 from repro.core.scheduling.objective import DEFAULT_BACKEND, make_objective
 from repro.core.scheduling.problem import Schedule, SchedulingProblem
 
@@ -49,20 +54,52 @@ class PerUserGreedyScheduler:
     interleaving — the behaviour the pooled objective avoids.
     """
 
-    def __init__(self, *, min_gain: float = 1e-12, backend: str = DEFAULT_BACKEND) -> None:
+    def __init__(
+        self,
+        *,
+        min_gain: float = 1e-12,
+        backend: str = DEFAULT_BACKEND,
+        mode: str = "argmax",
+        sample_epsilon: float = 0.1,
+        seed: int = 2014,
+        representation: str | None = None,
+    ) -> None:
+        if mode not in GREEDY_MODES:
+            raise SchedulingError(
+                f"unknown greedy mode {mode!r}; expected one of {GREEDY_MODES}"
+            )
         self.min_gain = min_gain
         self.backend = backend
+        self.mode = mode
+        self.sample_epsilon = sample_epsilon
+        self.seed = seed
+        self.representation = representation
 
     def solve(self, problem: SchedulingProblem) -> Schedule:
         """Schedule every user independently; returns the combined plan.
 
-        ``objective_value`` on the result is the equation-(2) total.
+        ``objective_value`` on the result is the equation-(2) total. In
+        ``mode="stochastic"`` each pick samples candidates from the
+        user's window (seeded rng, one stream shared across users) and
+        falls back to the exact window sweep on a dry sample.
         """
+        stochastic = self.mode == "stochastic"
+        rng = np.random.default_rng(self.seed) if stochastic else None
+        objective_kwargs = (
+            {"representation": self.representation}
+            if self.representation is not None
+            else {}
+        )
         assignments: dict[str, list[int]] = {}
         total = 0.0
         for user_index, user in enumerate(problem.users):
             lo, hi = problem.user_window(user_index)
-            objective = make_objective(problem.period, problem.kernel, self.backend)
+            objective = make_objective(
+                problem.period, problem.kernel, self.backend, **objective_kwargs
+            )
+            sample_size = stochastic_sample_size(
+                hi - lo, user.budget, self.sample_epsilon
+            )
             chosen: list[int] = []
             for _ in range(user.budget):
                 if hi <= lo:
@@ -70,7 +107,16 @@ class PerUserGreedyScheduler:
                 gains = objective.gains_fast()[lo:hi]
                 for instant in chosen:
                     gains[instant - lo] = -np.inf
-                best = argmax_tied_low(gains)
+                if stochastic:
+                    draws = rng.integers(0, hi - lo, size=sample_size)
+                    positions = np.unique(draws)
+                    sampled = gains[positions]
+                    best = int(positions[argmax_tied_low(sampled)])
+                    if gains[best] < self.min_gain:
+                        # Dry sample — decide with the exact window sweep.
+                        best = argmax_tied_low(gains)
+                else:
+                    best = argmax_tied_low(gains)
                 if gains[best] < self.min_gain:
                     break
                 objective.add(lo + best)

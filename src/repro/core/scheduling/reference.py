@@ -21,9 +21,40 @@ import math
 
 import numpy as np
 
-from repro.common.errors import SchedulingError
+from repro.common.errors import KernelValidationError, SchedulingError
 from repro.core.scheduling.coverage import CoverageKernel
 from repro.core.scheduling.problem import SchedulingPeriod
+
+
+def validate_kernel_weights(
+    weights, kernel: CoverageKernel, spacing: float
+) -> None:
+    """Reject kernel probabilities the survival state cannot represent.
+
+    ``weights[d]`` is the kernel's probability at distance ``d·spacing``.
+    The diagonal (d = 0) may be exactly 1 — a measurement fully covers
+    its own instant and the log-space state carries the resulting −inf
+    deliberately. Off the diagonal a probability of 1 would make
+    ``log1p(-p) = -inf`` too, silently zeroing every survival product it
+    touches, so both backends require p ∈ [0, 1) there (and p ∈ [0, 1]
+    at d = 0). NaN and out-of-range values raise
+    :class:`~repro.common.errors.KernelValidationError` naming the
+    kernel and the offending distance.
+    """
+    for distance_index, weight in enumerate(weights):
+        weight = float(weight)
+        in_range = (
+            0.0 <= weight <= 1.0
+            if distance_index == 0
+            else 0.0 <= weight < 1.0
+        )
+        if not in_range:  # NaN compares False, so it lands here too
+            raise KernelValidationError(
+                f"kernel {kernel!r} returned probability {weight!r} at "
+                f"distance {distance_index * spacing:g}s; coverage "
+                f"probabilities must lie in [0, 1) off the diagonal "
+                f"(and in [0, 1] at distance 0)"
+            )
 
 
 def fold_tree_sum(terms: list[float]) -> float:
@@ -71,6 +102,7 @@ class ReferenceCoverageObjective:
         # weights[d] = p(d · spacing), truncated at the support window —
         # identical truncation to the vectorized kernel matrix.
         self.weights = [kernel.probability(d * spacing) for d in range(window + 1)]
+        validate_kernel_weights(self.weights, kernel, spacing)
         self.survival = [1.0] * period.num_instants
         self._chosen: set[int] = set()
 

@@ -70,6 +70,7 @@ class SensingServer:
         ranking_cache: bool = True,
         ranking_cache_capacity: int = 256,
         scheduler_backend: str = DEFAULT_BACKEND,
+        scheduler_mode: str = "argmax",
         durability: DurabilityConfig | None = None,
         concurrency: ConcurrencyConfig | None = None,
         io_delay_s: float = 0.0,
@@ -127,6 +128,7 @@ class SensingServer:
             self.participation,
             clock,
             backend=scheduler_backend,
+            mode=scheduler_mode,
             metrics=self.metrics,
             tracer=self.tracer,
         )

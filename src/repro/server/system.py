@@ -110,6 +110,7 @@ class SORSystem:
         concurrency: ConcurrencyConfig | None = None,
         io_delay_s: float = 0.0,
         scheduler_backend: str = DEFAULT_BACKEND,
+        scheduler_mode: str = "argmax",
         ranking_cache: bool = True,
     ) -> None:
         if num_servers < 1:
@@ -166,6 +167,7 @@ class SORSystem:
         self.concurrency = concurrency
         self.io_delay_s = io_delay_s
         self.scheduler_backend = scheduler_backend
+        self.scheduler_mode = scheduler_mode
         self.ranking_cache = ranking_cache
         self.recovery_reports: list[RecoveryReport] = []
         if num_servers == 1:
@@ -180,6 +182,7 @@ class SORSystem:
                     concurrency=concurrency,
                     io_delay_s=io_delay_s,
                     scheduler_backend=scheduler_backend,
+                    scheduler_mode=scheduler_mode,
                     ranking_cache=ranking_cache,
                 )
             ]
@@ -200,6 +203,7 @@ class SORSystem:
                     concurrency=concurrency,
                     io_delay_s=io_delay_s,
                     scheduler_backend=scheduler_backend,
+                    scheduler_mode=scheduler_mode,
                     ranking_cache=ranking_cache,
                 )
                 for index in range(num_servers)
@@ -457,6 +461,7 @@ class SORSystem:
             concurrency=self.concurrency,
             io_delay_s=self.io_delay_s,
             scheduler_backend=self.scheduler_backend,
+            scheduler_mode=self.scheduler_mode,
             ranking_cache=self.ranking_cache,
         )
         for deployed in self._places.values():

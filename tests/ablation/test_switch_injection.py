@@ -18,9 +18,11 @@ from repro.ablation import (
     default_registry,
     effective_greedy_values,
     effective_server_values,
+    effective_stochastic_values,
     effective_system_values,
     greedy_kwargs,
     server_kwargs,
+    stochastic_greedy_kwargs,
     system_kwargs,
 )
 from repro.common.errors import AblationError
@@ -28,6 +30,7 @@ from repro.core.scheduling import GreedyScheduler
 from repro.server.system import SORSystem
 
 GREEDY_SWITCHES = ("backend", "lazy_greedy")
+STOCHASTIC_SWITCHES = ("stochastic",)
 SERVER_SWITCHES = ("backend", "ranking_cache", "durability", "concurrency")
 SYSTEM_SWITCHES = SERVER_SWITCHES + ("resilient",)
 
@@ -42,6 +45,12 @@ class TestEveryConfigReachesConstructors:
         scheduler = GreedyScheduler(**greedy_kwargs(config.values))
         effective = effective_greedy_values(scheduler)
         for name in GREEDY_SWITCHES:
+            assert effective[name] == config.values[name], name
+
+    def test_stochastic_cell_round_trip(self, config):
+        scheduler = GreedyScheduler(**stochastic_greedy_kwargs(config.values))
+        effective = effective_stochastic_values(scheduler)
+        for name in STOCHASTIC_SWITCHES:
             assert effective[name] == config.values[name], name
 
     def test_sor_system_round_trip(self, config, tmp_path):
@@ -62,7 +71,11 @@ class TestEveryConfigReachesConstructors:
 class TestRegistryCoverage:
     def test_every_switch_probed_by_some_round_trip(self):
         """A new switch must be added to a probe set here and in apply."""
-        probed = set(GREEDY_SWITCHES) | set(SYSTEM_SWITCHES)
+        probed = (
+            set(GREEDY_SWITCHES)
+            | set(STOCHASTIC_SWITCHES)
+            | set(SYSTEM_SWITCHES)
+        )
         assert set(default_registry().names()) <= probed
 
     def test_every_switch_changes_an_effective_value(self, tmp_path):
@@ -78,6 +91,8 @@ class TestRegistryCoverage:
                 effective = effective_system_values(system)
                 scheduler = GreedyScheduler(**greedy_kwargs(values))
                 effective.update(effective_greedy_values(scheduler))
+                cell = GreedyScheduler(**stochastic_greedy_kwargs(values))
+                effective.update(effective_stochastic_values(cell))
                 return effective
             finally:
                 system.server.close()
@@ -117,3 +132,20 @@ class TestApplyHelpers:
             "resilient": True,
         }
         assert greedy_kwargs({}) == {"backend": "numpy", "lazy": True}
+        assert stochastic_greedy_kwargs({}) == {
+            "backend": "numpy",
+            "mode": "stochastic",
+            "seed": 2014,
+        }
+
+    def test_bad_stochastic_value_raises(self):
+        with pytest.raises(AblationError, match="stochastic"):
+            stochastic_greedy_kwargs({"stochastic": "maybe"})
+
+    def test_ablated_stochastic_follows_lazy_greedy(self):
+        """The no-stochastic twin runs the exact mode lazy_greedy picks."""
+        kwargs = stochastic_greedy_kwargs(
+            {"stochastic": "off", "lazy_greedy": "argmax"}
+        )
+        assert kwargs["mode"] == "argmax"
+        assert stochastic_greedy_kwargs({"stochastic": "off"})["mode"] == "lazy"

@@ -1,0 +1,336 @@
+"""Property tests for the stochastic greedy mode.
+
+The stochastic mode trades the exact modes' bitwise pick discipline for
+horizon-free per-pick cost, and promises exactly two things instead:
+
+* **determinism under a fixed seed, within a backend** — a scheduler
+  re-solved with the same seed reproduces its schedule bit for bit.
+  (Cross-backend identity is explicitly *not* promised: the numpy path
+  scores sampled candidates with a BLAS-order dot that rounds a few ulp
+  away from the reference's fold-tree walk, so these tests never
+  compare stochastic schedules across backends.)
+* **value within ε of exact greedy** — the sampled pick keeps the
+  ``(1 − 1/e − ε)`` expectation bound (Mirzasoleiman et al. 2015), and
+  in practice lands within a percent or two of the exact value.
+
+Plus the invariants every mode owes: budgets are never exceeded,
+schedules validate, ``min_gain`` terminates the loop, and a dry sample
+falls back to one exact sweep rather than stalling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SchedulingError
+from repro.core.scheduling import (
+    FeatureKernel,
+    GaussianKernel,
+    GreedyScheduler,
+    MobileUser,
+    MultiKernelGreedyScheduler,
+    PerUserGreedyScheduler,
+    SchedulingPeriod,
+    SchedulingProblem,
+    TriangularKernel,
+    stochastic_sample_size,
+)
+from repro.obs import MetricsRegistry
+
+PERIOD_S = 600.0
+
+
+def problems(max_instants: int = 48, max_users: int = 5, max_budget: int = 6):
+    """Random scheduling problems (mirrors the differential suite)."""
+
+    @st.composite
+    def build(draw):
+        num_instants = draw(st.integers(min_value=2, max_value=max_instants))
+        sigma = draw(
+            st.floats(min_value=1.0, max_value=120.0, allow_nan=False)
+        )
+        num_users = draw(st.integers(min_value=1, max_value=max_users))
+        period = SchedulingPeriod(0.0, PERIOD_S, num_instants)
+        users = []
+        for index in range(num_users):
+            arrival = draw(
+                st.floats(min_value=0.0, max_value=PERIOD_S * 0.9)
+            )
+            departure = draw(
+                st.floats(min_value=arrival, max_value=PERIOD_S)
+            )
+            budget = draw(st.integers(min_value=1, max_value=max_budget))
+            users.append(
+                MobileUser(
+                    user_id=f"u{index}",
+                    arrival=arrival,
+                    departure=departure,
+                    budget=budget,
+                )
+            )
+        return SchedulingProblem(period, users, GaussianKernel(sigma=sigma))
+
+    return build()
+
+
+def wide_open_problem(num_instants=40, num_users=3, budget=4, sigma=30.0):
+    """Every user present for the whole period."""
+    period = SchedulingPeriod(0.0, PERIOD_S, num_instants)
+    users = [
+        MobileUser(
+            user_id=f"u{index}", arrival=0.0, departure=PERIOD_S, budget=budget
+        )
+        for index in range(num_users)
+    ]
+    return SchedulingProblem(period, users, GaussianKernel(sigma=sigma))
+
+
+class _ZeroRng:
+    """Generator stub whose every draw is candidate index 0.
+
+    Starves the sampler: once instant 0 stops paying, every sample is
+    dry, forcing the exact-sweep fallback on each remaining pick.
+    """
+
+    def integers(self, low, high, size=None):
+        return np.zeros(size, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# sample-size formula
+# ----------------------------------------------------------------------
+class TestSampleSize:
+    def test_matches_the_formula(self):
+        # ⌈(1000/10)·ln(1/0.1)⌉ = ⌈230.26⌉ = 231
+        assert stochastic_sample_size(1000, 10, 0.1) == 231
+
+    def test_clamps_to_at_least_one(self):
+        assert stochastic_sample_size(5, 1000, 0.5) == 1
+
+    def test_clamps_to_candidate_count(self):
+        assert stochastic_sample_size(4, 1, 0.1) == 4
+
+    def test_degenerate_inputs(self):
+        assert stochastic_sample_size(0, 10, 0.1) == 0
+        assert stochastic_sample_size(10, 0, 0.1) == 10
+
+    def test_smaller_epsilon_never_shrinks_the_sample(self):
+        loose = stochastic_sample_size(500, 10, 0.3)
+        tight = stochastic_sample_size(500, 10, 0.05)
+        assert tight >= loose
+
+
+# ----------------------------------------------------------------------
+# determinism under a fixed seed (within a backend)
+# ----------------------------------------------------------------------
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("backend", ["numpy", "reference"])
+    @given(problem=problems())
+    @settings(max_examples=25, deadline=None)
+    def test_fresh_schedulers_with_equal_seeds_agree_bitwise(
+        self, backend, problem
+    ):
+        first = GreedyScheduler(mode="stochastic", backend=backend, seed=7)
+        second = GreedyScheduler(mode="stochastic", backend=backend, seed=7)
+        a = first.solve(problem)
+        b = second.solve(problem)
+        assert a.assignments == b.assignments
+        assert a.objective_value == b.objective_value
+
+    @given(problem=problems())
+    @settings(max_examples=15, deadline=None)
+    def test_resolving_the_same_scheduler_is_deterministic(self, problem):
+        scheduler = GreedyScheduler(mode="stochastic", seed=11)
+        a = scheduler.solve(problem)
+        b = scheduler.solve(problem)
+        assert a.assignments == b.assignments
+        assert a.objective_value == b.objective_value
+
+    def test_injected_rng_advances_across_solves(self):
+        """An injected generator is the caller's stream to manage."""
+        problem = wide_open_problem()
+        seeded = GreedyScheduler(
+            mode="stochastic", rng=np.random.default_rng(7)
+        )
+        first = seeded.solve(problem)
+        seeded.solve(problem)  # advances the injected stream
+        replay = GreedyScheduler(
+            mode="stochastic", rng=np.random.default_rng(7)
+        )
+        assert replay.solve(problem).assignments == first.assignments
+
+    def test_bad_sample_epsilon_rejected(self):
+        with pytest.raises(SchedulingError):
+            GreedyScheduler(mode="stochastic", sample_epsilon=0.0)
+        with pytest.raises(SchedulingError):
+            GreedyScheduler(mode="stochastic", sample_epsilon=1.0)
+
+
+# ----------------------------------------------------------------------
+# value and feasibility guarantees
+# ----------------------------------------------------------------------
+class TestGuarantees:
+    @given(problem=problems())
+    @settings(max_examples=25, deadline=None)
+    def test_value_within_epsilon_of_exact_greedy(self, problem):
+        epsilon = 0.1
+        exact = GreedyScheduler(mode="lazy").solve(problem)
+        sampled = GreedyScheduler(
+            mode="stochastic", sample_epsilon=epsilon, seed=7
+        ).solve(problem)
+        bound = (1.0 - 1.0 / math.e - epsilon) * exact.objective_value
+        assert sampled.objective_value >= bound - 1e-9
+
+    @given(problem=problems())
+    @settings(max_examples=25, deadline=None)
+    def test_budgets_never_exceeded_and_schedule_validates(self, problem):
+        schedule = GreedyScheduler(mode="stochastic", seed=7).solve(problem)
+        schedule.validate()
+        for user in problem.users:
+            assigned = schedule.assignments.get(user.user_id, [])
+            assert len(assigned) <= user.budget
+            assert len(set(assigned)) == len(assigned)
+
+    def test_min_gain_terminates_the_loop(self):
+        problem = wide_open_problem()
+        starved = GreedyScheduler(
+            mode="stochastic", seed=7, min_gain=float("inf")
+        ).solve(problem)
+        assert starved.pooled_instants == []
+        assert starved.objective_value == 0.0
+
+    def test_matroid_runs_to_a_basis_with_zero_min_gain(self):
+        problem = wide_open_problem(num_instants=40, num_users=2, budget=3)
+        schedule = GreedyScheduler(
+            mode="stochastic", seed=7, min_gain=0.0
+        ).solve(problem)
+        for user in problem.users:
+            assert len(schedule.assignments[user.user_id]) == user.budget
+
+
+# ----------------------------------------------------------------------
+# dry-sample fallback and instrumentation
+# ----------------------------------------------------------------------
+class TestFallbackAndMetrics:
+    def test_solve_reports_sample_and_evaluation_counters(self):
+        registry = MetricsRegistry()
+        scheduler = GreedyScheduler(
+            mode="stochastic", seed=7, metrics=registry
+        )
+        scheduler.solve(wide_open_problem())
+        assert (
+            registry.counter("sor_greedy_stochastic_samples_total").value()
+            > 0
+        )
+        assert (
+            registry.counter(
+                "sor_greedy_evaluations_total", labels=("strategy",)
+            ).value(strategy="stochastic")
+            > 0
+        )
+
+    def test_dry_sample_falls_back_to_an_exact_sweep(self):
+        """A starved sampler must still fill the matroid, exactly.
+
+        The stub rng only ever proposes instant 0; after it is taken the
+        samples are all dry, so every further pick must come from the
+        exact fallback sweep — the schedule still fills every budget
+        with distinct, well-spread instants.
+        """
+        problem = wide_open_problem(num_instants=30, num_users=2, budget=1)
+        registry = MetricsRegistry()
+        scheduler = GreedyScheduler(
+            mode="stochastic", rng=_ZeroRng(), metrics=registry
+        )
+        schedule = scheduler.solve(problem)
+        schedule.validate()
+        pooled = schedule.pooled_instants
+        assert len(pooled) == 2
+        assert len(set(pooled)) == 2
+        assert (
+            registry.counter(
+                "sor_greedy_stochastic_fallbacks_total"
+            ).value()
+            >= 1
+        )
+
+
+# ----------------------------------------------------------------------
+# stochastic mode through the composite schedulers and the server path
+# ----------------------------------------------------------------------
+class TestCompositeSchedulers:
+    def test_per_user_stochastic_is_deterministic_and_feasible(self):
+        problem = wide_open_problem(num_instants=40, num_users=3, budget=4)
+        first = PerUserGreedyScheduler(mode="stochastic", seed=7).solve(
+            problem
+        )
+        second = PerUserGreedyScheduler(mode="stochastic", seed=7).solve(
+            problem
+        )
+        assert first.assignments == second.assignments
+        first.validate()
+        for user in problem.users:
+            assert len(first.assignments[user.user_id]) <= user.budget
+
+    def test_multikernel_stochastic_is_deterministic_and_feasible(self):
+        features = [
+            FeatureKernel("noise", GaussianKernel(sigma=45.0), weight=1.0),
+            FeatureKernel(
+                "occupancy", TriangularKernel(width=90.0), weight=0.5
+            ),
+        ]
+        problem = wide_open_problem(num_instants=40, num_users=3, budget=3)
+        first = MultiKernelGreedyScheduler(
+            features, mode="stochastic", seed=7
+        ).solve(problem)
+        second = MultiKernelGreedyScheduler(
+            features, mode="stochastic", seed=7
+        ).solve(problem)
+        assert first.assignments == second.assignments
+        first.validate()
+
+    def test_scheduler_service_rejects_unknown_mode(self):
+        from repro.server.scheduler_service import SensingSchedulerService
+
+        with pytest.raises(SchedulingError):
+            SensingSchedulerService(None, None, mode="sampled")
+
+    def test_app_scheduler_state_stochastic_is_deterministic(self):
+        from repro.server.app_manager import Application
+        from repro.server.scheduler_service import _AppSchedulerState
+        from repro.common.geo import LatLon
+
+        def make_state():
+            application = Application(
+                app_id="app-1",
+                creator="owner",
+                place_id="place-1",
+                place_name="Place One",
+                category="coffee_shop",
+                location=LatLon(43.05, -76.15),
+                script="return get_temperature_readings(3, 1.0)",
+                pipeline=None,
+                period_start=0.0,
+                period_end=10_800.0,
+                num_instants=360,
+            )
+            return _AppSchedulerState(
+                application, mode="stochastic", seed=7
+            )
+
+        a, b = make_state(), make_state()
+        for user in ("u0", "u1", "u2"):
+            chosen_a, _ = a.schedule_user(
+                user, from_time=0.0, until_time=10_800.0, budget=5
+            )
+            chosen_b, _ = b.schedule_user(
+                user, from_time=0.0, until_time=10_800.0, budget=5
+            )
+            assert chosen_a == chosen_b
+            assert len(chosen_a) <= 5
+            assert len(set(chosen_a)) == len(chosen_a)
